@@ -1,0 +1,193 @@
+(* Benchmark and reproduction harness.
+
+   Default run regenerates every table and figure of the paper (DESIGN.md
+   experiments E1-E5) in quick mode and runs the Bechamel solver-kernel
+   micro-benchmarks.  Flags select individual experiments; [--full] uses
+   the paper-scale budgets recorded in EXPERIMENTS.md. *)
+
+open Report
+
+let usage =
+  "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
+  \                [--baselines] [--ecg] [--ablations] [--micro] [--quick|--full]\n\
+  \                [--seed N]\n\
+   With no experiment flag, everything runs."
+
+type options = {
+  mutable table1 : bool;
+  mutable table2 : bool;
+  mutable figure2 : bool;
+  mutable figure4 : bool;
+  mutable power : bool;
+  mutable baselines : bool;
+  mutable ecg : bool;
+  mutable ablations : bool;
+  mutable micro : bool;
+  mutable quick : bool;
+  mutable seed : int option;
+}
+
+let parse_args () =
+  let o =
+    {
+      table1 = false; table2 = false; figure2 = false; figure4 = false;
+      power = false; baselines = false; ecg = false; ablations = false;
+      micro = false;
+      quick = true; seed = None;
+    }
+  in
+  let any = ref false in
+  let args = Array.to_list Sys.argv in
+  let rec go = function
+    | [] -> ()
+    | "--table1" :: rest -> any := true; o.table1 <- true; go rest
+    | "--table2" :: rest -> any := true; o.table2 <- true; go rest
+    | "--figure2" :: rest -> any := true; o.figure2 <- true; go rest
+    | "--figure4" :: rest -> any := true; o.figure4 <- true; go rest
+    | "--power" :: rest -> any := true; o.power <- true; go rest
+    | "--baselines" :: rest -> any := true; o.baselines <- true; go rest
+    | "--ecg" :: rest -> any := true; o.ecg <- true; go rest
+    | "--ablations" :: rest -> any := true; o.ablations <- true; go rest
+    | "--micro" :: rest -> any := true; o.micro <- true; go rest
+    | "--quick" :: rest -> o.quick <- true; go rest
+    | "--full" :: rest -> o.quick <- false; go rest
+    | "--seed" :: n :: rest -> o.seed <- Some (int_of_string n); go rest
+    | "--help" :: _ | "-h" :: _ -> print_endline usage; exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n%s\n" arg usage;
+        exit 2
+  in
+  go (List.tl args);
+  if not !any then begin
+    o.table1 <- true;
+    o.table2 <- true;
+    o.figure2 <- true;
+    o.figure4 <- true;
+    o.power <- true;
+    o.baselines <- true;
+    o.ecg <- true;
+    o.micro <- true
+  end;
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the solver kernels (E6)                *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Stats.Rng.create 123 in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:6 in
+  let m = 42 in
+  let wq =
+    Fixedpoint.Fx_vector.of_floats fmt
+      (Array.init m (fun _ -> Stats.Rng.uniform rng ~lo:(-1.5) ~hi:1.5))
+  in
+  let xq =
+    Fixedpoint.Fx_vector.of_floats fmt
+      (Array.init m (fun _ -> Stats.Rng.uniform rng ~lo:(-1.5) ~hi:1.5))
+  in
+  let spd =
+    let a =
+      Linalg.Mat.init m m (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+    in
+    Linalg.Mat.add_scaled_identity (float_of_int m)
+      (Linalg.Mat.mul a (Linalg.Mat.transpose a))
+  in
+  let b = Array.init m (fun _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let ecog = Datasets.Ecog_sim.generate (Stats.Rng.create 5) in
+  let prep = Ldafp_core.Pipeline.prepare ~fmt ecog in
+  let problem = Ldafp_core.Ldafp_problem.build ~fmt prep.scatter in
+  let relax =
+    Ldafp_core.Ldafp_problem.relaxation problem
+      ~wbox:problem.Ldafp_core.Ldafp_problem.elem_box
+      ~trange:problem.Ldafp_core.Ldafp_problem.t_root
+      ~eta:
+        (Optim.Interval.sup_sq problem.Ldafp_core.Ldafp_problem.t_root)
+  in
+  let start =
+    Array.map
+      (fun iv -> Fixedpoint.Fx_interval.mid iv)
+      problem.Ldafp_core.Ldafp_problem.elem_box
+  in
+  let synth = Datasets.Synthetic.generate ~n_per_class:500 (Stats.Rng.create 3) in
+  let synth_a, synth_b = Datasets.Dataset.class_split synth in
+  [
+    Test.make ~name:"fx_dot_mac_42 (wrapped MAC, Q2.6)"
+      (Staged.stage (fun () -> Fixedpoint.Fx_vector.dot wq xq));
+    Test.make ~name:"cholesky_42x42"
+      (Staged.stage (fun () -> Linalg.Cholesky.factor spd));
+    Test.make ~name:"cholesky_solve_42"
+      (Staged.stage (fun () -> Linalg.Cholesky.solve spd b));
+    Test.make ~name:"gaussian_inv_cdf"
+      (Staged.stage (fun () -> Stats.Gaussian.inv_cdf 0.995));
+    Test.make ~name:"lda_train_synthetic"
+      (Staged.stage (fun () -> Ldafp_core.Lda.train synth_a synth_b));
+    Test.make ~name:"socp_root_relaxation_bci_42"
+      (Staged.stage (fun () ->
+           Optim.Socp.solve_auto relax ~start:(Array.copy start)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "Micro-benchmarks (E6): solver kernels";
+  print_endline "=====================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let tests = micro_tests () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) ->
+              Printf.printf "  %-40s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        analyzed)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) tests)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let o = parse_args () in
+  let seed = o.seed in
+  let quick = o.quick in
+  Printf.printf "LDA-FP reproduction harness (%s mode)\n"
+    (if quick then "quick" else "full");
+  if o.table1 then begin
+    let t0 = Sys.time () in
+    let rows = Experiments.table1 ~quick ?seed () in
+    Experiments.print_table1 rows;
+    Printf.printf "[table1 total %.1fs]\n%!" (Sys.time () -. t0)
+  end;
+  if o.figure4 then begin
+    let rows = Experiments.figure4 ~quick ?seed () in
+    Experiments.print_figure4 rows
+  end;
+  if o.table2 then begin
+    let t0 = Sys.time () in
+    let rows = Experiments.table2 ~quick ?seed () in
+    Experiments.print_table2 rows;
+    Printf.printf "[table2 total %.1fs]\n%!" (Sys.time () -. t0)
+  end;
+  if o.figure2 then Experiments.print_figure2 (Experiments.figure2 ~quick ?seed ());
+  if o.power then Experiments.print_power (Experiments.power ());
+  if o.baselines then
+    Experiments.print_baselines (Experiments.baselines ~quick ?seed ());
+  if o.ecg then
+    Experiments.print_table_ecg (Experiments.table_ecg ~quick ?seed ());
+  if o.ablations then begin
+    Experiments.print_ablation ~title:"Ablation: K/F split policy (synthetic)"
+      (Experiments.ablation_kf ~quick ?seed ());
+    Experiments.print_ablation ~title:"Ablation: solver features (synthetic, WL=8)"
+      (Experiments.ablation_solver ~quick ?seed ())
+  end;
+  if o.micro then run_micro ()

@@ -1,0 +1,397 @@
+(* ldafp — command-line interface to the LDA-FP training system.
+
+   Subcommands: generate, train, eval, sweep, rtl, info. *)
+
+open Cmdliner
+open Ldafp_core
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~docv:"N" ~doc:"Random seed (all runs deterministic).")
+
+let wl_arg =
+  Arg.(
+    value
+    & opt int 6
+    & info [ "wl"; "word-length" ] ~docv:"BITS"
+        ~doc:"Total fixed-point word length $(docv) = K + F.")
+
+let k_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "k" ] ~docv:"BITS"
+        ~doc:"Integer bits (including sign) of the QK.F format.")
+
+let fmt_of ~wl ~k = Fixedpoint.Format_policy.fixed_k ~k wl
+
+let nodes_arg =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "nodes" ] ~docv:"N"
+        ~doc:"Branch-and-bound node budget for LDA-FP training.")
+
+let rho_arg =
+  Arg.(
+    value
+    & opt float 0.99
+    & info [ "rho" ] ~docv:"RHO"
+        ~doc:"Confidence level of the overflow constraints (eq. 16).")
+
+let config_of_nodes nodes =
+  {
+    Lda_fp.default_config with
+    bnb_params =
+      { Optim.Bnb.default_params with max_nodes = nodes; rel_gap = 1e-3 };
+  }
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      value
+      & opt (enum [ ("synthetic", `Synthetic); ("ecog", `Ecog) ]) `Synthetic
+      & info [ "dataset" ] ~docv:"NAME"
+          ~doc:"Which generator: $(b,synthetic) (paper 5.1) or $(b,ecog) \
+                (paper 5.2 substitution).")
+  in
+  let n =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "trials"; "n" ] ~docv:"N"
+          ~doc:"Trials per class (synthetic only).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let run verbose seed dataset n out =
+    setup_logs verbose;
+    let rng = Stats.Rng.create seed in
+    let ds =
+      match dataset with
+      | `Synthetic -> Datasets.Synthetic.generate ~n_per_class:n rng
+      | `Ecog -> Datasets.Ecog_sim.generate rng
+    in
+    Datasets.Dataset_io.save out ds;
+    Fmt.pr "wrote %a to %s@." Datasets.Dataset.pp_summary ds out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a dataset CSV.")
+    Term.(const run $ verbose_arg $ seed_arg $ dataset $ n $ out)
+
+(* ---------------- train ---------------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "data" ] ~docv:"CSV" ~doc:"Training dataset (CSV).")
+
+let train_cmd =
+  let method_ =
+    Arg.(
+      value
+      & opt (enum [ ("ldafp", `Ldafp); ("lda", `Lda) ]) `Ldafp
+      & info [ "method" ] ~docv:"M"
+          ~doc:"$(b,ldafp) (branch-and-bound, eq. 21) or $(b,lda) \
+                (conventional: solve eq. 11 and round).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output model path.")
+  in
+  let run verbose data wl k method_ nodes rho out =
+    setup_logs verbose;
+    let ds = Datasets.Dataset_io.load data in
+    let fmt = fmt_of ~wl ~k in
+    let clf =
+      match method_ with
+      | `Lda -> Some (Pipeline.train_conventional ~fmt ds)
+      | `Ldafp ->
+          Option.map
+            (fun r ->
+              let d = r.Pipeline.outcome.Lda_fp.diagnostics in
+              Fmt.pr
+                "LDA-FP: cost %.6g, %d nodes, gap %.3g, %.2fs (%s)@."
+                r.Pipeline.outcome.Lda_fp.cost d.Lda_fp.nodes d.Lda_fp.gap
+                d.Lda_fp.train_seconds
+                (match d.Lda_fp.stop_reason with
+                | Optim.Bnb.Proved_optimal -> "proved optimal"
+                | Optim.Bnb.Gap_reached -> "gap tolerance"
+                | Optim.Bnb.Node_budget -> "node budget"
+                | Optim.Bnb.Time_budget -> "time budget");
+              r.Pipeline.classifier)
+            (Pipeline.train_ldafp ~config:(config_of_nodes nodes) ~rho ~fmt
+               ds)
+    in
+    match clf with
+    | None ->
+        Fmt.epr "no feasible fixed-point classifier found@.";
+        exit 1
+    | Some clf ->
+        Model_io.save out clf;
+        Fmt.pr "trained %a classifier on %a; training error %.2f%%; saved \
+                to %s@."
+          Fixedpoint.Qformat.pp
+          (Fixed_classifier.format clf)
+          Datasets.Dataset.pp_summary ds
+          (100.0 *. Eval.error_fixed clf ds)
+          out
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train a fixed-point classifier.")
+    Term.(
+      const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
+      $ nodes_arg $ rho_arg $ out)
+
+(* ---------------- eval ---------------- *)
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "model" ] ~docv:"FILE" ~doc:"Trained model file.")
+
+let eval_cmd =
+  let run verbose model data =
+    setup_logs verbose;
+    let clf = Model_io.load model in
+    let ds = Datasets.Dataset_io.load data in
+    let confusion = Eval.confusion_fixed clf ds in
+    Fmt.pr "%a on %a@.error rate: %.2f%%  (sensitivity %.2f%%, specificity \
+            %.2f%%)@."
+      Fixedpoint.Qformat.pp
+      (Fixed_classifier.format clf)
+      Datasets.Dataset.pp_summary ds
+      (100.0 *. Stats.Confusion.error_rate confusion)
+      (100.0 *. Stats.Confusion.sensitivity confusion)
+      (100.0 *. Stats.Confusion.specificity confusion)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a model on a dataset.")
+    Term.(const run $ verbose_arg $ model_arg $ data_arg)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let wls =
+    Arg.(
+      value
+      & opt (list int) [ 3; 4; 5; 6; 7; 8 ]
+      & info [ "wls" ] ~docv:"LIST" ~doc:"Word lengths to sweep.")
+  in
+  let folds =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "folds" ] ~docv:"K" ~doc:"Cross-validation folds.")
+  in
+  let run verbose seed data k wls nodes folds =
+    setup_logs verbose;
+    let ds = Datasets.Dataset_io.load data in
+    let config = config_of_nodes nodes in
+    let rows =
+      List.map
+        (fun wl ->
+          let fmt = fmt_of ~wl ~k in
+          let cv_rng () = Stats.Rng.create (seed + 1) in
+          let lda =
+            Eval.kfold_error_fixed ~rng:(cv_rng ()) ~k:folds
+              ~train:(fun tr -> Some (Pipeline.train_conventional ~fmt tr))
+              ds
+          in
+          let ldafp =
+            Eval.kfold_error_fixed ~rng:(cv_rng ()) ~k:folds
+              ~train:(fun tr ->
+                Option.map
+                  (fun r -> r.Pipeline.classifier)
+                  (Pipeline.train_ldafp ~config ~fmt tr))
+              ds
+          in
+          let cell = function
+            | Some e -> Report.Table.pct e
+            | None -> "n/a"
+          in
+          [ string_of_int wl; cell lda; cell ldafp ])
+        wls
+    in
+    Report.Table.print
+      ~title:(Printf.sprintf "%d-fold CV error vs word length (K=%d)" folds k)
+      ~columns:
+        [
+          Report.Table.column "WL";
+          Report.Table.column "LDA";
+          Report.Table.column "LDA-FP";
+        ]
+      ~rows ()
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Word-length sweep with cross-validation.")
+    Term.(
+      const run $ verbose_arg $ seed_arg $ data_arg $ k_arg $ wls $ nodes_arg
+      $ folds)
+
+(* ---------------- rtl ---------------- *)
+
+let rtl_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output Verilog path.")
+  in
+  let testbench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "testbench" ] ~docv:"FILE"
+          ~doc:"Also emit a self-checking testbench built from --data.")
+  in
+  let data_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "data" ] ~docv:"CSV" ~doc:"Vectors for the testbench.")
+  in
+  let run verbose model out testbench data =
+    setup_logs verbose;
+    let clf = Model_io.load model in
+    let spec =
+      {
+        Hw.Verilog_gen.module_name = "ldafp_classifier";
+        fmt = Fixed_classifier.format clf;
+        weights = clf.Fixed_classifier.w;
+        threshold = clf.Fixed_classifier.threshold;
+        polarity = clf.Fixed_classifier.polarity;
+      }
+    in
+    let write path text =
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text)
+    in
+    write out (Hw.Verilog_gen.module_source spec);
+    Fmt.pr "wrote %s@." out;
+    match (testbench, data) with
+    | Some tb_path, Some data_path ->
+        let ds = Datasets.Dataset_io.load data_path in
+        let vectors =
+          List.init
+            (min 16 (Datasets.Dataset.n_trials ds))
+            (fun i ->
+              let x = ds.Datasets.Dataset.features.(i) in
+              {
+                Hw.Verilog_gen.inputs = Fixed_classifier.quantize_input clf x;
+                expected = Fixed_classifier.predict clf x;
+              })
+        in
+        write tb_path (Hw.Verilog_gen.testbench_source spec vectors);
+        Fmt.pr "wrote %s (%d vectors)@." tb_path (List.length vectors)
+    | Some _, None ->
+        Fmt.epr "--testbench requires --data for stimulus vectors@.";
+        exit 1
+    | None, _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Emit synthesizable Verilog for a trained model.")
+    Term.(const run $ verbose_arg $ model_arg $ out $ testbench $ data_opt)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run verbose model data =
+    setup_logs verbose;
+    let clf = Model_io.load model in
+    let ds = Datasets.Dataset_io.load data in
+    let fmt = Fixed_classifier.format clf in
+    (* Quantisation-noise accounting against the dataset's statistics in
+       the classifier's own scaled space. *)
+    let prep_scatter =
+      let a, b = Datasets.Dataset.class_split ds in
+      let scale rows =
+        Array.map
+          (fun row ->
+            Array.map
+              (fun x ->
+                Fixedpoint.Fx.to_float
+                  (Fixedpoint.Fx.of_float ~ov:Fixedpoint.Rounding.Saturate fmt
+                     x))
+              (Scaling.apply_vec clf.Fixed_classifier.scaling row))
+          rows
+      in
+      Stats.Scatter.of_data (scale a) (scale b)
+    in
+    Fmt.pr "%a@."
+      Quant_analysis.pp
+      (Quant_analysis.analyze ~scatter:prep_scatter ~fmt
+         (Fixed_classifier.weights clf));
+    let rob = Robustness.sweep clf ds in
+    Fmt.pr
+      "robustness (+/-1 ulp on every weight, %s %d patterns): nominal \
+       %.2f%%, mean %.2f%%, worst %.2f%%@."
+      (if rob.Robustness.exhaustive then "exhaustive" else "sampled")
+      rob.Robustness.evaluated
+      (100.0 *. rob.Robustness.nominal)
+      (100.0 *. rob.Robustness.mean)
+      (100.0 *. rob.Robustness.worst);
+    let roc = Eval.roc_fixed clf ds in
+    Fmt.pr "ROC AUC of the fixed-point margin: %.4f@." roc.Eval.auc
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Quantisation-noise, robustness and ROC analysis of a trained \
+          model on a dataset.")
+    Term.(const run $ verbose_arg $ model_arg $ data_arg)
+
+(* ---------------- info ---------------- *)
+
+let info_cmd =
+  let run verbose data =
+    setup_logs verbose;
+    let ds = Datasets.Dataset_io.load data in
+    Fmt.pr "%a@." Datasets.Dataset.pp_summary ds;
+    let a, b = Datasets.Dataset.class_split ds in
+    let scatter = Stats.Scatter.of_data a b in
+    let model = Lda.train_scatter scatter in
+    Fmt.pr "float LDA training error: %.2f%%@."
+      (100.0
+      *. Stats.Confusion.error_rate
+           (Eval.confusion_float model
+              ~scaling:(Scaling.identity (Datasets.Dataset.n_features ds))
+              ds));
+    Fmt.pr "fisher cost of the float direction: %.6g@."
+      (Lda.fisher_cost scatter model)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Summarise a dataset.")
+    Term.(const run $ verbose_arg $ data_arg)
+
+let () =
+  let doc = "LDA-FP: train fixed-point classifiers for on-chip low power" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ldafp" ~version:"1.0.0" ~doc)
+          [
+            generate_cmd; train_cmd; eval_cmd; sweep_cmd; rtl_cmd;
+            analyze_cmd; info_cmd;
+          ]))

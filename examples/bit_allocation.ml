@@ -1,0 +1,63 @@
+(* Per-weight word-length optimisation — the paper's stated future-work
+   problem, solved greedily on top of a trained LDA-FP solution.
+
+   Trains a uniform classifier, then strips fractional bits weight by
+   weight (cheapest-first) while the training cost stays within 5% of the
+   optimum, and compares storage, multiplier cost and test error of the
+   uniform vs heterogeneous designs.
+
+   Run with:  dune exec examples/bit_allocation.exe *)
+
+open Ldafp_core
+
+let () =
+  let rng = Stats.Rng.create 42 in
+  let train = Datasets.Ecog_sim.generate rng in
+  let test = Datasets.Ecog_sim.generate rng in
+  let wl = 8 in
+  let fmt = Fixedpoint.Format_policy.default wl in
+  let config =
+    {
+      Lda_fp.quick_config with
+      bnb_params =
+        { Optim.Bnb.default_params with max_nodes = 20; rel_gap = 1e-2 };
+    }
+  in
+  match Pipeline.train_ldafp ~config ~fmt train with
+  | None -> Fmt.epr "no feasible classifier@."
+  | Some r -> (
+      let prep = Pipeline.prepare ~fmt train in
+      let uniform_err = Eval.error_fixed r.Pipeline.classifier test in
+      Fmt.pr "uniform %a design: test error %.2f%%, weight ROM %d bits@."
+        Fixedpoint.Qformat.pp fmt (100.0 *. uniform_err)
+        (wl * Datasets.Dataset.n_features train);
+      match
+        Bit_alloc.allocate ~max_cost_increase:0.05 r.Pipeline.problem
+          r.Pipeline.outcome.Lda_fp.w
+      with
+      | None -> Fmt.epr "allocation failed@."
+      | Some a ->
+          Fmt.pr "allocation: %s@."
+            (Bit_alloc.savings_summary r.Pipeline.problem a);
+          let h = Bit_alloc.classifier ~prepared:prep a in
+          let errors = ref 0 in
+          Array.iteri
+            (fun i row ->
+              if
+                Hetero_classifier.predict h row
+                <> test.Datasets.Dataset.labels.(i)
+              then incr errors)
+            test.Datasets.Dataset.features;
+          let hetero_err =
+            float_of_int !errors
+            /. float_of_int (Datasets.Dataset.n_trials test)
+          in
+          Fmt.pr "heterogeneous design: test error %.2f%%@."
+            (100.0 *. hetero_err);
+          let bits = Hetero_classifier.weight_bits h in
+          let hist = Array.make (wl + 1) 0 in
+          Array.iter (fun b -> hist.(b) <- hist.(b) + 1) bits;
+          Fmt.pr "word-length distribution over the 42 weights:@.";
+          Array.iteri
+            (fun b n -> if n > 0 then Fmt.pr "  %2d bits: %d weights@." b n)
+            hist)

@@ -1,0 +1,93 @@
+(* Wearable ECG monitor sizing — the paper's opening motivation ("a
+   configurable and low-power mixed signal SoC for portable ECG
+   monitoring") worked end to end on the simulated ECG beat classifier:
+
+   1. train LDA vs LDA-FP across word lengths on the arrhythmia task;
+   2. convert each operating point into energy per classified heartbeat
+      (gate-level switched-capacitance proxy);
+   3. report the battery-life multiplier of the shortest acceptable word.
+
+   Run with:  dune exec examples/ecg_monitor.exe *)
+
+open Ldafp_core
+
+let () =
+  let rng = Stats.Rng.create 99 in
+  let params =
+    { Datasets.Ecg_sim.default_params with
+      Datasets.Ecg_sim.trials_per_class = 300 }
+  in
+  let train = Datasets.Ecg_sim.generate ~params rng in
+  let test = Datasets.Ecg_sim.generate ~params rng in
+  Fmt.pr "%a (Bayes error %.2f%%)@." Datasets.Dataset.pp_summary train
+    (100.0 *. Datasets.Ecg_sim.bayes_error params);
+  let n_features = Datasets.Dataset.n_features train in
+  let config =
+    {
+      Lda_fp.quick_config with
+      bnb_params =
+        { Optim.Bnb.default_params with max_nodes = 60; rel_gap = 1e-2 };
+    }
+  in
+  let rows =
+    List.filter_map
+      (fun wl ->
+        let fmt = Fixedpoint.Format_policy.default wl in
+        let e_lda =
+          Eval.error_fixed (Pipeline.train_conventional ~fmt train) test
+        in
+        match Pipeline.train_ldafp ~config ~fmt train with
+        | None -> None
+        | Some r ->
+            let e_fp = Eval.error_fixed r.Pipeline.classifier test in
+            let energy =
+              Hw.Power_model.energy_per_classification ~word_length:wl
+                ~n_features
+            in
+            Some (wl, e_lda, e_fp, energy))
+      [ 3; 4; 5; 6; 8; 10; 12 ]
+  in
+  let _, _, _, e12 = List.nth rows (List.length rows - 1) in
+  Report.Table.print ~title:"ECG beat classification vs word length"
+    ~columns:
+      [
+        Report.Table.column "WL";
+        Report.Table.column "LDA err";
+        Report.Table.column "LDA-FP err";
+        Report.Table.column "E/beat (rel)";
+        Report.Table.column "battery x";
+      ]
+    ~rows:
+      (List.map
+         (fun (wl, e_lda, e_fp, energy) ->
+           [
+             string_of_int wl;
+             Report.Table.pct e_lda;
+             Report.Table.pct e_fp;
+             Printf.sprintf "%.3f" (energy /. e12);
+             Printf.sprintf "%.1f" (e12 /. energy);
+           ])
+         rows)
+    ();
+  (* Pick the shortest word within 2 points of the best LDA-FP error and
+     explain the quantisation budget at that point. *)
+  let best =
+    List.fold_left (fun acc (_, _, e, _) -> Float.min acc e) 1.0 rows
+  in
+  (match List.find_opt (fun (_, _, e, _) -> e <= best +. 0.02) rows with
+  | Some (wl, _, e, energy) ->
+      Fmt.pr
+        "@.chosen design: %d bits (%.2f%% error) - a beat classified every \
+         second for a day costs %.1fx less energy than the 12-bit design@."
+        wl (100.0 *. e) (e12 /. energy)
+  | None -> ());
+  (* Quantisation-noise view of the chosen point. *)
+  let fmt = Fixedpoint.Format_policy.default 5 in
+  match Pipeline.train_ldafp ~config ~fmt train with
+  | Some r ->
+      let prep = Pipeline.prepare ~fmt train in
+      Fmt.pr "@.%a@."
+        Quant_analysis.pp
+        (Quant_analysis.analyze ~scatter:prep.Pipeline.scatter ~fmt
+           r.Pipeline.outcome.Lda_fp.w)
+  | None -> ()

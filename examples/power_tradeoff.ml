@@ -1,0 +1,71 @@
+(* Accuracy/power trade-off frontier: for every word length, the error of
+   the best trainable classifier and the relative power of its datapath —
+   the design-space view behind the paper's "up to 9x power reduction"
+   claim.
+
+   Run with:  dune exec examples/power_tradeoff.exe *)
+
+open Ldafp_core
+
+let () =
+  let rng = Stats.Rng.create 42 in
+  let train = Datasets.Synthetic.generate ~n_per_class:1000 rng in
+  let test = Datasets.Synthetic.generate ~n_per_class:10_000 rng in
+  let n_features = Datasets.Dataset.n_features train in
+  let config =
+    {
+      Lda_fp.default_config with
+      bnb_params =
+        { Optim.Bnb.default_params with max_nodes = 200; rel_gap = 1e-3 };
+    }
+  in
+  let points =
+    List.filter_map
+      (fun wl ->
+        let fmt = Fixedpoint.Format_policy.default wl in
+        match Pipeline.train_ldafp ~config ~fmt train with
+        | None -> None
+        | Some r ->
+            let err = Eval.error_fixed r.Pipeline.classifier test in
+            let p_quad = Hw.Power_model.quadratic_relative ~word_length:wl in
+            let e_gate =
+              Hw.Power_model.energy_per_classification ~word_length:wl
+                ~n_features
+            in
+            Some (wl, err, p_quad, e_gate))
+      [ 4; 5; 6; 7; 8; 10; 12; 14; 16 ]
+  in
+  let _, _, pq16, eg16 =
+    List.find (fun (wl, _, _, _) -> wl = 16) points
+  in
+  Report.Table.print
+    ~title:"LDA-FP accuracy vs power (relative to the 16-bit design)"
+    ~columns:
+      [
+        Report.Table.column "WL";
+        Report.Table.column "test err";
+        Report.Table.column "P (WL^2)";
+        Report.Table.column "E/classify (gates)";
+      ]
+    ~rows:
+      (List.map
+         (fun (wl, err, pq, eg) ->
+           [
+             string_of_int wl;
+             Report.Table.pct err;
+             Printf.sprintf "%.3f" (pq /. pq16);
+             Printf.sprintf "%.3f" (eg /. eg16);
+           ])
+         points)
+    ();
+  (* Pick the cheapest operating point within 1% absolute of the best. *)
+  let best_err =
+    List.fold_left (fun acc (_, e, _, _) -> Float.min acc e) 1.0 points
+  in
+  let wl_star, err_star, pq_star, _ =
+    List.find (fun (_, e, _, _) -> e <= best_err +. 0.01) points
+  in
+  Fmt.pr
+    "@.cheapest design within 1%% of the best error: %d bits (%.2f%% \
+     error), %.1fx less power than 16 bits@."
+    wl_star (100.0 *. err_star) (pq16 /. pq_star)

@@ -1,0 +1,46 @@
+(* Projection histograms: the view of the paper's Figure 1 — how well the
+   two classes separate along the trained direction wᵀx — rendered for
+   the fixed-point datapath output at a short and a long word length.
+
+   Run with:  dune exec examples/projection_hist.exe *)
+
+open Ldafp_core
+
+let histogram_of clf ds cls =
+  let projections =
+    Array.of_list
+      (List.filteri
+         (fun i _ -> ds.Datasets.Dataset.labels.(i) = cls)
+         (Array.to_list
+            (Array.map
+               (fun row ->
+                 Fixedpoint.Fx.to_float (Fixed_classifier.project clf row))
+               ds.Datasets.Dataset.features)))
+  in
+  let fmt = Fixed_classifier.format clf in
+  Stats.Histogram.of_values
+    ~lo:(Fixedpoint.Qformat.min_value fmt)
+    ~hi:(Fixedpoint.Qformat.max_value fmt)
+    ~bins:16 projections
+
+let show_word_length train test wl =
+  let fmt = Fixedpoint.Format_policy.default wl in
+  match Pipeline.train_ldafp ~config:Lda_fp.quick_config ~fmt train with
+  | None -> Fmt.pr "WL=%d: no feasible classifier@." wl
+  | Some { classifier = clf; _ } ->
+      Fmt.pr "@.=== %a (word length %d), test error %.2f%%, threshold %g ===@."
+        Fixedpoint.Qformat.pp fmt wl
+        (100.0 *. Eval.error_fixed clf test)
+        (Fixed_classifier.threshold_value clf);
+      Fmt.pr "class A projections:@.%s"
+        (Stats.Histogram.render ~width:40 (histogram_of clf test true));
+      Fmt.pr "class B projections:@.%s"
+        (Stats.Histogram.render ~width:40 (histogram_of clf test false));
+      let roc = Eval.roc_fixed clf test in
+      Fmt.pr "AUC of the fixed-point margin: %.4f@." roc.Eval.auc
+
+let () =
+  let rng = Stats.Rng.create 2014 in
+  let train = Datasets.Synthetic.generate ~n_per_class:1000 rng in
+  let test = Datasets.Synthetic.generate ~n_per_class:3000 rng in
+  List.iter (fun wl -> show_word_length train test wl) [ 4; 12 ]

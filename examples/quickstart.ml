@@ -1,0 +1,50 @@
+(* Quickstart: train an LDA-FP classifier on the paper's synthetic task
+   and compare it against conventional LDA at a 6-bit word length.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Ldafp_core
+
+let () =
+  (* 1. Data: the paper's three-feature synthetic task (eqs. 30-32).
+     Only x1 separates the classes; x2 and x3 exist to cancel noise. *)
+  let rng = Stats.Rng.create 2014 in
+  let train = Datasets.Synthetic.generate ~n_per_class:1000 rng in
+  let test = Datasets.Synthetic.generate ~n_per_class:10_000 rng in
+  Fmt.pr "training data: %a@." Datasets.Dataset.pp_summary train;
+
+  (* 2. Pick the on-chip number format: Q2.4 — six bits total. *)
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:4 in
+  Fmt.pr "fixed-point format: %a (range [%g, %g], step %g)@."
+    Fixedpoint.Qformat.pp fmt
+    (Fixedpoint.Qformat.min_value fmt)
+    (Fixedpoint.Qformat.max_value fmt)
+    (Fixedpoint.Qformat.ulp fmt);
+
+  (* 3. Baseline: conventional LDA, solved in floating point and rounded. *)
+  let conventional = Pipeline.train_conventional ~fmt train in
+  Fmt.pr "conventional LDA test error:  %.2f%%@."
+    (100.0 *. Eval.error_fixed conventional test);
+
+  (* 4. LDA-FP: train directly in the quantised weight space. *)
+  (match Pipeline.train_ldafp ~fmt train with
+  | None -> Fmt.pr "LDA-FP found no feasible classifier@."
+  | Some { classifier; outcome; _ } ->
+      Fmt.pr "LDA-FP test error:            %.2f%%@."
+        (100.0 *. Eval.error_fixed classifier test);
+      Fmt.pr "  cost %.4g, %d B&B nodes, trained in %.2fs@."
+        outcome.Lda_fp.cost outcome.Lda_fp.diagnostics.Lda_fp.nodes
+        outcome.Lda_fp.diagnostics.Lda_fp.train_seconds;
+      Fmt.pr "  quantised weights: %a@." Fixedpoint.Fx_vector.pp
+        classifier.Fixed_classifier.w;
+
+      (* 5. Classify a single new trial through the hardware datapath. *)
+      let trial = test.Datasets.Dataset.features.(0) in
+      let label = test.Datasets.Dataset.labels.(0) in
+      Fmt.pr "first test trial: predicted %s, truth %s@."
+        (if Fixed_classifier.predict classifier trial then "A" else "B")
+        (if label then "A" else "B"));
+
+  (* 6. The power argument: at equal accuracy a shorter word is cheaper. *)
+  Fmt.pr "power ratio 16b -> 6b (quadratic model): %.1fx@."
+    (Hw.Power_model.quadratic_ratio ~from_wl:16 ~to_wl:6)

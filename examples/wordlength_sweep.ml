@@ -1,0 +1,54 @@
+(* Word-length sweep on the synthetic task: accuracy of conventional LDA
+   vs LDA-FP at every word length, plus the relative power of each
+   operating point — a compact version of the paper's Table 1 analysis.
+
+   Run with:  dune exec examples/wordlength_sweep.exe *)
+
+open Ldafp_core
+
+let () =
+  let rng = Stats.Rng.create 42 in
+  let train = Datasets.Synthetic.generate ~n_per_class:1000 rng in
+  let test = Datasets.Synthetic.generate ~n_per_class:10_000 rng in
+  let model, scaling = Pipeline.train_float train in
+  Fmt.pr "floating-point LDA reference error: %.2f%%@."
+    (100.0 *. Eval.error_float model ~scaling test);
+  let config =
+    {
+      Lda_fp.default_config with
+      bnb_params =
+        { Optim.Bnb.default_params with max_nodes = 200; rel_gap = 1e-3 };
+    }
+  in
+  let rows =
+    List.map
+      (fun wl ->
+        let fmt = Fixedpoint.Format_policy.default wl in
+        let conv = Pipeline.train_conventional ~fmt train in
+        let e_lda = Eval.error_fixed conv test in
+        let e_fp =
+          match Pipeline.train_ldafp ~config ~fmt train with
+          | Some r -> Eval.error_fixed r.Pipeline.classifier test
+          | None -> Float.nan
+        in
+        let power =
+          Hw.Power_model.quadratic_relative ~word_length:wl
+          /. Hw.Power_model.quadratic_relative ~word_length:16
+        in
+        [
+          string_of_int wl;
+          Report.Table.pct e_lda;
+          Report.Table.pct e_fp;
+          Printf.sprintf "%.3f" power;
+        ])
+      [ 4; 5; 6; 8; 10; 12; 14; 16 ]
+  in
+  Report.Table.print ~title:"Synthetic task: error and relative power"
+    ~columns:
+      [
+        Report.Table.column "WL";
+        Report.Table.column "LDA err";
+        Report.Table.column "LDA-FP err";
+        Report.Table.column "P/P(16b)";
+      ]
+    ~rows ()

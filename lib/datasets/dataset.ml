@@ -1,0 +1,99 @@
+open Linalg
+
+type t = { name : string; features : Mat.t; labels : bool array }
+
+let create ~name ~features ~labels =
+  if Mat.rows features = 0 then invalid_arg "Dataset.create: no trials";
+  if Mat.rows features <> Array.length labels then
+    invalid_arg "Dataset.create: row/label count mismatch";
+  let width = Array.length features.(0) in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> width then
+        invalid_arg (Printf.sprintf "Dataset.create: ragged row %d" i);
+      Array.iter
+        (fun v ->
+          if not (Float.is_finite v) then
+            invalid_arg
+              (Printf.sprintf "Dataset.create: non-finite feature in row %d" i))
+        row)
+    features;
+  { name; features = Mat.copy features; labels = Array.copy labels }
+
+let n_trials t = Mat.rows t.features
+let n_features t = Mat.cols t.features
+
+let class_counts t =
+  Array.fold_left
+    (fun (a, b) l -> if l then (a + 1, b) else (a, b + 1))
+    (0, 0) t.labels
+
+let indices_of t cls =
+  let acc = ref [] in
+  Array.iteri (fun i l -> if l = cls then acc := i :: !acc) t.labels;
+  Array.of_list (List.rev !acc)
+
+let class_split t =
+  let ia = indices_of t true and ib = indices_of t false in
+  if Array.length ia = 0 || Array.length ib = 0 then
+    invalid_arg "Dataset.class_split: a class is empty";
+  ( Mat.of_rows (Array.map (fun i -> t.features.(i)) ia),
+    Mat.of_rows (Array.map (fun i -> t.features.(i)) ib) )
+
+let of_class_matrices ~name ~a ~b =
+  if Mat.cols a <> Mat.cols b then
+    invalid_arg "Dataset.of_class_matrices: feature count mismatch";
+  let na = Mat.rows a and nb = Mat.rows b in
+  create ~name
+    ~features:(Array.append (Mat.copy a) (Mat.copy b))
+    ~labels:(Array.init (na + nb) (fun i -> i < na))
+
+let subset t idx =
+  create ~name:t.name
+    ~features:(Array.map (fun i -> Array.copy t.features.(i)) idx)
+    ~labels:(Array.map (fun i -> t.labels.(i)) idx)
+
+let shuffle rng t =
+  let perm = Stats.Rng.permutation rng (n_trials t) in
+  subset t perm
+
+let split t ~train_fraction rng =
+  if not (train_fraction > 0.0 && train_fraction < 1.0) then
+    invalid_arg "Dataset.split: train_fraction must be in (0, 1)";
+  let ia = indices_of t true and ib = indices_of t false in
+  Stats.Rng.shuffle_in_place rng ia;
+  Stats.Rng.shuffle_in_place rng ib;
+  let cut arr =
+    let n = Array.length arr in
+    let k = int_of_float (Float.round (train_fraction *. float_of_int n)) in
+    let k = max 1 (min (n - 1) k) in
+    (Array.sub arr 0 k, Array.sub arr k (n - k))
+  in
+  let ta, ea = cut ia and tb, eb = cut ib in
+  (subset t (Array.append ta tb), subset t (Array.append ea eb))
+
+let stratified_folds rng ~k t =
+  if k < 2 then invalid_arg "Dataset.stratified_folds: k must be >= 2";
+  let ia = indices_of t true and ib = indices_of t false in
+  if Array.length ia < k || Array.length ib < k then
+    invalid_arg "Dataset.stratified_folds: a class has fewer trials than k";
+  Stats.Rng.shuffle_in_place rng ia;
+  Stats.Rng.shuffle_in_place rng ib;
+  let fold_of = Hashtbl.create (n_trials t) in
+  Array.iteri (fun pos i -> Hashtbl.replace fold_of i (pos mod k)) ia;
+  Array.iteri (fun pos i -> Hashtbl.replace fold_of i (pos mod k)) ib;
+  Array.init k (fun f ->
+      let train = ref [] and test = ref [] in
+      for i = n_trials t - 1 downto 0 do
+        if Hashtbl.find fold_of i = f then test := i :: !test
+        else train := i :: !train
+      done;
+      (subset t (Array.of_list !train), subset t (Array.of_list !test)))
+
+let map_features f t =
+  { t with features = Array.map (fun row -> f (Array.copy row)) t.features }
+
+let pp_summary ppf t =
+  let na, nb = class_counts t in
+  Format.fprintf ppf "%s: %d features, %d trials (A=%d, B=%d)" t.name
+    (n_features t) (n_trials t) na nb

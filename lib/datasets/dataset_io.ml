@@ -1,0 +1,91 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+let parse_label lineno = function
+  | "A" | "a" | "1" | "true" -> true
+  | "B" | "b" | "0" | "false" -> false
+  | other -> fail lineno (Printf.sprintf "unknown label %S" other)
+
+let parse_line lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [] | [ "" ] -> None
+  | label :: feats ->
+      if String.lowercase_ascii label = "label" then None (* header *)
+      else begin
+        if feats = [] then fail lineno "no features";
+        let values =
+          List.map
+            (fun s ->
+              match float_of_string_opt (String.trim s) with
+              | Some v -> v
+              | None -> fail lineno (Printf.sprintf "bad number %S" s))
+            feats
+        in
+        Some (parse_label lineno label, Array.of_list values)
+      end
+
+let of_lines ~name lines =
+  let rows = ref [] in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match parse_line (i + 1) line with
+        | Some row -> rows := row :: !rows
+        | None -> ())
+    lines;
+  let rows = Array.of_list (List.rev !rows) in
+  if Array.length rows = 0 then fail 0 "empty dataset";
+  let m = Array.length (snd rows.(0)) in
+  Array.iteri
+    (fun i (_, feats) ->
+      if Array.length feats <> m then
+        fail (i + 1)
+          (Printf.sprintf "expected %d features, found %d" m
+             (Array.length feats)))
+    rows;
+  Dataset.create ~name
+    ~features:(Array.map snd rows)
+    ~labels:(Array.map fst rows)
+
+let to_lines ds =
+  let m = Dataset.n_features ds in
+  let header =
+    "label," ^ String.concat "," (List.init m (fun j -> Printf.sprintf "x%d" (j + 1)))
+  in
+  let lines =
+    Array.to_list
+      (Array.mapi
+         (fun i row ->
+           (if ds.Dataset.labels.(i) then "A," else "B,")
+           ^ String.concat ","
+               (List.map
+                  (fun v -> Printf.sprintf "%.17g" v)
+                  (Array.to_list row)))
+         ds.Dataset.features)
+  in
+  header :: lines
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      of_lines ~name:(Filename.basename path) (List.rev !lines))
+
+let save path ds =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines ds))

@@ -1,0 +1,18 @@
+(** CSV import/export of datasets.
+
+    Format: one trial per line, [label,x1,x2,...,xM] where label is [A]/[B]
+    (or [1]/[0]).  An optional header line starting with ["label"] is
+    skipped on load and written on save. *)
+
+exception Parse_error of { line : int; message : string }
+
+val load : string -> Dataset.t
+(** @raise Parse_error on malformed input;
+    @raise Sys_error on I/O failure. *)
+
+val save : string -> Dataset.t -> unit
+
+val of_lines : name:string -> string list -> Dataset.t
+(** Parse from in-memory lines (used by tests). *)
+
+val to_lines : Dataset.t -> string list

@@ -1,0 +1,80 @@
+open Linalg
+
+type params = {
+  trials_per_class : int;
+  rr_drift : float;
+  gain_noise : float;
+  idio_noise : float;
+  effect_scale : float;
+}
+
+let default_params =
+  {
+    trials_per_class = 200;
+    rr_drift = 0.8;
+    gain_noise = 0.6;
+    idio_noise = 0.35;
+    effect_scale = 0.45;
+  }
+
+let n_features = 10
+
+let feature_names =
+  [|
+    "rr_prev"; "rr_next"; "qrs_width"; "r_amp"; "t_amp"; "st_level";
+    "p_amp"; "energy_low"; "energy_mid"; "energy_high";
+  |]
+
+(* Index groups for the shared-noise patterns. *)
+let rr_features = [ 0; 1 ]
+let amplitude_features = [ 3; 4; 5; 6; 7; 8; 9 ]
+
+(* Class mean shift of an arrhythmic beat (units: normalised feature
+   std): premature beat -> short preceding RR, compensatory pause after,
+   wide QRS, tall R, inverted T, depressed ST, absent P, energy moved
+   from mid to low band. *)
+let arrhythmia_shift =
+  [| -0.45; 0.30; 0.55; 0.25; -0.50; -0.20; -0.40; 0.30; -0.25; 0.10 |]
+
+let validate p =
+  if p.trials_per_class < 1 then
+    invalid_arg "Ecg_sim: trials_per_class must be positive";
+  if p.idio_noise <= 0.0 then
+    invalid_arg "Ecg_sim: idio_noise must be positive"
+
+let population_means p =
+  validate p;
+  let shift = Vec.scale (0.5 *. p.effect_scale) arrhythmia_shift in
+  (Vec.neg shift, shift)
+
+let population_covariance p =
+  validate p;
+  let cov = Mat.zeros n_features n_features in
+  let add_pattern sigma idxs =
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j -> cov.(i).(j) <- cov.(i).(j) +. (sigma *. sigma))
+          idxs)
+      idxs
+  in
+  add_pattern p.rr_drift rr_features;
+  add_pattern p.gain_noise amplitude_features;
+  Mat.add_scaled_identity (p.idio_noise *. p.idio_noise) cov
+
+let generate ?(params = default_params) rng =
+  validate params;
+  let mu_a, mu_b = population_means params in
+  let cov = population_covariance params in
+  let sa = Stats.Sampler.mvn ~mean:mu_a ~cov in
+  let sb = Stats.Sampler.mvn ~mean:mu_b ~cov in
+  Dataset.of_class_matrices ~name:"ecg-sim"
+    ~a:(Stats.Sampler.mvn_draws sa rng params.trials_per_class)
+    ~b:(Stats.Sampler.mvn_draws sb rng params.trials_per_class)
+
+let bayes_error p =
+  validate p;
+  let _, mu_b = population_means p in
+  let d = Vec.scale 2.0 mu_b in
+  let z = Linsys.solve_spd_regularized (population_covariance p) d in
+  Stats.Gaussian.cdf (-.sqrt (Float.max (Vec.dot d z) 0.0))

@@ -1,0 +1,112 @@
+open Linalg
+
+type params = {
+  n_channels : int;
+  n_bands : int;
+  trials_per_class : int;
+  effect : (int * int * float) list;
+  band_noise : float array;
+  channel_noise : float array;
+  idio_noise : float;
+}
+
+let default_params =
+  {
+    n_channels = 6;
+    n_bands = 7;
+    trials_per_class = 70;
+    (* β-band desynchronisation (negative shift) and γ activation
+       (positive shift) on the three motor electrodes. *)
+    effect =
+      [
+        (0, 3, -0.16); (0, 5, 0.22); (0, 6, 0.195);
+        (1, 3, -0.13); (1, 5, 0.18); (1, 6, 0.145);
+        (2, 4, -0.09); (2, 5, 0.12);
+      ];
+    band_noise = [| 1.1; 1.0; 0.95; 0.9; 0.85; 0.8; 0.75 |];
+    channel_noise = [| 0.65; 0.6; 0.6; 0.55; 0.55; 0.5 |];
+    idio_noise = 0.3;
+  }
+
+let validate p =
+  if p.n_channels < 1 || p.n_bands < 1 then
+    invalid_arg "Ecog_sim: channel/band counts must be positive";
+  if Array.length p.band_noise <> p.n_bands then
+    invalid_arg "Ecog_sim: band_noise length must equal n_bands";
+  if Array.length p.channel_noise <> p.n_channels then
+    invalid_arg "Ecog_sim: channel_noise length must equal n_channels";
+  if p.trials_per_class < 1 then
+    invalid_arg "Ecog_sim: trials_per_class must be positive";
+  List.iter
+    (fun (c, b, _) ->
+      if c < 0 || c >= p.n_channels || b < 0 || b >= p.n_bands then
+        invalid_arg "Ecog_sim: effect index out of range")
+    p.effect
+
+let feature_index p ~channel ~band =
+  if channel < 0 || channel >= p.n_channels || band < 0 || band >= p.n_bands
+  then invalid_arg "Ecog_sim.feature_index: out of range";
+  (channel * p.n_bands) + band
+
+let n_features p = p.n_channels * p.n_bands
+
+let delta p =
+  let d = Vec.zeros (n_features p) in
+  List.iter
+    (fun (c, b, shift) ->
+      let i = feature_index p ~channel:c ~band:b in
+      d.(i) <- d.(i) +. shift)
+    p.effect;
+  d
+
+let population_means p =
+  validate p;
+  let d = delta p in
+  (Vec.neg d, d)
+
+let population_covariance p =
+  validate p;
+  let m = n_features p in
+  let cov = Mat.zeros m m in
+  (* Per-band background: rank-one pattern across channels. *)
+  for b = 0 to p.n_bands - 1 do
+    let sigma = p.band_noise.(b) in
+    for c1 = 0 to p.n_channels - 1 do
+      for c2 = 0 to p.n_channels - 1 do
+        let i = feature_index p ~channel:c1 ~band:b in
+        let j = feature_index p ~channel:c2 ~band:b in
+        cov.(i).(j) <- cov.(i).(j) +. (sigma *. sigma)
+      done
+    done
+  done;
+  (* Per-channel broadband gain: rank-one pattern across bands. *)
+  for c = 0 to p.n_channels - 1 do
+    let sigma = p.channel_noise.(c) in
+    for b1 = 0 to p.n_bands - 1 do
+      for b2 = 0 to p.n_bands - 1 do
+        let i = feature_index p ~channel:c ~band:b1 in
+        let j = feature_index p ~channel:c ~band:b2 in
+        cov.(i).(j) <- cov.(i).(j) +. (sigma *. sigma)
+      done
+    done
+  done;
+  (* Idiosyncratic noise. *)
+  Mat.add_scaled_identity (p.idio_noise *. p.idio_noise) cov
+
+let generate ?(params = default_params) rng =
+  validate params;
+  let mu_a, mu_b = population_means params in
+  let cov = population_covariance params in
+  let sampler_a = Stats.Sampler.mvn ~mean:mu_a ~cov in
+  let sampler_b = Stats.Sampler.mvn ~mean:mu_b ~cov in
+  let a = Stats.Sampler.mvn_draws sampler_a rng params.trials_per_class in
+  let b = Stats.Sampler.mvn_draws sampler_b rng params.trials_per_class in
+  Dataset.of_class_matrices ~name:"ecog-sim" ~a ~b
+
+let bayes_error p =
+  validate p;
+  let d = delta p in
+  let cov = population_covariance p in
+  let z = Linsys.solve_spd_regularized cov d in
+  let m2 = Vec.dot d z in
+  Stats.Gaussian.cdf (-.sqrt (Float.max m2 0.0))

@@ -1,0 +1,54 @@
+(** Simulated ECoG brain-computer-interface dataset (§5.2 substitution).
+
+    The paper evaluates on a proprietary 42-feature ECoG movement-decoding
+    set (Wang et al. 2013): 6 motor-cortex electrodes × 7 spectral bands of
+    log band power, 70 trials per movement direction.  That data cannot be
+    redistributed, so this module draws from a generative model with the
+    same geometry and — critically — the same failure mechanism that LDA-FP
+    exploits:
+
+    - the movement direction shifts mean band power in a small set of
+      electrode/band pairs (β desynchronisation, γ activation);
+    - all features share strong common-mode noise — a per-band background
+      component common to every electrode, and a per-electrode broadband
+      gain component common to every band — so the optimal LDA direction
+      spends most of its dynamic range on large cancelling weights while
+      the informative weights stay small, and naive rounding at short word
+      lengths zeroes exactly the informative part.
+
+    Both classes share one covariance; features are class-conditionally
+    Gaussian, matching the model (eq. 14) under which LDA-FP's overflow
+    constraints are derived. *)
+
+type params = {
+  n_channels : int;  (** electrodes (paper geometry: 6) *)
+  n_bands : int;  (** spectral bands (paper geometry: 7) *)
+  trials_per_class : int;  (** paper: 70 *)
+  effect : (int * int * float) list;
+      (** informative (channel, band, mean-shift) triples; the shift is
+          applied with opposite signs to the two classes *)
+  band_noise : float array;
+      (** σ of the common-mode background per band (length [n_bands]) *)
+  channel_noise : float array;
+      (** σ of the broadband gain component per channel *)
+  idio_noise : float;  (** σ of per-feature idiosyncratic noise *)
+}
+
+val default_params : params
+(** 6 × 7, 70 trials/class, β/γ effects on electrodes 1–3, tuned so the
+    floating-point LDA cross-validation error lands near the paper's ≈20%
+    floor. *)
+
+val feature_index : params -> channel:int -> band:int -> int
+val n_features : params -> int
+
+val population_means : params -> Linalg.Vec.t * Linalg.Vec.t
+val population_covariance : params -> Linalg.Mat.t
+
+val generate : ?params:params -> Stats.Rng.t -> Dataset.t
+(** Draw a full dataset ([2 * trials_per_class] trials). *)
+
+val bayes_error : params -> float
+(** Error of the infinite-precision Bayes rule
+    Φ(−√(δᵀΣ⁻¹δ)) with δ half the mean difference — the floor any
+    classifier on this distribution can approach. *)

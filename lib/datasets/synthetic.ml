@@ -1,0 +1,42 @@
+type params = { offset : float; gain : float; leak : float }
+
+let default_params = { offset = 0.5; gain = 0.58; leak = 0.001 }
+
+let generate ?(params = default_params) ~n_per_class rng =
+  if n_per_class < 1 then invalid_arg "Synthetic.generate: n_per_class < 1";
+  let { offset; gain; leak } = params in
+  let trial class_a =
+    let e1 = Stats.Sampler.std_normal rng in
+    let e2 = Stats.Sampler.std_normal rng in
+    let e3 = Stats.Sampler.std_normal rng in
+    let mean = if class_a then -.offset else offset in
+    [| mean +. (gain *. (e1 +. e2 +. e3)); (leak *. e2) +. e3; e3 |]
+  in
+  let a = Array.init n_per_class (fun _ -> trial true) in
+  let b = Array.init n_per_class (fun _ -> trial false) in
+  Dataset.of_class_matrices ~name:"synthetic" ~a ~b
+
+let ideal_weights ?(params = default_params) () =
+  let { gain; leak; _ } = params in
+  (* Cancel ε₂: w₂ = −gain/leak; cancel ε₃: w₃ = −w₂ − gain. *)
+  let w2 = -.gain /. leak in
+  [| 1.0; w2; -.w2 -. gain |]
+
+let ideal_error ?(params = default_params) () =
+  Stats.Gaussian.cdf (-.params.offset /. params.gain)
+
+let no_cancellation_error ?(params = default_params) () =
+  Stats.Gaussian.cdf (-.params.offset /. (params.gain *. sqrt 3.0))
+
+let population_means ?(params = default_params) () =
+  ([| -.params.offset; 0.0; 0.0 |], [| params.offset; 0.0; 0.0 |])
+
+let population_covariance ?(params = default_params) () =
+  let { gain; leak; _ } = params in
+  let g2 = gain *. gain in
+  (* x₁ = m + g(ε₁+ε₂+ε₃); x₂ = leak ε₂ + ε₃; x₃ = ε₃ *)
+  [|
+    [| 3.0 *. g2; gain *. (leak +. 1.0); gain |];
+    [| gain *. (leak +. 1.0); (leak *. leak) +. 1.0; 1.0 |];
+    [| gain; 1.0; 1.0 |];
+  |]

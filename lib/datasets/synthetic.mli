@@ -1,0 +1,43 @@
+(** The paper's synthetic test case (§5.1, eqs. 30–32).
+
+    Three features driven by independent standard Gaussians ε₁, ε₂, ε₃:
+
+    {v x₁ = ∓0.5 + 0.58(ε₁ + ε₂ + ε₃)   (− for class A, + for class B)
+      x₂ = 0.001 ε₂ + ε₃
+      x₃ = ε₃ v}
+
+    Only x₁ carries class information; x₂ and x₃ exist purely to cancel
+    the noise terms ε₂, ε₃.  Perfect cancellation needs the huge weights
+    w ∝ (1, −580, 579.42), which is exactly what breaks naive rounding:
+    after normalisation, w₁ is tiny and quantises to zero.  The closed-form
+    helpers below expose the ideal solution for tests and benches. *)
+
+type params = {
+  offset : float;  (** class-mean offset of x₁ (paper: 0.5) *)
+  gain : float;  (** noise gain of x₁ (paper: 0.58) *)
+  leak : float;  (** ε₂ leak into x₂ (paper: 0.001) *)
+}
+
+val default_params : params
+
+val generate :
+  ?params:params -> n_per_class:int -> Stats.Rng.t -> Dataset.t
+(** Draw [n_per_class] trials of each class. *)
+
+val ideal_weights : ?params:params -> unit -> Linalg.Vec.t
+(** The noise-cancelling direction [(1, −g/leak, g/leak − g)] for gain [g]
+    — the infinite-precision LDA optimum up to scale. *)
+
+val ideal_error : ?params:params -> unit -> float
+(** Bayes error of the ideal direction: Φ(−offset / gain) — the floor the
+    float classifier approaches (≈ 19.4% with paper constants). *)
+
+val no_cancellation_error : ?params:params -> unit -> float
+(** Error of using x₁ alone, Φ(−offset / (gain·√3)) ≈ 30.9% with paper
+    constants — the ceiling for any classifier that zeroes w₂, w₃. *)
+
+val population_means : ?params:params -> unit -> Linalg.Vec.t * Linalg.Vec.t
+(** True class means (μ_A, μ_B). *)
+
+val population_covariance : ?params:params -> unit -> Linalg.Mat.t
+(** True (class-independent) feature covariance. *)

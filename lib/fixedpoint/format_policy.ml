@@ -1,0 +1,30 @@
+type t = int -> Qformat.t
+
+let fixed_k ~k wl =
+  if wl <= k then
+    invalid_arg
+      (Printf.sprintf "Format_policy.fixed_k: word length %d <= k = %d" wl k);
+  Qformat.make ~k ~f:(wl - k)
+
+let fixed_f ~f wl =
+  if wl <= f then
+    invalid_arg
+      (Printf.sprintf "Format_policy.fixed_f: word length %d <= f = %d" wl f);
+  Qformat.make ~k:(wl - f) ~f
+
+let balanced wl =
+  if wl < 1 then invalid_arg "Format_policy.balanced: word length < 1";
+  let k = (wl + 1) / 2 in
+  Qformat.make ~k ~f:(wl - k)
+
+let default = fixed_k ~k:2
+
+let name = function
+  | `Fixed_k k -> Printf.sprintf "K=%d" k
+  | `Fixed_f f -> Printf.sprintf "F=%d" f
+  | `Balanced -> "balanced"
+
+let of_spec = function
+  | `Fixed_k k -> fixed_k ~k
+  | `Fixed_f f -> fixed_f ~f
+  | `Balanced -> balanced

@@ -1,0 +1,27 @@
+(** Policies for splitting a total word length into integer and fractional
+    bits.
+
+    The paper sweeps the total word length [WL = K + F] (Tables 1 and 2)
+    without stating the split; features are pre-scaled into [[-1, 1)], so a
+    small fixed number of integer bits suffices.  The repository default is
+    {!fixed_k}[ ~k:2], giving weights the range [[-2, 2)]; alternatives are
+    provided for the K/F ablation bench. *)
+
+type t = int -> Qformat.t
+(** A policy maps a total word length to a format. *)
+
+val fixed_k : k:int -> t
+(** [fixed_k ~k wl] is [Q k.(wl-k)].
+    @raise Invalid_argument when [wl <= k]. *)
+
+val fixed_f : f:int -> t
+(** [fixed_f ~f wl] is [Q (wl-f).f]. *)
+
+val balanced : t
+(** Split as evenly as possible, integer part gets the extra bit. *)
+
+val default : t
+(** The repository default, [fixed_k ~k:2]. *)
+
+val name : [ `Fixed_k of int | `Fixed_f of int | `Balanced ] -> string
+val of_spec : [ `Fixed_k of int | `Fixed_f of int | `Balanced ] -> t

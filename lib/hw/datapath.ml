@@ -1,0 +1,134 @@
+open Fixedpoint
+
+type cycle = {
+  index : int;
+  w_raw : int;
+  x_raw : int;
+  product_raw : int;
+  product_overflowed : bool;
+  acc_raw : int;
+  acc_wrapped : bool;
+}
+
+type trace = {
+  fmt : Qformat.t;
+  cycles : cycle list;
+  y_raw : int;
+  decision : bool;
+}
+
+let run ?(polarity = true) ~w ~x ~threshold () =
+  let fmt = Fx_vector.format w in
+  if not (Qformat.equal fmt (Fx_vector.format x)) then
+    invalid_arg "Datapath.run: w/x format mismatch";
+  if not (Qformat.equal fmt (Fx.format threshold)) then
+    invalid_arg "Datapath.run: threshold format mismatch";
+  if Fx_vector.length w <> Fx_vector.length x then
+    invalid_arg "Datapath.run: w/x length mismatch";
+  let f = fmt.Qformat.f in
+  let acc = ref 0 in
+  let cycles = ref [] in
+  for i = 0 to Fx_vector.length w - 1 do
+    let w_raw = Fx.raw (Fx_vector.get w i) in
+    let x_raw = Fx.raw (Fx_vector.get x i) in
+    let full = w_raw * x_raw in
+    let rounded = Rounding.shift_right_rounded Rounding.Nearest full f in
+    let product_overflowed =
+      rounded < Qformat.min_raw fmt || rounded > Qformat.max_raw fmt
+    in
+    let product_raw = Qformat.wrap_raw fmt rounded in
+    let sum = !acc + product_raw in
+    let wrapped = sum < Qformat.min_raw fmt || sum > Qformat.max_raw fmt in
+    acc := Qformat.wrap_raw fmt sum;
+    cycles :=
+      {
+        index = i;
+        w_raw;
+        x_raw;
+        product_raw;
+        product_overflowed;
+        acc_raw = !acc;
+        acc_wrapped = wrapped;
+      }
+      :: !cycles
+  done;
+  let ge = !acc >= Fx.raw threshold in
+  {
+    fmt;
+    cycles = List.rev !cycles;
+    y_raw = !acc;
+    decision = (if polarity then ge else not ge);
+  }
+
+let run_parallel ?(polarity = true) ~w ~x ~threshold () =
+  let fmt = Fx_vector.format w in
+  if not (Qformat.equal fmt (Fx_vector.format x)) then
+    invalid_arg "Datapath.run_parallel: w/x format mismatch";
+  if not (Qformat.equal fmt (Fx.format threshold)) then
+    invalid_arg "Datapath.run_parallel: threshold format mismatch";
+  if Fx_vector.length w <> Fx_vector.length x then
+    invalid_arg "Datapath.run_parallel: w/x length mismatch";
+  let f = fmt.Qformat.f in
+  let m = Fx_vector.length w in
+  (* Product stage: all multipliers fire at once. *)
+  let products =
+    Array.init m (fun i ->
+        let w_raw = Fx.raw (Fx_vector.get w i) in
+        let x_raw = Fx.raw (Fx_vector.get x i) in
+        let rounded =
+          Rounding.shift_right_rounded Rounding.Nearest (w_raw * x_raw) f
+        in
+        let overflowed =
+          rounded < Qformat.min_raw fmt || rounded > Qformat.max_raw fmt
+        in
+        (w_raw, x_raw, Qformat.wrap_raw fmt rounded, overflowed))
+  in
+  (* Balanced wrapping adder tree. *)
+  let rec reduce level =
+    match Array.length level with
+    | 0 -> 0
+    | 1 -> level.(0)
+    | n ->
+        reduce
+          (Array.init
+             ((n + 1) / 2)
+             (fun i ->
+               if (2 * i) + 1 < n then
+                 Qformat.wrap_raw fmt (level.(2 * i) + level.((2 * i) + 1))
+               else level.(2 * i)))
+  in
+  let y_raw = reduce (Array.map (fun (_, _, p, _) -> p) products) in
+  let cycles =
+    Array.to_list
+      (Array.mapi
+         (fun i (w_raw, x_raw, product_raw, product_overflowed) ->
+           {
+             index = i;
+             w_raw;
+             x_raw;
+             product_raw;
+             product_overflowed;
+             acc_raw = product_raw;
+             acc_wrapped = false;
+           })
+         products)
+  in
+  let ge = y_raw >= Fx.raw threshold in
+  { fmt; cycles; y_raw; decision = (if polarity then ge else not ge) }
+
+let y trace = Fx.create trace.fmt trace.y_raw
+
+let wrap_events trace =
+  List.length (List.filter (fun c -> c.acc_wrapped) trace.cycles)
+
+let pp ppf trace =
+  Format.fprintf ppf "@[<v>datapath %a:" Qformat.pp trace.fmt;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  cyc %2d: w=%d x=%d p=%d%s acc=%d%s" c.index
+        c.w_raw c.x_raw c.product_raw
+        (if c.product_overflowed then "!" else "")
+        c.acc_raw
+        (if c.acc_wrapped then " (wrap)" else ""))
+    trace.cycles;
+  Format.fprintf ppf "@,  y=%d decision=%b@]" trace.y_raw trace.decision

@@ -1,0 +1,62 @@
+(** Cycle-accurate register-transfer simulation of the serial MAC
+    classifier.
+
+    One multiplier, one adder, one accumulator register, all [QK.F]: per
+    cycle the datapath multiplies [w_m · x_m], rounds the product into the
+    register format, and accumulates with two's-complement wrap-around —
+    exactly the arithmetic assumed by the LDA-FP constraints, and exactly
+    the circuit {!Verilog_gen} emits.  [run] returns the full cycle trace
+    so tests can assert bit-level equivalence with
+    {!Fixedpoint.Fx_vector.dot} and inspect intermediate wrap-arounds
+    (the paper's §3 "3 + 3 − 4 in Q3.0" example is one such trace). *)
+
+type cycle = {
+  index : int;
+  w_raw : int;  (** weight operand, raw code *)
+  x_raw : int;  (** feature operand, raw code *)
+  product_raw : int;  (** product after rounding into the register format *)
+  product_overflowed : bool;  (** the full-precision product left the range *)
+  acc_raw : int;  (** accumulator after this cycle *)
+  acc_wrapped : bool;  (** the accumulation step wrapped around *)
+}
+
+type trace = {
+  fmt : Fixedpoint.Qformat.t;
+  cycles : cycle list;
+  y_raw : int;  (** final accumulator *)
+  decision : bool;  (** comparator output (polarity applied) *)
+}
+
+val run :
+  ?polarity:bool ->
+  w:Fixedpoint.Fx_vector.t ->
+  x:Fixedpoint.Fx_vector.t ->
+  threshold:Fixedpoint.Fx.t ->
+  unit ->
+  trace
+(** @raise Invalid_argument on format or length mismatch. *)
+
+val run_parallel :
+  ?polarity:bool ->
+  w:Fixedpoint.Fx_vector.t ->
+  x:Fixedpoint.Fx_vector.t ->
+  threshold:Fixedpoint.Fx.t ->
+  unit ->
+  trace
+(** Parallel architecture: [M] multipliers feeding a balanced wrapping
+    adder tree (single logical cycle; the [cycles] list records the
+    product stage only, with [acc_raw] the partial tree sums in input
+    order for inspection).
+
+    Because two's-complement wrapping addition is associative and
+    commutative modulo [2^WL], the tree produces {e exactly} the same
+    word as the serial accumulator — architecture choice changes
+    latency/area, never the answer.  Property-tested against {!run}. *)
+
+val y : trace -> Fixedpoint.Fx.t
+val wrap_events : trace -> int
+(** Number of cycles whose accumulation wrapped — nonzero wrap counts with
+    a correct final value demonstrate the §3 intermediate-overflow
+    property. *)
+
+val pp : Format.formatter -> trace -> unit

@@ -1,0 +1,60 @@
+type counts = {
+  full_adders : int;
+  and_cells : int;
+  flipflops : int;
+  comparators : int;
+}
+
+let zero = { full_adders = 0; and_cells = 0; flipflops = 0; comparators = 0 }
+
+let ( ++ ) a b =
+  {
+    full_adders = a.full_adders + b.full_adders;
+    and_cells = a.and_cells + b.and_cells;
+    flipflops = a.flipflops + b.flipflops;
+    comparators = a.comparators + b.comparators;
+  }
+
+let check_width name w =
+  if w < 1 then invalid_arg (name ^ ": width must be >= 1")
+
+let ripple_adder ~width =
+  check_width "Gate_model.ripple_adder" width;
+  { zero with full_adders = width }
+
+let array_multiplier ~width =
+  check_width "Gate_model.array_multiplier" width;
+  (* Baugh-Wooley n x n: n² partial-product cells, and (n-1) rows of n
+     adders plus the final merge row. *)
+  {
+    zero with
+    and_cells = width * width;
+    full_adders = (if width = 1 then 0 else width * (width - 1));
+  }
+
+let register ~width =
+  check_width "Gate_model.register" width;
+  { zero with flipflops = width }
+
+let comparator ~width =
+  check_width "Gate_model.comparator" width;
+  { zero with comparators = width }
+
+let mac_datapath ~width =
+  array_multiplier ~width ++ ripple_adder ~width ++ register ~width
+
+let classifier ~width ~n_features =
+  if n_features < 1 then
+    invalid_arg "Gate_model.classifier: n_features must be >= 1";
+  let rom = { zero with flipflops = width * n_features } in
+  mac_datapath ~width ++ rom ++ register ~width ++ comparator ~width
+
+let gate_equivalents c =
+  (5.0 *. float_of_int c.full_adders)
+  +. float_of_int c.and_cells
+  +. (6.0 *. float_of_int c.flipflops)
+  +. (3.5 *. float_of_int c.comparators)
+
+let pp ppf c =
+  Format.fprintf ppf "{FA=%d AND=%d FF=%d CMP=%d (~%.0f gates)}" c.full_adders
+    c.and_cells c.flipflops c.comparators (gate_equivalents c)

@@ -1,0 +1,26 @@
+let quadratic_relative ~word_length =
+  if word_length < 1 then
+    invalid_arg "Power_model.quadratic_relative: word length must be >= 1";
+  let w = float_of_int word_length in
+  w *. w
+
+let quadratic_ratio ~from_wl ~to_wl =
+  quadratic_relative ~word_length:from_wl
+  /. quadratic_relative ~word_length:to_wl
+
+(* Activity factors: rough toggle probabilities per cell class in a
+   serial MAC (multiplier array busy every cycle; storage mostly idle). *)
+let activity_fa = 0.5
+let activity_and = 0.4
+let activity_ff = 0.1
+let activity_cmp = 0.05
+
+let gate_based ~word_length ~n_features =
+  let c = Gate_model.classifier ~width:word_length ~n_features in
+  (activity_fa *. 5.0 *. float_of_int c.Gate_model.full_adders)
+  +. (activity_and *. float_of_int c.Gate_model.and_cells)
+  +. (activity_ff *. 6.0 *. float_of_int c.Gate_model.flipflops)
+  +. (activity_cmp *. 3.5 *. float_of_int c.Gate_model.comparators)
+
+let energy_per_classification ~word_length ~n_features =
+  gate_based ~word_length ~n_features *. float_of_int (n_features + 1)

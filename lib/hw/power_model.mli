@@ -1,0 +1,33 @@
+(** Relative power/energy model of the fixed-point classifier.
+
+    Dynamic power of a CMOS datapath scales with switched capacitance,
+    which for a multiplier-dominated MAC grows quadratically with word
+    length — the relationship the paper invokes ("the power consumption of
+    on-chip fixed-point arithmetic is almost a quadratic function of the
+    word length", §5.1).  Two models are provided:
+
+    - {!quadratic_relative}: the paper's idealised [P ∝ WL²] used for its
+      headline arithmetic (3× word length ⇒ 9× power, 8b→6b ⇒ 1.8×);
+    - {!gate_based}: switched-capacitance proxy from the structural
+      {!Gate_model} counts, which includes the linear adder/register terms
+      and therefore deviates from the pure square at small word lengths.
+
+    Both are relative (unitless) models; absolute μW would require a
+    technology library the paper does not provide either. *)
+
+val quadratic_relative : word_length:int -> float
+(** [WL²], normalised to nothing — use ratios. *)
+
+val quadratic_ratio : from_wl:int -> to_wl:int -> float
+(** Power ratio when reducing word length: [(from/to)²] inverted — e.g.
+    [quadratic_ratio ~from_wl:8 ~to_wl:6 ≈ 1.78]: the 1.8× saving of
+    Table 2's discussion. *)
+
+val gate_based : word_length:int -> n_features:int -> float
+(** Switched-capacitance proxy: gate equivalents of the classifier
+    weighted by per-cell activity (multiplier cells toggle every cycle,
+    ROM bits do not). *)
+
+val energy_per_classification :
+  word_length:int -> n_features:int -> float
+(** Gate-based proxy × cycles ([n_features] MAC cycles + compare). *)

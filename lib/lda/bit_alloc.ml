@@ -1,0 +1,126 @@
+open Fixedpoint
+open Linalg
+
+type assignment = {
+  formats : Qformat.t array;
+  weights : Vec.t;
+  cost : float;
+  start_cost : float;
+  bits_saved : int;
+}
+
+(* Best re-rounding of value [x] onto the coarser grid Q k.(f-1), staying
+   inside the element interval and keeping the whole vector feasible.
+   Returns the candidate value and resulting cost. *)
+let coarsen_candidate pb w j fmt =
+  let f = fmt.Qformat.f in
+  if f <= 0 then None
+  else begin
+    let coarse = Qformat.make ~k:fmt.Qformat.k ~f:(f - 1) in
+    let x = w.(j) in
+    let below = Qformat.floor_to_grid coarse x in
+    let above = Qformat.ceil_to_grid coarse x in
+    let try_value v =
+      if
+        Qformat.in_range coarse v
+        && Fx_interval.mem (Ldafp_problem.elem_interval pb j) v
+      then begin
+        let old = w.(j) in
+        w.(j) <- v;
+        let ok = Ldafp_problem.feasible pb w in
+        let cost = if ok then Ldafp_problem.cost pb w else Float.infinity in
+        w.(j) <- old;
+        if ok && Float.is_finite cost then Some (v, cost) else None
+      end
+      else None
+    in
+    let candidates = List.filter_map try_value
+        (if below = above then [ below ] else [ below; above ])
+    in
+    match candidates with
+    | [] -> None
+    | (v0, c0) :: rest ->
+        let v, c =
+          List.fold_left
+            (fun (bv, bc) (v, c) -> if c < bc then (v, c) else (bv, bc))
+            (v0, c0) rest
+        in
+        Some (coarse, v, c)
+  end
+
+let allocate ?(max_cost_increase = 0.05) ?(min_f = 0)
+    (pb : Ldafp_problem.t) w0 =
+  if not (Ldafp_problem.feasible pb w0) then None
+  else begin
+    let start_cost = Ldafp_problem.cost pb w0 in
+    if not (Float.is_finite start_cost) then None
+    else begin
+      let m = Vec.dim w0 in
+      let base = pb.Ldafp_problem.fmt in
+      let budget = start_cost *. (1.0 +. max_cost_increase) in
+      let formats = Array.make m base in
+      let w = Vec.copy w0 in
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        (* Best single-bit coarsening across all weights. *)
+        let best = ref None in
+        for j = 0 to m - 1 do
+          if formats.(j).Qformat.f > min_f then
+            match coarsen_candidate pb w j formats.(j) with
+            | Some (fmt, v, cost) when cost <= budget -> (
+                match !best with
+                | Some (_, _, _, bc) when bc <= cost -> ()
+                | _ -> best := Some (j, fmt, v, cost))
+            | _ -> ()
+        done;
+        match !best with
+        | Some (j, fmt, v, _) ->
+            formats.(j) <- fmt;
+            w.(j) <- v;
+            improved := true
+        | None -> ()
+      done;
+      let uniform_bits = m * Qformat.word_length base in
+      let allocated_bits =
+        Array.fold_left (fun acc f -> acc + Qformat.word_length f) 0 formats
+      in
+      Some
+        {
+          formats;
+          weights = w;
+          cost = Ldafp_problem.cost pb w;
+          start_cost;
+          bits_saved = uniform_bits - allocated_bits;
+        }
+    end
+  end
+
+let classifier ~prepared assignment =
+  let scatter = prepared.Pipeline.scatter in
+  let w = assignment.weights in
+  let t = Vec.dot (Stats.Scatter.mean_difference scatter) w in
+  let threshold = Vec.dot w (Stats.Scatter.pooled_mean scatter) in
+  Hetero_classifier.create ~polarity:(t >= 0.0)
+    ~acc_fmt:prepared.Pipeline.fmt ~formats:assignment.formats ~weights:w
+    ~threshold ~scaling:prepared.Pipeline.scaling ()
+
+let savings_summary pb assignment =
+  let m = Array.length assignment.formats in
+  let base = pb.Ldafp_problem.fmt in
+  let uniform = m * Qformat.word_length base in
+  let allocated = uniform - assignment.bits_saved in
+  let wlx = float_of_int (Qformat.word_length base) in
+  let mult_uniform = float_of_int m *. wlx *. wlx in
+  let mult_alloc =
+    Array.fold_left
+      (fun acc f -> acc +. (float_of_int (Qformat.word_length f) *. wlx))
+      0.0 assignment.formats
+  in
+  Printf.sprintf
+    "weight storage %d -> %d bits (%.0f%%), multiplier cost x%.2f lower, \
+     cost %.4g -> %.4g"
+    uniform allocated
+    (100.0 *. float_of_int allocated /. float_of_int uniform)
+    (mult_uniform /. Float.max mult_alloc 1e-9)
+    assignment.start_cost assignment.cost

@@ -1,0 +1,48 @@
+(** Greedy per-weight bit allocation — word-length optimisation on top of
+    a trained LDA-FP solution (the paper's stated future-work problem).
+
+    Starting from a feasible uniform-format weight vector, repeatedly
+    remove one fractional bit from the weight whose coarsening degrades
+    the exact cost (eq. 21) least, re-rounding that weight to its best
+    neighbouring value on the coarser grid, while the vector stays
+    exactly feasible for (18)/(20).  Stop when either no single-bit
+    coarsening keeps the cost within [max_cost_increase] of the starting
+    cost, or every weight has reached [min_f] fractional bits.
+
+    The greedy order is the classical sensitivity heuristic of the
+    word-length-optimisation literature (Constantinides et al.): weights
+    that merely mirror other weights (noise-cancelling pairs) tolerate
+    few lost bits, while near-zero or saturated weights tolerate many.
+
+    Coarser grids are subsets of the uniform grid (same K, fewer
+    fractional bits), so the result remains a valid point of the original
+    problem — the allocation only redistributes storage and multiplier
+    width, never accuracy beyond the stated tolerance. *)
+
+type assignment = {
+  formats : Fixedpoint.Qformat.t array;
+  weights : Linalg.Vec.t;  (** values on the per-element grids *)
+  cost : float;  (** exact eq. 21 cost of [weights] *)
+  start_cost : float;
+  bits_saved : int;  (** uniform total minus allocated total *)
+}
+
+val allocate :
+  ?max_cost_increase:float ->
+  ?min_f:int ->
+  Ldafp_problem.t ->
+  Linalg.Vec.t ->
+  assignment option
+(** [allocate problem w] from a feasible grid point [w] of [problem]
+    (typically {!Lda_fp.solve}'s outcome).  [max_cost_increase] is
+    relative (default 0.05 = 5%); [min_f] defaults to 0.  [None] when
+    [w] is not feasible. *)
+
+val classifier :
+  prepared:Pipeline.prepared -> assignment -> Hetero_classifier.t
+(** Wrap an assignment into a runnable heterogeneous classifier (same
+    threshold rule as {!Pipeline.classifier_of_weights}). *)
+
+val savings_summary : Ldafp_problem.t -> assignment -> string
+(** One-line human-readable summary: bits before/after, multiplier-cost
+    ratio. *)

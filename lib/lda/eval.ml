@@ -1,0 +1,82 @@
+open Datasets
+
+let confusion_generic predict ds =
+  let acc = ref Stats.Confusion.empty in
+  Array.iteri
+    (fun i row ->
+      acc :=
+        Stats.Confusion.add !acc ~truth:ds.Dataset.labels.(i)
+          ~predicted:(predict row))
+    ds.Dataset.features;
+  !acc
+
+let confusion_fixed clf ds = confusion_generic (Fixed_classifier.predict clf) ds
+let error_fixed clf ds = Stats.Confusion.error_rate (confusion_fixed clf ds)
+
+let confusion_float model ~scaling ds =
+  confusion_generic (fun x -> Lda.predict model (Scaling.apply_vec scaling x)) ds
+
+let error_float model ~scaling ds =
+  Stats.Confusion.error_rate (confusion_float model ~scaling ds)
+
+let kfold ~rng ~k ~train ~predict ds =
+  let folds = Dataset.stratified_folds rng ~k ds in
+  let acc = ref (Some Stats.Confusion.empty) in
+  Array.iter
+    (fun (train_set, test_set) ->
+      match !acc with
+      | None -> ()
+      | Some confusion -> (
+          match train train_set with
+          | None -> acc := None
+          | Some model ->
+              let c = confusion_generic (predict model) test_set in
+              acc := Some (Stats.Confusion.merge confusion c)))
+    folds;
+  !acc
+
+let kfold_error_fixed ~rng ~k ~train ds =
+  Option.map Stats.Confusion.error_rate
+    (kfold ~rng ~k ~train ~predict:Fixed_classifier.predict ds)
+
+type roc = { points : (float * float) array; auc : float }
+
+let roc_of_scores ~scores ~labels =
+  let n = Array.length scores in
+  if n = 0 then invalid_arg "Eval.roc_of_scores: empty";
+  if Array.length labels <> n then
+    invalid_arg "Eval.roc_of_scores: length mismatch";
+  let pos = Array.fold_left (fun a l -> if l then a + 1 else a) 0 labels in
+  let neg = n - pos in
+  if pos = 0 || neg = 0 then
+    invalid_arg "Eval.roc_of_scores: needs both classes";
+  (* Sort by descending score; sweep the threshold through the sorted
+     list, grouping ties so tied scores move the point diagonally. *)
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare scores.(j) scores.(i)) idx;
+  let points = ref [ (0.0, 0.0) ] in
+  let tp = ref 0 and fp = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let s = scores.(idx.(!i)) in
+    while !i < n && scores.(idx.(!i)) = s do
+      if labels.(idx.(!i)) then incr tp else incr fp;
+      incr i
+    done;
+    points :=
+      (float_of_int !fp /. float_of_int neg, float_of_int !tp /. float_of_int pos)
+      :: !points
+  done;
+  let points = Array.of_list (List.rev !points) in
+  let auc = ref 0.0 in
+  for j = 1 to Array.length points - 1 do
+    let x0, y0 = points.(j - 1) and x1, y1 = points.(j) in
+    auc := !auc +. ((x1 -. x0) *. (y0 +. y1) /. 2.0)
+  done;
+  { points; auc = !auc }
+
+let roc_fixed clf ds =
+  let scores =
+    Array.map (fun row -> Fixed_classifier.margin clf row) ds.Dataset.features
+  in
+  roc_of_scores ~scores ~labels:ds.Dataset.labels

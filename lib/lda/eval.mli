@@ -1,0 +1,56 @@
+(** Classifier evaluation: hold-out error and k-fold cross-validation.
+
+    The paper reports plain misclassification rate; Table 2 uses 5-fold
+    cross-validation on 70 trials per class. *)
+
+val confusion_fixed :
+  Fixed_classifier.t -> Datasets.Dataset.t -> Stats.Confusion.t
+(** Run the fixed-point datapath over every trial. *)
+
+val error_fixed : Fixed_classifier.t -> Datasets.Dataset.t -> float
+
+val confusion_float :
+  Lda.model -> scaling:Scaling.t -> Datasets.Dataset.t -> Stats.Confusion.t
+(** Evaluate a float model trained on scaled features. *)
+
+val error_float : Lda.model -> scaling:Scaling.t -> Datasets.Dataset.t -> float
+
+val kfold :
+  rng:Stats.Rng.t ->
+  k:int ->
+  train:(Datasets.Dataset.t -> 'model option) ->
+  predict:('model -> Linalg.Vec.t -> bool) ->
+  Datasets.Dataset.t ->
+  Stats.Confusion.t option
+(** Generic stratified k-fold CV.  Returns [None] if training failed on
+    any fold (e.g. no feasible fixed-point solution). *)
+
+val kfold_error_fixed :
+  rng:Stats.Rng.t ->
+  k:int ->
+  train:(Datasets.Dataset.t -> Fixed_classifier.t option) ->
+  Datasets.Dataset.t ->
+  float option
+(** Convenience wrapper around {!kfold} for fixed-point classifiers. *)
+
+(** {1 ROC analysis}
+
+    The fixed threshold of eq. (12) is one operating point; sweeping the
+    threshold over the classifier's margin scores traces the full ROC —
+    useful when a BCI application weighs misses and false alarms
+    asymmetrically. *)
+
+type roc = {
+  points : (float * float) array;
+      (** (false-positive rate, true-positive rate), monotone from (0,0)
+          to (1,1) *)
+  auc : float;  (** area under the curve, by trapezoid *)
+}
+
+val roc_of_scores : scores:float array -> labels:bool array -> roc
+(** Higher score = more class-A.  @raise Invalid_argument on length
+    mismatch, empty input, or a single-class label set. *)
+
+val roc_fixed : Fixed_classifier.t -> Datasets.Dataset.t -> roc
+(** Scores are the fixed-point decision margins
+    ({!Fixed_classifier.margin}). *)

@@ -1,0 +1,48 @@
+open Fixedpoint
+
+type t = {
+  w : Fx_vector.t;
+  threshold : Fx.t;
+  scaling : Scaling.t;
+  polarity : bool;
+}
+
+let create ?(polarity = true) ~w ~threshold ~scaling () =
+  if not (Qformat.equal (Fx_vector.format w) (Fx.format threshold)) then
+    invalid_arg "Fixed_classifier.create: weight/threshold format mismatch";
+  if Fx_vector.length w <> Scaling.dim scaling then
+    invalid_arg "Fixed_classifier.create: weight/scaling dimension mismatch";
+  { w; threshold; scaling; polarity }
+
+let of_weights ?polarity ~fmt ~scaling ~weights ~threshold () =
+  create ?polarity
+    ~w:(Fx_vector.of_floats ~ov:Rounding.Wrap fmt weights)
+    ~threshold:(Fx.of_float ~ov:Rounding.Saturate fmt threshold)
+    ~scaling ()
+
+let format t = Fx_vector.format t.w
+let n_features t = Fx_vector.length t.w
+let weights t = Fx_vector.to_floats t.w
+let threshold_value t = Fx.to_float t.threshold
+
+let quantize_input t x =
+  let scaled = Scaling.apply_vec t.scaling x in
+  Fx_vector.of_floats ~ov:Rounding.Saturate (format t) scaled
+
+let predict_quantized t xq =
+  let y = Fx_vector.dot t.w xq in
+  if t.polarity then Fx.compare y t.threshold >= 0
+  else Fx.compare y t.threshold < 0
+
+let project t x = Fx_vector.dot t.w (quantize_input t x)
+let predict t x = predict_quantized t (quantize_input t x)
+
+let margin t x =
+  let y = Fx.to_float (project t x) in
+  let thr = Fx.to_float t.threshold in
+  if t.polarity then y -. thr
+  else thr -. y -. Qformat.ulp (format t)
+
+let pp ppf t =
+  Format.fprintf ppf "fixed-classifier{%a; w=%a; thr=%a}" Qformat.pp (format t)
+    Fx_vector.pp t.w Fx.pp t.threshold

@@ -1,0 +1,177 @@
+open Linalg
+open Fixedpoint
+
+(* Re-optimise the free weights with the fixed block substituted.
+
+   With F the fixed index set (values v) and Z the free set, the cost is
+     N(z) / (d_Zᵀz + c)²,  N(z) = zᵀ A z + 2 bᵀ z + e
+   where A = S[Z,Z], b = S[Z,F] v, e = vᵀ S[F,F] v, c = d_Fᵀ v.
+   For a fixed denominator value s = d_Zᵀz the constrained minimiser of N
+   is affine in s (Lagrange), so the cost is a ratio of a quadratic in s
+   over (s + c)², whose stationary point has a closed form.  We evaluate
+   the quadratic numerically at three points instead of expanding the
+   algebra. *)
+
+type reopt = { z : Vec.t; cost : float }
+
+let reoptimize_free pb ~fixed =
+  let sw = pb.Ldafp_problem.sw and d = pb.Ldafp_problem.d in
+  let m = Vec.dim d in
+  let free = ref [] in
+  for j = m - 1 downto 0 do
+    if fixed.(j) = None then free := j :: !free
+  done;
+  let free = Array.of_list !free in
+  let nf = Array.length free in
+  let v j = match fixed.(j) with Some x -> x | None -> 0.0 in
+  let c =
+    let s = ref 0.0 in
+    for j = 0 to m - 1 do
+      if fixed.(j) <> None then s := !s +. (d.(j) *. v j)
+    done;
+    !s
+  in
+  if nf = 0 then begin
+    let w = Array.init m v in
+    { z = [||]; cost = Ldafp_problem.cost pb w }
+  end
+  else begin
+    let a = Mat.init nf nf (fun i j -> sw.(free.(i)).(free.(j))) in
+    let a = Mat.add_scaled_identity (1e-10 *. Float.max (Mat.max_abs a) 1e-30) a in
+    let b =
+      Array.init nf (fun i ->
+          let s = ref 0.0 in
+          for j = 0 to m - 1 do
+            if fixed.(j) <> None then s := !s +. (sw.(free.(i)).(j) *. v j)
+          done;
+          !s)
+    in
+    let e =
+      let s = ref 0.0 in
+      for i = 0 to m - 1 do
+        if fixed.(i) <> None then
+          for j = 0 to m - 1 do
+            if fixed.(j) <> None then s := !s +. (v i *. sw.(i).(j) *. v j)
+          done
+      done;
+      !s
+    in
+    let dz = Array.map (fun j -> d.(j)) free in
+    let l, _ = Cholesky.factor_jittered a in
+    let p = Cholesky.solve_factored l dz in
+    let q = Cholesky.solve_factored l b in
+    let dp = Vec.dot dz p and dq = Vec.dot dz q in
+    (* dp = d_Zᵀ A⁻¹ d_Z > 0 because A is positive definite (ridged);
+       guard against pathological underflow anyway. *)
+    let dp = if Float.abs dp < 1e-300 then 1e-300 else dp in
+    let z_of_s s =
+      let alpha = (s +. dq) /. dp in
+      Array.init nf (fun i -> (alpha *. p.(i)) -. q.(i))
+    in
+    let n_of_s s =
+      let z = z_of_s s in
+      Mat.quadratic_form a z +. (2.0 *. Vec.dot b z) +. e
+    in
+    (* Fit N(s) = As² + Bs + C from three evaluations. *)
+    let n0 = n_of_s 0.0 and n1 = n_of_s 1.0 and n_1 = n_of_s (-1.0) in
+    let qa = ((n1 +. n_1) /. 2.0) -. n0 in
+    let qb = (n1 -. n_1) /. 2.0 in
+    let qc = n0 in
+    (* Stationary point of (As²+Bs+C)/(s+c)²: s* = (2C − Bc)/(2Ac − B). *)
+    let denom = (2.0 *. qa *. c) -. qb in
+    let candidates =
+      if Float.abs denom > 1e-12 then
+        [ ((2.0 *. qc) -. (qb *. c)) /. denom ]
+      else []
+    in
+    (* Fallback probes in case the stationary point is degenerate or the
+       denominator vanishes at it. *)
+    let candidates = candidates @ [ 1.0; -1.0; 2.0 *. Float.abs c +. 1.0 ] in
+    let best = ref None in
+    List.iter
+      (fun s ->
+        let t = s +. c in
+        if Float.abs t > 1e-12 then begin
+          let cost = n_of_s s /. (t *. t) in
+          if Float.is_finite cost && cost >= 0.0 then
+            match !best with
+            | Some (_, bc) when bc <= cost -> ()
+            | _ -> Some (s, cost) |> fun r -> best := r
+        end)
+      candidates;
+    match !best with
+    | None -> { z = z_of_s 1.0; cost = Float.infinity }
+    | Some (s, cost) -> { z = z_of_s s; cost }
+  end
+
+(* Scatter the free-block solution back into a full-length vector. *)
+let assemble ~fixed z =
+  let m = Array.length fixed in
+  let zi = ref 0 in
+  Array.init m (fun j ->
+      match fixed.(j) with
+      | Some v -> v
+      | None ->
+          let v = z.(!zi) in
+          incr zi;
+          v)
+
+let train pb =
+  let m = Ldafp_problem.dim pb in
+  let fmt = pb.Ldafp_problem.fmt in
+  let model = Lda.train_scatter pb.Ldafp_problem.scatter in
+  let dir = Lda.weights model in
+  let n = Vec.norm_inf dir in
+  if n = 0.0 then None
+  else begin
+    (* Initial continuous point: decent grid utilisation with headroom. *)
+    let scale = 0.75 *. Qformat.max_value fmt /. n in
+    let current = ref (Vec.scale scale dir) in
+    let fixed : float option array = Array.make m None in
+    let grid_candidates j x =
+      let iv = Ldafp_problem.elem_interval pb j in
+      let lo = Fx_interval.clamp_value iv (Qformat.floor_to_grid fmt x) in
+      let hi = Fx_interval.clamp_value iv (Qformat.ceil_to_grid fmt x) in
+      if lo = hi then [ lo ] else [ lo; hi ]
+    in
+    (* Fix weights one at a time, largest magnitude first. *)
+    for _ = 1 to m do
+      (* choose the free index with largest |current| *)
+      let pick = ref (-1) in
+      Array.iteri
+        (fun j v ->
+          if fixed.(j) = None then
+            if !pick < 0 || Float.abs v > Float.abs !current.(!pick) then
+              pick := j)
+        !current;
+      let j = !pick in
+      let best : (float * reopt) option ref = ref None in
+      List.iter
+        (fun g ->
+          fixed.(j) <- Some g;
+          let r = reoptimize_free pb ~fixed in
+          (match !best with
+          | Some (_, { cost; _ }) when cost <= r.cost -> ()
+          | _ -> best := Some (g, r));
+          fixed.(j) <- None)
+        (grid_candidates j !current.(j));
+      match !best with
+      | None -> fixed.(j) <- Some 0.0
+      | Some (g, r) ->
+          fixed.(j) <- Some g;
+          current := assemble ~fixed r.z
+    done;
+    let w = Array.map (function Some v -> v | None -> 0.0) fixed in
+    if Ldafp_problem.feasible pb w then begin
+      let cost = Ldafp_problem.cost pb w in
+      if Float.is_finite cost then Some (w, cost) else None
+    end
+    else None
+  end
+
+let train_classifier ~fmt ds =
+  let prep = Pipeline.prepare ~fmt ds in
+  let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
+  match train pb with
+  | None -> None
+  | Some (w, _) -> Some (Pipeline.classifier_of_weights prep w)

@@ -1,0 +1,37 @@
+(** Sequential greedy rounding — a stronger classical baseline between
+    "round everything" (conventional LDA) and the full LDA-FP MIP.
+
+    The standard trick from the word-length-optimisation literature
+    (e.g. Constantinides et al.): fix one weight at a time to a
+    neighbouring grid value and re-optimise the remaining {e continuous}
+    weights before rounding the next one, so later weights compensate the
+    rounding error committed by earlier ones.  Concretely, at step [m]:
+
+    + solve the continuous LDA problem for the still-free weights with the
+      already-fixed weights substituted into the objective;
+    + pick the free weight with the largest magnitude (most information
+      committed per step), try its floor and ceiling grid neighbours;
+    + keep the choice whose re-optimised cost is smaller.
+
+    This is a polynomial-time heuristic with no optimality guarantee —
+    exactly the gap LDA-FP's branch-and-bound closes — and serves as an
+    ablation point between the two paper columns.  The continuous
+    re-optimisation solves the equality-constrained Fisher problem in
+    closed form: with w_F fixed, minimising [wᵀS w / (dᵀw)²] over the free
+    block reduces to a linear solve against the free-block Schur system.
+
+    Overflow constraints: candidate roundings are clamped into the
+    per-element boxes of (18); the final vector is checked exactly and
+    [None] is returned when the projection constraints (20) cannot be met. *)
+
+val train :
+  Ldafp_problem.t -> (Linalg.Vec.t * float) option
+(** Returns the rounded weight vector and its exact cost (eq. 21), or
+    [None] when no feasible rounding was found. *)
+
+val train_classifier :
+  fmt:Fixedpoint.Qformat.t ->
+  Datasets.Dataset.t ->
+  Fixed_classifier.t option
+(** Full pipeline: shared front end of {!Pipeline.prepare}, greedy
+    rounding, classifier assembly. *)

@@ -1,0 +1,89 @@
+open Fixedpoint
+
+type t = {
+  w_raws : int array;
+  w_fmts : Qformat.t array;
+  acc_fmt : Qformat.t;
+  threshold : Fx.t;
+  scaling : Scaling.t;
+  polarity : bool;
+}
+
+let create ?(polarity = true) ~acc_fmt ~formats ~weights ~threshold ~scaling
+    () =
+  let m = Array.length weights in
+  if Array.length formats <> m then
+    invalid_arg "Hetero_classifier.create: formats/weights length mismatch";
+  if Scaling.dim scaling <> m then
+    invalid_arg "Hetero_classifier.create: scaling dimension mismatch";
+  let w_raws =
+    Array.mapi
+      (fun j x ->
+        Fx.raw (Fx.of_float ~ov:Rounding.Saturate formats.(j) x))
+      weights
+  in
+  {
+    w_raws;
+    w_fmts = Array.copy formats;
+    acc_fmt;
+    threshold = Fx.of_float ~ov:Rounding.Saturate acc_fmt threshold;
+    scaling;
+    polarity;
+  }
+
+let of_uniform (clf : Fixed_classifier.t) =
+  let fmt = Fixed_classifier.format clf in
+  let m = Fixed_classifier.n_features clf in
+  {
+    w_raws = Array.map Fx.raw (Fx_vector.to_fx clf.Fixed_classifier.w);
+    w_fmts = Array.make m fmt;
+    acc_fmt = fmt;
+    threshold = clf.Fixed_classifier.threshold;
+    scaling = clf.Fixed_classifier.scaling;
+    polarity = clf.Fixed_classifier.polarity;
+  }
+
+let n_features t = Array.length t.w_raws
+
+let weights t =
+  Array.mapi (fun j r -> Qformat.value_of_raw t.w_fmts.(j) r) t.w_raws
+
+let project t x =
+  let scaled = Scaling.apply_vec t.scaling x in
+  let acc = ref 0 in
+  Array.iteri
+    (fun j w_raw ->
+      let xq = Fx.of_float ~ov:Rounding.Saturate t.acc_fmt scaled.(j) in
+      (* Product raw is in units 2^-(f_m + f_acc); bring it back to the
+         accumulator's 2^-f_acc by rounding away f_m bits. *)
+      let full = w_raw * Fx.raw xq in
+      let p =
+        Rounding.shift_right_rounded Rounding.Nearest full
+          t.w_fmts.(j).Qformat.f
+      in
+      let p = Qformat.wrap_raw t.acc_fmt p in
+      acc := Qformat.wrap_raw t.acc_fmt (!acc + p))
+    t.w_raws;
+  Fx.create t.acc_fmt !acc
+
+let predict t x =
+  let y = project t x in
+  if t.polarity then Fx.compare y t.threshold >= 0
+  else Fx.compare y t.threshold < 0
+
+let weight_bits t = Array.map Qformat.word_length t.w_fmts
+let total_weight_bits t = Array.fold_left ( + ) 0 (weight_bits t)
+
+let multiplier_cost t =
+  let wlx = float_of_int (Qformat.word_length t.acc_fmt) in
+  Array.fold_left
+    (fun acc fmt -> acc +. (float_of_int (Qformat.word_length fmt) *. wlx))
+    0.0 t.w_fmts
+
+let pp ppf t =
+  Format.fprintf ppf "hetero{acc=%a; w=[@[%a@]]}" Qformat.pp t.acc_fmt
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (r, fmt) ->
+         Format.fprintf ppf "%g:%a" (Qformat.value_of_raw fmt r) Qformat.pp fmt))
+    (Array.to_list (Array.map2 (fun r f -> (r, f)) t.w_raws t.w_fmts))

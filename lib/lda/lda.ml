@@ -1,0 +1,25 @@
+open Linalg
+
+type model = { w : Vec.t; threshold : float }
+
+let train_scatter ?ridge scatter =
+  let sw = Stats.Scatter.within_class scatter in
+  let d = Stats.Scatter.mean_difference scatter in
+  let ridge =
+    match ridge with
+    | Some r -> r *. Float.max (Mat.max_abs sw) 1e-300
+    | None -> 1e-10 *. Float.max (Mat.max_abs sw) 1e-300
+  in
+  let w = Linsys.solve_spd_regularized ~ridge sw d in
+  let w = Vec.normalize w in
+  let threshold = Vec.dot w (Stats.Scatter.pooled_mean scatter) in
+  { w; threshold }
+
+let train ?ridge a b = train_scatter ?ridge (Stats.Scatter.of_data a b)
+let decision_value m x = Vec.dot m.w x -. m.threshold
+let predict m x = decision_value m x >= 0.0
+let fisher_cost scatter m = Stats.Scatter.fisher_ratio scatter m.w
+let weights m = Vec.copy m.w
+
+let pp ppf m =
+  Format.fprintf ppf "lda{w=%a; thr=%g}" Vec.pp m.w m.threshold

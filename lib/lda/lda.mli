@@ -1,0 +1,29 @@
+(** Conventional linear discriminant analysis (paper §2).
+
+    Training solves the normal equations [S_W w = μ_A − μ_B] (eq. 11) with
+    a small relative ridge for rank-deficient scatters, normalises [w] to
+    unit Euclidean length, and places the threshold midway between the
+    projected class means (eq. 12).  Class A is predicted when
+    [wᵀx − θ >= 0]; the solved [w] always projects μ_A above μ_B because
+    [ (μ_A−μ_B)ᵀ S_W⁻¹ (μ_A−μ_B) > 0 ]. *)
+
+type model = private {
+  w : Linalg.Vec.t;  (** unit-norm weight vector *)
+  threshold : float;  (** θ = wᵀ(μ_A + μ_B)/2 *)
+}
+
+val train_scatter : ?ridge:float -> Stats.Scatter.t -> model
+(** [ridge] is relative to [max_abs S_W] (default [1e-10]). *)
+
+val train : ?ridge:float -> Linalg.Mat.t -> Linalg.Mat.t -> model
+(** [train a b] from per-class feature matrices. *)
+
+val decision_value : model -> Linalg.Vec.t -> float
+(** [wᵀx − θ]. *)
+
+val predict : model -> Linalg.Vec.t -> bool
+val fisher_cost : Stats.Scatter.t -> model -> float
+(** The LDA-FP objective (eq. 10) evaluated at the model's direction. *)
+
+val weights : model -> Linalg.Vec.t
+val pp : Format.formatter -> model -> unit

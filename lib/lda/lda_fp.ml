@@ -1,0 +1,322 @@
+open Linalg
+open Fixedpoint
+open Optim
+
+type config = {
+  seed_incumbent : bool;
+  sweep_steps : int;
+  polish_nodes : bool;
+  polish_rounds : int;
+  upper_via_socp : bool;
+  t_min_width : float;
+  t_branch_bias : float;
+  secant_prune : bool;
+  socp_params : Socp.params;
+  bnb_params : Bnb.params;
+}
+
+let default_config =
+  {
+    seed_incumbent = true;
+    sweep_steps = 200;
+    polish_nodes = true;
+    polish_rounds = 2;
+    upper_via_socp = false;
+    t_min_width = 1e-4;
+    t_branch_bias = 3.0;
+    secant_prune = true;
+    socp_params =
+      { Socp.default_params with gap_tol = 1e-7;
+        newton = { Newton.default_params with tol = 1e-9; max_iter = 60 } };
+    bnb_params =
+      { Bnb.default_params with max_nodes = 2000; rel_gap = 1e-3 };
+  }
+
+let quick_config =
+  {
+    default_config with
+    sweep_steps = 80;
+    bnb_params = { Bnb.default_params with max_nodes = 150; rel_gap = 1e-2 };
+  }
+
+type diagnostics = {
+  nodes : int;
+  bound : float;
+  gap : float;
+  stop_reason : Bnb.stop_reason;
+  seed_cost : float option;
+  train_seconds : float;
+  search : Bnb.stats;
+}
+
+type outcome = { w : Vec.t; cost : float; diagnostics : diagnostics }
+
+type node = {
+  wbox : Fx_interval.t array;
+  mutable trange : Interval.t;
+      (* mutable: [bound] tightens it in place so [branch] sees the
+         tightened interval *)
+  root_t_width : float;
+  mutable relax_w : Vec.t option;
+      (* relaxation optimum, cached by [bound] to guide [branch] *)
+}
+
+let src = Logs.Src.create "ldafp.solver" ~doc:"LDA-FP trainer"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let is_atomic node = Array.for_all Fx_interval.is_singleton node.wbox
+
+(* Candidate generation: round a continuous point into the node box,
+   evaluate exactly, optionally polish. *)
+let candidate_of_point pb node point =
+  let rounded = Ldafp_heuristics.round_into pb ~wbox:node.wbox point in
+  match Ldafp_heuristics.evaluate pb rounded with
+  | None ->
+      (* The node-box rounding may violate (20); retry in the full
+         element box, which can only move components toward zero. *)
+      let loose = Ldafp_heuristics.round_into pb point in
+      Ldafp_heuristics.evaluate pb loose
+  | some -> some
+
+let polish_candidate cfg pb = function
+  | Some (w, _) when cfg.polish_nodes ->
+      let w', c' =
+        Ldafp_heuristics.coordinate_polish ~max_rounds:cfg.polish_rounds pb w
+      in
+      Some (w', c')
+  | other -> other
+
+let better a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some (_, ca), Some (_, cb) -> if ca <= cb then a else b
+
+(* Secant pruning test: can this region contain a point at least as good
+   as the incumbent [theta]?  Certifies "no" when the minimum of
+   wᵀS_W w − θ(l+u)t + θlu over the relaxed region is positive (valid
+   because t² <= (l+u)t − lu on [l, u]).  A much sharper knife than the
+   η = sup t² bound once an incumbent exists, since it couples numerator
+   and denominator. *)
+let secant_prunes cfg pb node theta =
+  theta < Float.infinity
+  && Interval.lo node.trange >= 0.0
+  &&
+  let problem, constant =
+    Ldafp_problem.secant_relaxation pb ~wbox:node.wbox ~trange:node.trange
+      ~theta
+  in
+  let start = Array.map Fx_interval.mid node.wbox in
+  match Socp.solve_auto ~params:cfg.socp_params problem ~start with
+  | None -> false (* feasibility unclear; let the main bound decide *)
+  | Some sol ->
+      sol.Socp.objective +. constant -. (2.0 *. sol.Socp.gap_bound) > 1e-12
+
+(* Lower bound + candidate for one region (the paper's steps 3 and 5). *)
+let bound_node cfg pb incumbent node =
+  (* Tighten the t-interval with interval arithmetic over the box; an
+     empty intersection means no grid point of this box pairs with this
+     t-slice (the complementary slice lives in a sibling node). *)
+  match
+    Interval.intersect node.trange (Ldafp_problem.trange_of_box pb node.wbox)
+  with
+  | None -> None
+  | Some trange -> (
+      node.trange <- trange;
+      if is_atomic node then begin
+        let w = Array.map Fx_interval.mid node.wbox in
+        match Ldafp_heuristics.evaluate pb w with
+        | Some (w, c) when Interval.mem node.trange (Ldafp_problem.t_of pb w)
+          ->
+            Some { Bnb.lower = c; candidate = Some (w, c) }
+        | _ -> None
+      end
+      else if cfg.secant_prune && secant_prunes cfg pb node !incumbent then
+        None
+      else
+        let eta = Interval.sup_sq node.trange in
+        if eta <= 0.0 then None
+        else
+          let relaxation =
+            Ldafp_problem.relaxation pb ~wbox:node.wbox ~trange:node.trange
+              ~eta
+          in
+          let start = Array.map Fx_interval.mid node.wbox in
+          match
+            Socp.find_strictly_feasible ~params:cfg.socp_params relaxation
+              ~start
+          with
+          | Socp.Infeasible _ -> None
+          | Socp.Unknown x ->
+              (* Cannot certify anything better than cost >= 0 here, but
+                 the box may still contain the optimum: keep exploring. *)
+              node.relax_w <- Some x;
+              let cand =
+                polish_candidate cfg pb (candidate_of_point pb node x)
+              in
+              Some { Bnb.lower = 0.0; candidate = cand }
+          | Socp.Strictly_feasible x0 ->
+              let sol = Socp.solve ~params:cfg.socp_params relaxation ~start:x0 in
+              node.relax_w <- Some sol.Socp.x;
+              let lower =
+                Float.max 0.0 (sol.Socp.objective -. (2.0 *. sol.Socp.gap_bound))
+              in
+              let cand = candidate_of_point pb node sol.Socp.x in
+              let cand =
+                if cfg.upper_via_socp then begin
+                  (* The paper's upper-bound estimation: re-solve with the
+                     denominator frozen at inf t² and round that optimum. *)
+                  let eta_inf = Interval.inf_sq node.trange in
+                  if eta_inf > 0.0 then
+                    let ub_problem =
+                      Ldafp_problem.relaxation pb ~wbox:node.wbox
+                        ~trange:node.trange ~eta:eta_inf
+                    in
+                    match
+                      Socp.solve_auto ~params:cfg.socp_params ub_problem ~start
+                    with
+                    | Some ub_sol ->
+                        better cand
+                          (candidate_of_point pb node ub_sol.Socp.x)
+                    | None -> cand
+                  else cand
+                end
+                else cand
+              in
+              let cand = polish_candidate cfg pb cand in
+              Some { Bnb.lower; candidate = cand })
+
+(* Branching rule: most relative width among the splittable dimensions,
+   cut at the cached relaxation optimum. *)
+let branch_node cfg pb node =
+  let m = Array.length node.wbox in
+  let root = pb.Ldafp_problem.elem_box in
+  let best_dim = ref (-1) in
+  let best_score = ref 0.0 in
+  for j = 0 to m - 1 do
+    if not (Fx_interval.is_singleton node.wbox.(j)) then begin
+      let rw = Float.max (Fx_interval.width root.(j)) 1e-300 in
+      let score = Fx_interval.width node.wbox.(j) /. rw in
+      if score > !best_score then begin
+        best_score := score;
+        best_dim := j
+      end
+    end
+  done;
+  let t_width = Interval.width node.trange in
+  let t_score =
+    if node.root_t_width <= 0.0 then 0.0
+    else if t_width <= cfg.t_min_width *. node.root_t_width then 0.0
+    else cfg.t_branch_bias *. t_width /. node.root_t_width
+  in
+  let copy_box () = Array.copy node.wbox in
+  if t_score > !best_score then begin
+    (* Split t at the relaxation optimum's projection, kept away from the
+       endpoints so both children shrink meaningfully. *)
+    let at =
+      match node.relax_w with
+      | Some x -> Ldafp_problem.t_of pb x
+      | None -> Interval.mid node.trange
+    in
+    let lo = Interval.lo node.trange and hi = Interval.hi node.trange in
+    let margin = 0.15 *. (hi -. lo) in
+    let at = Float.max (lo +. margin) (Float.min (hi -. margin) at) in
+    let left, right = Interval.split ~at node.trange in
+    [
+      { node with trange = left; wbox = copy_box (); relax_w = None };
+      { node with trange = right; wbox = copy_box (); relax_w = None };
+    ]
+  end
+  else if !best_dim >= 0 then begin
+    let j = !best_dim in
+    let at = Option.map (fun x -> x.(j)) node.relax_w in
+    match Fx_interval.split ?at node.wbox.(j) with
+    | None -> []
+    | Some (lo, hi) ->
+        let left = copy_box () and right = copy_box () in
+        left.(j) <- lo;
+        right.(j) <- hi;
+        [
+          { node with wbox = left; relax_w = None };
+          { node with wbox = right; relax_w = None };
+        ]
+  end
+  else []
+
+let solve ?(config = default_config) pb =
+  let started = Sys.time () in
+  let seed =
+    if config.seed_incumbent then
+      Ldafp_heuristics.seed_incumbent ~steps:config.sweep_steps
+        ~max_rounds:(max 4 config.polish_rounds) pb
+    else None
+  in
+  let seed_cost = Option.map snd seed in
+  Log.debug (fun m ->
+      m "%a; seed cost: %a" Ldafp_problem.pp_summary pb
+        Fmt.(option ~none:(any "none") float)
+        seed_cost);
+  let root =
+    {
+      wbox = Array.copy pb.Ldafp_problem.elem_box;
+      trange = pb.Ldafp_problem.t_root;
+      root_t_width = Interval.width pb.Ldafp_problem.t_root;
+      relax_w = None;
+    }
+  in
+  (* Wrap the seed into the oracle: the root's bound info carries it as a
+     candidate so the B&B driver starts with the incumbent installed.  The
+     [incumbent] ref mirrors the driver's incumbent for the secant test. *)
+  let first = ref seed in
+  let incumbent =
+    ref (match seed with Some (_, c) -> c | None -> Float.infinity)
+  in
+  let note_candidate = function
+    | Some (_, c) when c < !incumbent -> incumbent := c
+    | _ -> ()
+  in
+  let oracle =
+    {
+      Bnb.bound =
+        (fun node ->
+          match bound_node config pb incumbent node with
+          | None ->
+              (* Even a pruned root must surface the seed incumbent. *)
+              (match !first with
+              | Some _ as cand ->
+                  first := None;
+                  Some { Bnb.lower = Float.infinity; candidate = cand }
+              | None -> None)
+          | Some info ->
+              let info =
+                match !first with
+                | Some _ as cand ->
+                    first := None;
+                    { info with Bnb.candidate = better cand info.Bnb.candidate }
+                | None -> info
+              in
+              note_candidate info.Bnb.candidate;
+              Some info);
+      branch = (fun node -> branch_node config pb node);
+    }
+  in
+  let result = Bnb.minimize ~params:config.bnb_params oracle root in
+  let train_seconds = Sys.time () -. started in
+  match result.Bnb.best with
+  | None -> None
+  | Some (w, cost) ->
+      Some
+        {
+          w;
+          cost;
+          diagnostics =
+            {
+              nodes = result.Bnb.nodes_explored;
+              bound = result.Bnb.bound;
+              gap = result.Bnb.gap;
+              stop_reason = result.Bnb.stop_reason;
+              seed_cost;
+              train_seconds;
+              search = result.Bnb.stats;
+            };
+        }

@@ -1,0 +1,69 @@
+(** The LDA-FP trainer: branch-and-bound over the QK.F weight grid
+    (paper Algorithm 1).
+
+    The search region pairs a grid-aligned box for [w] with an interval
+    for the auxiliary [t = (μ_A − μ_B)ᵀ w].  Per region:
+
+    - {e lower bound}: solve the convex SOCP relaxation (eq. 25) with the
+      denominator frozen at [η = sup t²] (eq. 26); prune when infeasible
+      (phase-I certificate) or when the bound beats the incumbent;
+    - {e upper bound}: round the relaxation optimum onto the grid, check
+      (18)/(20) exactly, optionally re-solve with [η = inf t²] (eq. 27)
+      and polish by ±1-ulp coordinate descent;
+    - {e branch}: split the most-relative-width dimension (one of the
+      [w_m], or [t]) at the relaxation optimum, grid-aligned for weights.
+
+    The incumbent is seeded before the search by the H1/H2 heuristics
+    (see {!Ldafp_heuristics}), so even a node budget of zero reproduces a
+    usable classifier. *)
+
+type config = {
+  seed_incumbent : bool;  (** run H1+H2 before the search (default true) *)
+  sweep_steps : int;  (** H1 scaling count (default 200) *)
+  polish_nodes : bool;  (** H2 polish on per-node candidates *)
+  polish_rounds : int;
+  upper_via_socp : bool;
+      (** also solve the η = inf t² problem per node, as in the paper's
+          upper-bound estimation (slower; default false because H1/H2
+          rounding reaches the same incumbents in practice) *)
+  t_min_width : float;
+      (** stop branching on [t] below this fraction of its root width *)
+  t_branch_bias : float;
+      (** branching preference multiplier for the [t] dimension — the
+          η = sup t² bound only tightens as the t-interval shrinks, so t
+          should split earlier than the weights (default 3) *)
+  secant_prune : bool;
+      (** per-node incumbent-pruning certificate: over [t ∈ [l, u]],
+          [t² <= (l+u)t − lu], so a positive minimum of
+          [wᵀS_W w − θ((l+u)t − lu)] proves no point of the region beats
+          the incumbent θ.  Unlike the η bound this couples numerator and
+          denominator, and it is what lets the search close regions whose
+          boxes still contain w = 0 (default true) *)
+  socp_params : Optim.Socp.params;
+  bnb_params : Optim.Bnb.params;
+}
+
+val default_config : config
+
+val quick_config : config
+(** A low-node-budget configuration for tests and examples. *)
+
+type diagnostics = {
+  nodes : int;
+  bound : float;  (** certified global lower bound on the cost *)
+  gap : float;
+  stop_reason : Optim.Bnb.stop_reason;
+  seed_cost : float option;  (** incumbent cost after H1/H2 only *)
+  train_seconds : float;
+  search : Optim.Bnb.stats;  (** pruning/incumbent statistics *)
+}
+
+type outcome = {
+  w : Linalg.Vec.t;  (** optimal grid weights (scaled-feature space) *)
+  cost : float;  (** eq. (21) objective at [w] *)
+  diagnostics : diagnostics;
+}
+
+val solve : ?config:config -> Ldafp_problem.t -> outcome option
+(** [None] when no feasible grid point was found (pathological formats);
+    in particular [w = 0] is excluded because its cost is infinite. *)

@@ -1,0 +1,136 @@
+open Linalg
+open Fixedpoint
+
+type model = { w : Vec.t; bias : float; lambda : float }
+
+(* Numerically safe log(1 + exp t). *)
+let log1p_exp t = if t > 35.0 then t else Float.log1p (exp t)
+let sigmoid t = if t >= 0.0 then 1.0 /. (1.0 +. exp (-.t)) else
+    let e = exp t in e /. (1.0 +. e)
+
+let loss_oracle ~lambda features labels : Optim.Newton.oracle =
+  let n = Mat.rows features in
+  let m = Mat.cols features in
+  fun theta ->
+    if Vec.dim theta <> m + 1 then
+      invalid_arg "Logreg.loss_oracle: theta dimension";
+    let w = Array.sub theta 0 m and b = theta.(m) in
+    let value = ref (0.5 *. lambda *. Vec.dot theta theta) in
+    let grad = Vec.scale lambda theta in
+    let hess = Mat.scale lambda (Mat.identity (m + 1)) in
+    for i = 0 to n - 1 do
+      let x = features.(i) in
+      let y = if labels.(i) then 1.0 else -1.0 in
+      let margin = y *. (Vec.dot w x +. b) in
+      value := !value +. log1p_exp (-.margin);
+      (* d/dθ: −y σ(−margin) x̃ ; x̃ = (x, 1) *)
+      let s = sigmoid (-.margin) in
+      let coeff = -.y *. s in
+      for j = 0 to m - 1 do
+        grad.(j) <- grad.(j) +. (coeff *. x.(j))
+      done;
+      grad.(m) <- grad.(m) +. coeff;
+      (* Hessian: σ(1−σ) x̃ x̃ᵀ *)
+      let hcoeff = s *. (1.0 -. s) in
+      if hcoeff > 0.0 then begin
+        for j = 0 to m - 1 do
+          let hj = hcoeff *. x.(j) in
+          if hj <> 0.0 then begin
+            for k = 0 to m - 1 do
+              hess.(j).(k) <- hess.(j).(k) +. (hj *. x.(k))
+            done;
+            hess.(j).(m) <- hess.(j).(m) +. hj
+          end
+        done;
+        for k = 0 to m - 1 do
+          hess.(m).(k) <- hess.(m).(k) +. (hcoeff *. x.(k))
+        done;
+        hess.(m).(m) <- hess.(m).(m) +. hcoeff
+      end
+    done;
+    if Float.is_nan !value then None else Some (!value, grad, hess)
+
+let train ?(lambda = 1e-3) ?(max_iter = 100) a b =
+  if Mat.rows a = 0 || Mat.rows b = 0 then invalid_arg "Logreg.train: empty class";
+  if Mat.cols a <> Mat.cols b then
+    invalid_arg "Logreg.train: feature count mismatch";
+  let features = Array.append a b in
+  let labels =
+    Array.init (Mat.rows features) (fun i -> i < Mat.rows a)
+  in
+  let lambda_total = lambda *. float_of_int (Mat.rows features) in
+  let oracle = loss_oracle ~lambda:lambda_total features labels in
+  let m = Mat.cols features in
+  let result =
+    Optim.Newton.minimize
+      ~params:{ Optim.Newton.default_params with max_iter }
+      oracle (Vec.zeros (m + 1))
+  in
+  let theta = result.Optim.Newton.x in
+  { w = Array.sub theta 0 m; bias = theta.(m); lambda }
+
+let decision_value model x = Vec.dot model.w x +. model.bias
+let predict model x = decision_value model x >= 0.0
+
+let loss model a b =
+  let n = Mat.rows a + Mat.rows b in
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. log1p_exp (-.decision_value model x)) a;
+  Array.iter (fun x -> acc := !acc +. log1p_exp (decision_value model x)) b;
+  (!acc /. float_of_int n)
+  +. (0.5 *. model.lambda *. Vec.dot model.w model.w)
+
+let quantize_model ~fmt ~scaling ~scale model =
+  (* decision w·x + b >= 0 is invariant under positive scaling; pick the
+     scale, round weights (saturating) and threshold −b·scale. *)
+  let w = Vec.scale scale model.w in
+  let w =
+    Array.map (fun x -> Fx.to_float (Fx.of_float ~ov:Rounding.Saturate fmt x)) w
+  in
+  Fixed_classifier.of_weights ~polarity:true ~fmt ~scaling ~weights:w
+    ~threshold:(-.(scale *. model.bias))
+    ()
+
+let to_fixed ~fmt ~scaling model =
+  let n = Vec.norm2 model.w in
+  let scale = if n = 0.0 then 1.0 else 1.0 /. n in
+  quantize_model ~fmt ~scaling ~scale model
+
+let to_fixed_swept ~fmt ~scaling ~validate model =
+  let n = Vec.norm_inf model.w in
+  if n = 0.0 then to_fixed ~fmt ~scaling model
+  else begin
+    let lo = Qformat.ulp fmt /. n in
+    let hi = Qformat.max_value fmt /. n in
+    let steps = 100 in
+    let ratio = (hi /. lo) ** (1.0 /. float_of_int (steps - 1)) in
+    let best = ref None in
+    let scale = ref lo in
+    for _ = 1 to steps do
+      let clf = quantize_model ~fmt ~scaling ~scale:!scale model in
+      let score = validate clf in
+      (match !best with
+      | Some (_, s) when s <= score -> ()
+      | _ -> best := Some (clf, score));
+      scale := !scale *. ratio
+    done;
+    match !best with Some (clf, _) -> clf | None -> to_fixed ~fmt ~scaling model
+  end
+
+let train_pipeline ?lambda ~fmt ~swept ds =
+  let scaling =
+    Scaling.fit
+      ~target_bound:(-.Qformat.min_value fmt)
+      ds.Datasets.Dataset.features
+  in
+  let a, b = Datasets.Dataset.class_split ds in
+  let model =
+    train ?lambda (Scaling.apply_mat scaling a) (Scaling.apply_mat scaling b)
+  in
+  if swept then
+    (* The classifier scales raw features itself, so validation runs on
+       the raw dataset. *)
+    to_fixed_swept ~fmt ~scaling
+      ~validate:(fun clf -> Eval.error_fixed clf ds)
+      model
+  else to_fixed ~fmt ~scaling model

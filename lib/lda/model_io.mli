@@ -1,0 +1,22 @@
+(** Plain-text persistence of trained fixed-point classifiers.
+
+    The format is a line-oriented key/value file carrying exactly what the
+    hardware holds — format, scaling exponents, raw weight codes, raw
+    threshold, polarity — so a saved model round-trips bit-exactly:
+
+    {v ldafp-model v1
+       format Q2.4
+       polarity 1
+       exponents 3 3 2
+       weights -7 12 3
+       threshold 5 v} *)
+
+exception Parse_error of string
+
+val to_string : Fixed_classifier.t -> string
+val of_string : string -> Fixed_classifier.t
+(** @raise Parse_error on malformed input. *)
+
+val save : string -> Fixed_classifier.t -> unit
+val load : string -> Fixed_classifier.t
+(** @raise Parse_error / [Sys_error]. *)

@@ -1,0 +1,109 @@
+open Linalg
+
+type dataset = {
+  name : string;
+  features : Mat.t;
+  labels : int array;
+  n_classes : int;
+}
+
+let create ~name ~features ~labels =
+  if Mat.rows features = 0 then invalid_arg "Multiclass.create: no trials";
+  if Mat.rows features <> Array.length labels then
+    invalid_arg "Multiclass.create: row/label count mismatch";
+  Array.iter
+    (fun l -> if l < 0 then invalid_arg "Multiclass.create: negative label")
+    labels;
+  let n_classes = 1 + Array.fold_left max 0 labels in
+  let counts = Array.make n_classes 0 in
+  Array.iter (fun l -> counts.(l) <- counts.(l) + 1) labels;
+  Array.iteri
+    (fun c n ->
+      if n = 0 then
+        invalid_arg (Printf.sprintf "Multiclass.create: class %d empty" c))
+    counts;
+  { name; features = Mat.copy features; labels = Array.copy labels; n_classes }
+
+let n_trials ds = Mat.rows ds.features
+let n_features ds = Mat.cols ds.features
+
+let class_count ds c =
+  if c < 0 || c >= ds.n_classes then
+    invalid_arg "Multiclass.class_count: label out of range";
+  Array.fold_left (fun acc l -> if l = c then acc + 1 else acc) 0 ds.labels
+
+let pairwise ds ~a ~b =
+  if a = b then invalid_arg "Multiclass.pairwise: identical labels";
+  if a < 0 || b < 0 || a >= ds.n_classes || b >= ds.n_classes then
+    invalid_arg "Multiclass.pairwise: label out of range";
+  let rows = ref [] and labs = ref [] in
+  Array.iteri
+    (fun i l ->
+      if l = a || l = b then begin
+        rows := Array.copy ds.features.(i) :: !rows;
+        labs := (l = a) :: !labs
+      end)
+    ds.labels;
+  Datasets.Dataset.create
+    ~name:(Printf.sprintf "%s[%d-vs-%d]" ds.name a b)
+    ~features:(Array.of_list (List.rev !rows))
+    ~labels:(Array.of_list (List.rev !labs))
+
+type t = {
+  n_classes : int;
+  machines : (int * int * Fixed_classifier.t) list;
+}
+
+let train ~train:train_binary (ds : dataset) =
+  let machines = ref [] in
+  let ok = ref true in
+  for a = 0 to ds.n_classes - 1 do
+    for b = a + 1 to ds.n_classes - 1 do
+      if !ok then
+        match train_binary (pairwise ds ~a ~b) with
+        | None -> ok := false
+        | Some clf -> machines := (a, b, clf) :: !machines
+    done
+  done;
+  if !ok then Some { n_classes = ds.n_classes; machines = List.rev !machines }
+  else None
+
+let votes t x =
+  let counts = Array.make t.n_classes 0 in
+  List.iter
+    (fun (a, b, clf) ->
+      let winner = if Fixed_classifier.predict clf x then a else b in
+      counts.(winner) <- counts.(winner) + 1)
+    t.machines;
+  counts
+
+let predict t x =
+  let counts = votes t x in
+  let best = ref 0 in
+  Array.iteri (fun c n -> if n > counts.(!best) then best := c) counts;
+  !best
+
+let confusion_matrix t (ds : dataset) =
+  if n_trials ds = 0 then invalid_arg "Multiclass.confusion_matrix: empty";
+  let m = Array.init t.n_classes (fun _ -> Array.make t.n_classes 0) in
+  Array.iteri
+    (fun i truth ->
+      if truth >= t.n_classes then
+        invalid_arg "Multiclass.confusion_matrix: label out of range";
+      let p = predict t ds.features.(i) in
+      m.(truth).(p) <- m.(truth).(p) + 1)
+    ds.labels;
+  m
+
+let error t (ds : dataset) =
+  let m = confusion_matrix t ds in
+  let total = ref 0 and correct = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j n ->
+          total := !total + n;
+          if i = j then correct := !correct + n)
+        row)
+    m;
+  float_of_int (!total - !correct) /. float_of_int !total

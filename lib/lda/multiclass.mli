@@ -1,0 +1,53 @@
+(** Multi-class classification on top of binary LDA-FP.
+
+    The paper treats binary classification only ("a case study of linear
+    discriminant analysis for binary classification"); real BCI decoders
+    routinely need more directions.  This module lifts any binary
+    fixed-point trainer to [K] classes by one-vs-one voting: K(K−1)/2
+    pairwise classifiers, each an independent fixed-point engine, with
+    majority vote at inference (ties broken toward the smaller label,
+    deterministically).  One-vs-one preserves the LDA-FP machinery
+    unchanged — each pairwise problem is exactly the paper's problem —
+    and keeps every on-chip engine small. *)
+
+type dataset = private {
+  name : string;
+  features : Linalg.Mat.t;
+  labels : int array;  (** in [0, n_classes) *)
+  n_classes : int;
+}
+
+val create :
+  name:string -> features:Linalg.Mat.t -> labels:int array -> dataset
+(** [n_classes] is inferred as [max label + 1].
+    @raise Invalid_argument on empty data, negative labels, or a class
+    with no trials. *)
+
+val n_trials : dataset -> int
+val n_features : dataset -> int
+val class_count : dataset -> int -> int
+(** Trials carrying a given label. *)
+
+val pairwise : dataset -> a:int -> b:int -> Datasets.Dataset.t
+(** The binary restriction to two labels ([a] becomes class A). *)
+
+type t = private {
+  n_classes : int;
+  machines : (int * int * Fixed_classifier.t) list;
+      (** [(a, b, clf)] with [a < b]; [clf] predicting [true] means
+          vote for [a] *)
+}
+
+val train :
+  train:(Datasets.Dataset.t -> Fixed_classifier.t option) ->
+  dataset ->
+  t option
+(** [None] if any pairwise training fails. *)
+
+val predict : t -> Linalg.Vec.t -> int
+val votes : t -> Linalg.Vec.t -> int array
+(** Vote count per class (sums to K(K−1)/2). *)
+
+val error : t -> dataset -> float
+val confusion_matrix : t -> dataset -> int array array
+(** [m.(truth).(predicted)] counts. *)

@@ -1,0 +1,92 @@
+open Fixedpoint
+
+type prepared = {
+  fmt : Qformat.t;
+  scaling : Scaling.t;
+  scatter : Stats.Scatter.t;
+}
+
+let quantize_matrix ~fmt m =
+  Array.map
+    (Array.map (fun x ->
+         Fx.to_float (Fx.of_float ~ov:Rounding.Saturate fmt x)))
+    m
+
+let quantize_dataset ~fmt scaling ds =
+  Datasets.Dataset.map_features
+    (fun row ->
+      Array.map
+        (fun x -> Fx.to_float (Fx.of_float ~ov:Rounding.Saturate fmt x))
+        (Scaling.apply_vec scaling row))
+    ds
+
+let fit_scaling ~fmt ds =
+  Scaling.fit
+    ~target_bound:(-.Qformat.min_value fmt)
+    ds.Datasets.Dataset.features
+
+let prepare ~fmt ds =
+  let scaling = fit_scaling ~fmt ds in
+  let a, b = Datasets.Dataset.class_split ds in
+  let qa = quantize_matrix ~fmt (Scaling.apply_mat scaling a) in
+  let qb = quantize_matrix ~fmt (Scaling.apply_mat scaling b) in
+  { fmt; scaling; scatter = Stats.Scatter.of_data qa qb }
+
+let train_float ds =
+  let scaling = Scaling.fit ds.Datasets.Dataset.features in
+  let a, b = Datasets.Dataset.class_split ds in
+  let model =
+    Lda.train (Scaling.apply_mat scaling a) (Scaling.apply_mat scaling b)
+  in
+  (model, scaling)
+
+let classifier_of_weights prep w =
+  let scatter = prep.scatter in
+  let t = Linalg.Vec.dot (Stats.Scatter.mean_difference scatter) w in
+  let threshold = Linalg.Vec.dot w (Stats.Scatter.pooled_mean scatter) in
+  Fixed_classifier.of_weights ~polarity:(t >= 0.0) ~fmt:prep.fmt
+    ~scaling:prep.scaling ~weights:w ~threshold ()
+
+let train_conventional ~fmt ds =
+  (* The conventional flow of §5: solve eq. (11) on the scaled
+     floating-point training data, normalise, then round both the unit
+     weights and the threshold to the grid (saturating — no sane
+     implementation would let the weights themselves wrap).  Training on
+     unquantised features is what gives the baseline its Table-1
+     signature: the delicate noise-cancelling weights are learned exactly
+     and then destroyed by rounding. *)
+  let scaling = fit_scaling ~fmt ds in
+  let a, b = Datasets.Dataset.class_split ds in
+  let scatter =
+    Stats.Scatter.of_data (Scaling.apply_mat scaling a)
+      (Scaling.apply_mat scaling b)
+  in
+  let model = Lda.train_scatter scatter in
+  let w =
+    Array.map
+      (fun x -> Fx.to_float (Fx.of_float ~ov:Rounding.Saturate fmt x))
+      (Lda.weights model)
+  in
+  let t = Linalg.Vec.dot (Stats.Scatter.mean_difference scatter) w in
+  let threshold = Linalg.Vec.dot w (Stats.Scatter.pooled_mean scatter) in
+  Fixed_classifier.of_weights ~polarity:(t >= 0.0) ~fmt ~scaling ~weights:w
+    ~threshold ()
+
+type ldafp_result = {
+  classifier : Fixed_classifier.t;
+  outcome : Lda_fp.outcome;
+  problem : Ldafp_problem.t;
+}
+
+let train_ldafp ?config ?rho ~fmt ds =
+  let prep = prepare ~fmt ds in
+  let problem = Ldafp_problem.build ?rho ~fmt prep.scatter in
+  match Lda_fp.solve ?config problem with
+  | None -> None
+  | Some outcome ->
+      Some
+        {
+          classifier = classifier_of_weights prep outcome.Lda_fp.w;
+          outcome;
+          problem;
+        }

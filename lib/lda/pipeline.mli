@@ -1,0 +1,59 @@
+(** End-to-end training pipelines (float reference, conventional
+    fixed-point baseline, LDA-FP).
+
+    All fixed-point pipelines share the front end of paper §3: fit
+    per-feature power-of-two {!Scaling} on the training set, quantise the
+    scaled training features into [QK.F] (saturating), and compute the
+    class statistics from the {e quantised} data — "the feature vector x
+    should be rounded to its fixed-point representation before the
+    training data is used to learn the classifier".
+
+    They differ in how the weight vector is obtained:
+
+    - {!train_conventional} — the paper's baseline: solve eq. (11) in
+      floating point, normalise to unit length, round each weight to the
+      grid (saturating, as any sane implementation would rather than let
+      the *weights themselves* wrap);
+    - {!train_ldafp} — solve the mixed-integer program (21) with the
+      branch-and-bound trainer. *)
+
+type prepared = {
+  fmt : Fixedpoint.Qformat.t;
+  scaling : Scaling.t;
+  scatter : Stats.Scatter.t;  (** statistics of the quantised training data *)
+}
+
+val prepare : fmt:Fixedpoint.Qformat.t -> Datasets.Dataset.t -> prepared
+(** The shared front end. *)
+
+val quantize_dataset :
+  fmt:Fixedpoint.Qformat.t -> Scaling.t -> Datasets.Dataset.t ->
+  Datasets.Dataset.t
+(** Scale and quantise every feature (saturating); returns a dataset whose
+    features are on the grid (useful for inspection and tests). *)
+
+val train_float : Datasets.Dataset.t -> Lda.model * Scaling.t
+(** Floating-point reference on scaled (but unquantised) features. *)
+
+val train_conventional :
+  fmt:Fixedpoint.Qformat.t -> Datasets.Dataset.t -> Fixed_classifier.t
+
+val classifier_of_weights :
+  prepared -> Linalg.Vec.t -> Fixed_classifier.t
+(** Wrap solved grid weights into a classifier: threshold at the projected
+    pooled mean (eq. 12), comparator polarity from the sign of
+    [(μ_A−μ_B)ᵀw]. *)
+
+type ldafp_result = {
+  classifier : Fixed_classifier.t;
+  outcome : Lda_fp.outcome;
+  problem : Ldafp_problem.t;
+}
+
+val train_ldafp :
+  ?config:Lda_fp.config ->
+  ?rho:float ->
+  fmt:Fixedpoint.Qformat.t ->
+  Datasets.Dataset.t ->
+  ldafp_result option
+(** [None] when the trainer found no feasible grid point. *)

@@ -1,0 +1,73 @@
+open Linalg
+open Fixedpoint
+
+type report = {
+  word_length : int;
+  separation : float;
+  input_noise_rms : float;
+  input_noise_worst : float;
+  product_noise_rms : float;
+  product_noise_worst : float;
+  sqnr : float;
+  predicted_extra_error : float;
+}
+
+let analyze ~scatter ~fmt w =
+  let q = Qformat.ulp fmt in
+  let m = float_of_int (Vec.dim w) in
+  let d = Stats.Scatter.mean_difference scatter in
+  let separation = Float.abs (Vec.dot d w) in
+  let input_noise_rms = Vec.norm2 w *. q /. sqrt 12.0 in
+  let input_noise_worst = Vec.norm1 w *. q /. 2.0 in
+  let product_noise_rms = sqrt m *. q /. sqrt 12.0 in
+  let product_noise_worst = m *. q /. 2.0 in
+  let total_rms =
+    sqrt ((input_noise_rms ** 2.0) +. (product_noise_rms ** 2.0))
+  in
+  let sqnr =
+    if total_rms = 0.0 then Float.infinity
+    else separation /. (2.0 *. total_rms)
+  in
+  (* Error added by quantisation: treat the projection as Gaussian with
+     the class-conditional std augmented by the quantisation RMS and
+     compare the two tail errors at the midpoint threshold. *)
+  let (ma, sa), (mb, sb) = Stats.Scatter.projected_stats scatter w in
+  let base =
+    let thr = 0.5 *. (ma +. mb) in
+    let tail mean sigma =
+      if sigma <= 0.0 then 0.0
+      else Stats.Gaussian.cdf (-.Float.abs (mean -. thr) /. sigma)
+    in
+    0.5 *. (tail ma sa +. tail mb sb)
+  in
+  let augmented =
+    let thr = 0.5 *. (ma +. mb) in
+    let tail mean sigma =
+      let sigma = sqrt ((sigma *. sigma) +. (total_rms *. total_rms)) in
+      if sigma <= 0.0 then 0.0
+      else Stats.Gaussian.cdf (-.Float.abs (mean -. thr) /. sigma)
+    in
+    0.5 *. (tail ma sa +. tail mb sb)
+  in
+  {
+    word_length = Qformat.word_length fmt;
+    separation;
+    input_noise_rms;
+    input_noise_worst;
+    product_noise_rms;
+    product_noise_worst;
+    sqnr;
+    predicted_extra_error = Float.max 0.0 (augmented -. base);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>quantisation analysis (WL=%d):@,\
+    \  separation          %.5g@,\
+    \  input noise  rms    %.5g (worst %.5g)@,\
+    \  product noise rms   %.5g (worst %.5g)@,\
+    \  SQNR                %.3g@,\
+    \  predicted extra err %.3f%%@]"
+    r.word_length r.separation r.input_noise_rms r.input_noise_worst
+    r.product_noise_rms r.product_noise_worst r.sqnr
+    (100.0 *. r.predicted_extra_error)

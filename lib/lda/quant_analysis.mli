@@ -1,0 +1,45 @@
+(** Analytic quantisation-noise accounting for a trained weight vector.
+
+    Complements the empirical benches with the closed-form view of why
+    rounding breaks classifiers: the projection computed by the datapath
+    differs from the ideal [wᵀx] through two mechanisms, and both are
+    linear in the grid step [q = 2⁻F]:
+
+    - {e input quantisation}: each feature carries an error in
+      [[−q/2, q/2]]; through the dot product it is amplified by at worst
+      [‖w‖₁ · q/2] and in RMS (independent uniform errors) by
+      [‖w‖₂ · q/√12];
+    - {e product rounding}: each of the [M] multiply results is rounded
+      once more, adding at worst [M·q/2] and in RMS [√M · q/√12].
+
+    Dividing by the projected class-mean separation gives a
+    signal-to-quantisation-noise ratio (SQNR); an SQNR of a few is the
+    regime where fixed-point error visibly moves the error rate.  The
+    paper's synthetic example is extreme on purpose: the cancelling
+    weights make [‖w‖₂/|separation|] huge, so the SQNR collapses at short
+    word lengths. *)
+
+type report = {
+  word_length : int;
+  separation : float;  (** |projected mean difference|, signal scale *)
+  input_noise_rms : float;
+  input_noise_worst : float;
+  product_noise_rms : float;
+  product_noise_worst : float;
+  sqnr : float;
+      (** separation / (2 · total RMS noise) — per-class signal against
+          the combined quantisation noise *)
+  predicted_extra_error : float;
+      (** Gaussian estimate of the error added by quantisation noise on
+          top of the intrinsic class overlap *)
+}
+
+val analyze :
+  scatter:Stats.Scatter.t ->
+  fmt:Fixedpoint.Qformat.t ->
+  Linalg.Vec.t ->
+  report
+(** [analyze ~scatter ~fmt w] for weights [w] in the (scaled, quantised)
+    feature space described by [scatter]. *)
+
+val pp : Format.formatter -> report -> unit

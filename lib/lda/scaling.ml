@@ -1,0 +1,57 @@
+open Linalg
+
+type t = { exponents : int array }
+
+let fit ?(margin_sigmas = 4.0) ?(target_bound = 1.0) features =
+  if Mat.rows features = 0 then invalid_arg "Scaling.fit: empty features";
+  if target_bound <= 0.0 then invalid_arg "Scaling.fit: target_bound <= 0";
+  let _, target_e = Float.frexp target_bound in
+  (* target_bound lies in [2^(target_e - 1), 2^target_e). *)
+  let mu = Stats.Moments.mean features in
+  let sd = Stats.Moments.std_devs features in
+  let lo = Stats.Moments.column_min features in
+  let hi = Stats.Moments.column_max features in
+  let exponents =
+    Array.init (Mat.cols features) (fun j ->
+        let stat = Float.abs mu.(j) +. (margin_sigmas *. sd.(j)) in
+        let obs = Float.max (Float.abs lo.(j)) (Float.abs hi.(j)) in
+        let bound = Float.max stat obs in
+        if bound <= 0.0 then 0
+        else
+          (* Smallest e with bound / 2^e < 2^(target_e - 1) <= target_bound,
+             via frexp to dodge log rounding at exact powers. *)
+          let _, e = Float.frexp bound in
+          e - (target_e - 1))
+  in
+  { exponents }
+
+let identity n = { exponents = Array.make n 0 }
+let of_exponents exponents = { exponents = Array.copy exponents }
+let dim t = Array.length t.exponents
+
+let check_dim name t v =
+  if Array.length v <> dim t then invalid_arg (name ^ ": dimension mismatch")
+
+let apply_vec t x =
+  check_dim "Scaling.apply_vec" t x;
+  Array.mapi (fun j v -> ldexp v (-t.exponents.(j))) x
+
+let apply_mat t m = Array.map (apply_vec t) m
+
+let unapply_vec t x =
+  check_dim "Scaling.unapply_vec" t x;
+  Array.mapi (fun j v -> ldexp v t.exponents.(j)) x
+
+let unscale_weights t w =
+  check_dim "Scaling.unscale_weights" t w;
+  Array.mapi (fun j v -> ldexp v (-t.exponents.(j))) w
+
+let exponent t j = t.exponents.(j)
+let equal a b = a.exponents = b.exponents
+
+let pp ppf t =
+  Format.fprintf ppf "scale[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";")
+       Format.pp_print_int)
+    (Array.to_list t.exponents)

@@ -1,0 +1,40 @@
+(** Per-feature power-of-two scaling into [[-1, 1)].
+
+    Paper §3: "all features in x can be carefully scaled to avoid
+    overflow ... before the training data is used to learn the
+    classifier."  Powers of two are free in hardware (bit shifts), so each
+    feature is divided by [2^e] with [e] chosen from training statistics:
+    the smallest exponent such that [max(|observed|, |mean| + kσ)] fits
+    below 1.  Exponents may be negative — a feature much smaller than 1 is
+    scaled {e up} to use the word's resolution. *)
+
+type t = private { exponents : int array }
+
+val fit : ?margin_sigmas:float -> ?target_bound:float -> Linalg.Mat.t -> t
+(** Fit on training features (rows = trials); [margin_sigmas] (default 4)
+    is the statistical headroom [k] above.  [target_bound] (default 1) is
+    the open upper bound the scaled magnitudes must stay below: pass the
+    format's [2^(K-1)] so features use the full representable range rather
+    than only [[-1, 1)] — with weights and features sharing one [QK.F]
+    format, head-room left unused is resolution thrown away. *)
+
+val identity : int -> t
+(** No-op scaling for [n] features. *)
+
+val of_exponents : int array -> t
+(** Rebuild a scaling from stored exponents (model deserialisation). *)
+
+val dim : t -> int
+val apply_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+val apply_mat : t -> Linalg.Mat.t -> Linalg.Mat.t
+val unapply_vec : t -> Linalg.Vec.t -> Linalg.Vec.t
+
+val unscale_weights : t -> Linalg.Vec.t -> Linalg.Vec.t
+(** Map a weight vector learned on scaled features back to one acting on
+    raw features ([w_raw_m = w_scaled_m * 2^(-e_m)]) — scaling features
+    down by [2^e] is equivalent to scaling the weight down, since only the
+    product [w x] matters. *)
+
+val exponent : t -> int -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

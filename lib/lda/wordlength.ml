@@ -1,0 +1,57 @@
+type point = {
+  wl : int;
+  classifier : Fixed_classifier.t;
+  error : float;
+  power : float;
+}
+
+type frontier = point list
+
+let sweep ~wls ~policy ~train ~validate ds =
+  let wls = List.sort_uniq compare wls in
+  List.filter_map
+    (fun wl ->
+      match policy wl with
+      | exception Invalid_argument _ -> None
+      | fmt -> (
+          match train ~fmt ds with
+          | None -> None
+          | Some classifier ->
+              Some
+                {
+                  wl;
+                  classifier;
+                  error = validate classifier;
+                  power = Hw.Power_model.quadratic_relative ~word_length:wl;
+                }))
+    wls
+
+let best_error frontier =
+  List.fold_left (fun acc p -> Float.min acc p.error) Float.infinity frontier
+
+let minimal_word_length ?(slack = 0.01) frontier =
+  match frontier with
+  | [] -> None
+  | _ ->
+      let target = best_error frontier +. slack in
+      List.find_opt (fun p -> p.error <= target) frontier
+
+let cheapest_within ~max_error frontier =
+  List.fold_left
+    (fun acc p ->
+      if p.error > max_error then acc
+      else
+        match acc with
+        | Some best when best.power <= p.power -> acc
+        | _ -> Some p)
+    None frontier
+
+let word_length_reduction ~baseline ~improved ?slack () =
+  match (minimal_word_length ?slack baseline, minimal_word_length ?slack improved)
+  with
+  | Some b, Some i ->
+      Some
+        ( b.wl,
+          i.wl,
+          Hw.Power_model.quadratic_ratio ~from_wl:b.wl ~to_wl:i.wl )
+  | _ -> None

@@ -1,0 +1,48 @@
+(** Word-length selection — the design-space search the paper motivates
+    (§5: "LDA-FP successfully reduces the required word length by up to
+    3×") and defers ("the problem of word length optimization should be
+    considered as a separate topic for our future research").
+
+    Classification error is {e not} monotone in word length (the paper
+    notes this under Table 2), so the search is an explicit sweep, not a
+    bisection.  Each word length is trained with a caller-supplied trainer
+    and scored with a caller-supplied validation function; the frontier
+    then answers the two design questions:
+
+    - {!minimal_word_length}: smallest word length whose validation error
+      is within [slack] of the best achieved anywhere in the sweep;
+    - {!cheapest_within}: the point minimising power subject to an
+      absolute error budget. *)
+
+type point = {
+  wl : int;
+  classifier : Fixed_classifier.t;
+  error : float;  (** validation error from the caller's scorer *)
+  power : float;  (** relative power, quadratic model *)
+}
+
+type frontier = point list
+(** Ascending in word length; word lengths whose training failed (no
+    feasible classifier) are absent. *)
+
+val sweep :
+  wls:int list ->
+  policy:Fixedpoint.Format_policy.t ->
+  train:(fmt:Fixedpoint.Qformat.t -> Datasets.Dataset.t -> Fixed_classifier.t option) ->
+  validate:(Fixed_classifier.t -> float) ->
+  Datasets.Dataset.t ->
+  frontier
+
+val minimal_word_length : ?slack:float -> frontier -> point option
+(** Smallest word length with [error <= best_error + slack]
+    (default slack 0.01). [None] on an empty frontier. *)
+
+val cheapest_within : max_error:float -> frontier -> point option
+(** Lowest-power point with [error <= max_error]. *)
+
+val word_length_reduction :
+  baseline:frontier -> improved:frontier -> ?slack:float -> unit ->
+  (int * int * float) option
+(** [(baseline_wl, improved_wl, power_ratio)] comparing the minimal word
+    lengths of two frontiers at equal accuracy slack — the computation
+    behind the paper's "3× word length = 9× power" headline. *)

@@ -1,0 +1,57 @@
+exception Not_positive_definite of int
+
+let factor a =
+  if not (Mat.is_square a) then invalid_arg "Cholesky.factor: not square";
+  let n = Mat.rows a in
+  let l = Mat.zeros n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref a.(i).(j) in
+      for k = 0 to j - 1 do
+        s := !s -. (l.(i).(k) *. l.(j).(k))
+      done;
+      if i = j then begin
+        if !s <= 0.0 then raise (Not_positive_definite i);
+        l.(i).(i) <- sqrt !s
+      end
+      else l.(i).(j) <- !s /. l.(j).(j)
+    done
+  done;
+  l
+
+let factor_jittered ?(max_tries = 20) a =
+  let scale = Float.max (Mat.max_abs a) 1e-300 in
+  let rec go jitter tries =
+    if tries > max_tries then raise (Not_positive_definite (-1))
+    else
+      let a' = if jitter = 0.0 then a else Mat.add_scaled_identity jitter a in
+      match factor a' with
+      | l -> (l, jitter)
+      | exception Not_positive_definite _ ->
+          let next = if jitter = 0.0 then 1e-12 *. scale else 10.0 *. jitter in
+          go next (tries + 1)
+  in
+  go 0.0 0
+
+let solve_factored l b = Tri.solve_lower_transpose l (Tri.solve_lower l b)
+let solve a b = solve_factored (factor a) b
+
+let inverse a =
+  let l = factor a in
+  let n = Mat.rows a in
+  Mat.init n n (fun i j -> (solve_factored l (Vec.basis n j)).(i))
+
+let log_det a =
+  let l = factor a in
+  let s = ref 0.0 in
+  for i = 0 to Mat.rows a - 1 do
+    s := !s +. log l.(i).(i)
+  done;
+  2.0 *. !s
+
+let is_positive_definite a =
+  Mat.is_square a
+  &&
+  match factor a with
+  | (_ : Mat.t) -> true
+  | exception Not_positive_definite _ -> false

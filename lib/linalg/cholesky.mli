@@ -1,0 +1,35 @@
+(** Cholesky factorisation of symmetric positive-definite matrices.
+
+    Central to two parts of the system: solving the LDA normal equations
+    [S_W w = μ_A - μ_B] (paper eq. 11) and factoring class covariances
+    [Σ = L Lᵀ] so the SOC overflow constraints (eq. 20) can be written as
+    norms [‖β Lᵀ w‖₂]. *)
+
+exception Not_positive_definite of int
+(** Raised with the index of the failing pivot. *)
+
+val factor : Mat.t -> Mat.t
+(** [factor a] returns lower-triangular [l] with [l lᵀ = a].
+    Only the lower triangle of [a] is read.
+    @raise Not_positive_definite if a pivot is [<= 0]. *)
+
+val factor_jittered : ?max_tries:int -> Mat.t -> Mat.t * float
+(** [factor_jittered a] factors [a + jitter*I], growing [jitter] from 0 by
+    powers of ten starting at [1e-12 * max_abs a] until the factorisation
+    succeeds; returns the factor and the jitter used.  This regularises the
+    rank-deficient covariances that arise from small training sets.
+    @raise Not_positive_definite after [max_tries] (default 20). *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] for s.p.d. [a] via factorisation. *)
+
+val solve_factored : Mat.t -> Vec.t -> Vec.t
+(** [solve_factored l b] solves [(l lᵀ) x = b] given the factor. *)
+
+val inverse : Mat.t -> Mat.t
+(** Inverse of an s.p.d. matrix. *)
+
+val log_det : Mat.t -> float
+(** Log-determinant of an s.p.d. matrix via its factor. *)
+
+val is_positive_definite : Mat.t -> bool

@@ -1,0 +1,87 @@
+type t = { lu : Mat.t; perm : int array; sign : int }
+
+let factor a =
+  if not (Mat.is_square a) then invalid_arg "Lu.factor: not square";
+  let n = Mat.rows a in
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest |entry| of column k to row k. *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!p).(k) then p := i
+    done;
+    if !p <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!p);
+      lu.(!p) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!p);
+      perm.(!p) <- tp;
+      sign := - !sign
+    end;
+    let pivot = lu.(k).(k) in
+    if Float.abs pivot < 1e-300 then
+      raise (Tri.Singular (Printf.sprintf "Lu.factor: pivot %d ~ 0" k));
+    for i = k + 1 to n - 1 do
+      let m = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- m;
+      if m <> 0.0 then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (m *. lu.(k).(j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; _ } b =
+  let n = Array.length perm in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: dim mismatch";
+  let pb = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit lower triangle. *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref pb.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (lu.(i).(j) *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  Tri.solve_upper lu y
+
+let solve a b = solve_factored (factor a) b
+
+let inverse a =
+  let f = factor a in
+  let n = Mat.rows a in
+  Mat.init n n (fun i j -> (solve_factored f (Vec.basis n j)).(i))
+
+let det a =
+  match factor a with
+  | { lu; sign; _ } ->
+      let n = Mat.rows a in
+      let d = ref (float_of_int sign) in
+      for i = 0 to n - 1 do
+        d := !d *. lu.(i).(i)
+      done;
+      !d
+  | exception Tri.Singular _ -> 0.0
+
+let norm1 a =
+  (* Maximum column sum of absolute values. *)
+  let m = Mat.rows a and n = Mat.cols a in
+  let best = ref 0.0 in
+  for j = 0 to n - 1 do
+    let s = ref 0.0 in
+    for i = 0 to m - 1 do
+      s := !s +. Float.abs a.(i).(j)
+    done;
+    best := Float.max !best !s
+  done;
+  !best
+
+let condition_estimate a =
+  match inverse a with
+  | inv -> norm1 a *. norm1 inv
+  | exception Tri.Singular _ -> Float.infinity

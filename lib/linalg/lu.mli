@@ -1,0 +1,24 @@
+(** LU factorisation with partial pivoting.
+
+    Used for general (not necessarily s.p.d.) square systems, e.g. the KKT
+    systems assembled by the interior-point solver's Newton steps.  The
+    paper's §1 explicitly cites pivoted Gaussian elimination as the classic
+    example of robustness to numerical error — the very analogy motivating
+    LDA-FP — so the substrate implements it faithfully. *)
+
+type t = {
+  lu : Mat.t;  (** packed factors: strict lower = L (unit diag), upper = U *)
+  perm : int array;  (** row permutation: row [i] of [PA] is row [perm.(i)] of [A] *)
+  sign : int;  (** determinant sign of the permutation, [+1] or [-1] *)
+}
+
+val factor : Mat.t -> t
+(** @raise Tri.Singular when the matrix is numerically singular. *)
+
+val solve_factored : t -> Vec.t -> Vec.t
+val solve : Mat.t -> Vec.t -> Vec.t
+val inverse : Mat.t -> Mat.t
+val det : Mat.t -> float
+val condition_estimate : Mat.t -> float
+(** Cheap 1-norm condition-number estimate [‖A‖₁ ‖A⁻¹‖₁] (computes the
+    explicit inverse; fine for the small systems used here). *)

@@ -1,0 +1,61 @@
+(** Dense real matrices in row-major [float array array] layout.
+
+    Row [i] of matrix [a] is [a.(i)]; all rows have equal length.  As with
+    {!Vec}, dimension mismatches raise [Invalid_argument]. *)
+
+type t = float array array
+
+val make : int -> int -> float -> t
+val zeros : int -> int -> t
+val identity : int -> t
+val init : int -> int -> (int -> int -> float) -> t
+val diag : Vec.t -> t
+val diagonal : t -> Vec.t
+(** Main diagonal of a (not necessarily square) matrix. *)
+
+val copy : t -> t
+val rows : t -> int
+val cols : t -> int
+val dims : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> Vec.t
+(** A copy of row [i]. *)
+
+val col : t -> int -> Vec.t
+val of_rows : Vec.t array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val transpose : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+(** Matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [a x]. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** [tmul_vec a x] is [aᵀ x]. *)
+
+val outer : Vec.t -> Vec.t -> t
+(** [outer u v] is [u vᵀ]. *)
+
+val quadratic_form : t -> Vec.t -> float
+(** [quadratic_form a x] is [xᵀ a x]. *)
+
+val add_scaled_identity : float -> t -> t
+(** [add_scaled_identity c a] is [a + cI] (square matrices). *)
+
+val trace : t -> float
+val frobenius_norm : t -> float
+val is_square : t -> bool
+val is_symmetric : ?tol:float -> t -> bool
+val symmetrize : t -> t
+(** [(a + aᵀ)/2]. *)
+
+val max_abs : t -> float
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

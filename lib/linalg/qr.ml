@@ -1,0 +1,73 @@
+type t = { q : Mat.t; r : Mat.t }
+
+(* Householder QR on a working copy; accumulates the thin Q explicitly by
+   applying the reflections to the identity. *)
+let factor a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  if n = 0 then invalid_arg "Qr.factor: empty matrix";
+  let r = Mat.copy a in
+  (* q_full starts as I (m x m); we apply each reflection to it on the
+     right as we go, keeping only the first n columns at the end. *)
+  let q_full = Mat.identity m in
+  let scale = Float.max (Mat.max_abs a) 1e-300 in
+  for k = 0 to n - 1 do
+    (* Householder vector for column k below the diagonal. *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      norm := !norm +. (r.(i).(k) *. r.(i).(k))
+    done;
+    let norm = sqrt !norm in
+    if norm < 1e-14 *. scale then
+      raise (Tri.Singular (Printf.sprintf "Qr.factor: column %d dependent" k));
+    let alpha = if r.(k).(k) >= 0.0 then -.norm else norm in
+    let v = Array.make m 0.0 in
+    v.(k) <- r.(k).(k) -. alpha;
+    for i = k + 1 to m - 1 do
+      v.(i) <- r.(i).(k)
+    done;
+    let vtv = ref 0.0 in
+    for i = k to m - 1 do
+      vtv := !vtv +. (v.(i) *. v.(i))
+    done;
+    if !vtv > 0.0 then begin
+      let beta = 2.0 /. !vtv in
+      (* Apply H = I - beta v vᵀ to R (columns k..n-1). *)
+      for j = k to n - 1 do
+        let s = ref 0.0 in
+        for i = k to m - 1 do
+          s := !s +. (v.(i) *. r.(i).(j))
+        done;
+        let s = beta *. !s in
+        for i = k to m - 1 do
+          r.(i).(j) <- r.(i).(j) -. (s *. v.(i))
+        done
+      done;
+      (* Accumulate into Q: Q <- Q H (apply to columns of Q). *)
+      for i = 0 to m - 1 do
+        let s = ref 0.0 in
+        for l = k to m - 1 do
+          s := !s +. (q_full.(i).(l) *. v.(l))
+        done;
+        let s = beta *. !s in
+        for l = k to m - 1 do
+          q_full.(i).(l) <- q_full.(i).(l) -. (s *. v.(l))
+        done
+      done
+    end
+  done;
+  let q = Mat.init m n (fun i j -> q_full.(i).(j)) in
+  let r_thin = Mat.init n n (fun i j -> if j >= i then r.(i).(j) else 0.0) in
+  { q; r = r_thin }
+
+let solve_least_squares a b =
+  if Mat.rows a <> Array.length b then
+    invalid_arg "Qr.solve_least_squares: dimension mismatch";
+  let { q; r } = factor a in
+  Tri.solve_upper r (Mat.tmul_vec q b)
+
+let solve_square a b =
+  if not (Mat.is_square a) then invalid_arg "Qr.solve_square: not square";
+  solve_least_squares a b
+
+let residual_norm a x b = Vec.dist2 (Mat.mul_vec a x) b

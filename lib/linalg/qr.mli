@@ -1,0 +1,27 @@
+(** QR factorisation by Householder reflections, and least squares.
+
+    Rounds out the dense substrate: used for orthogonality checks, for
+    solving the over-determined calibration fits in the analysis tools,
+    and as an alternative, more numerically robust route to LDA when the
+    within-class scatter is ill-conditioned (solve the least-squares
+    system instead of the normal equations). *)
+
+type t = {
+  q : Mat.t;  (** [m × n] with orthonormal columns (thin factor) *)
+  r : Mat.t;  (** [n × n] upper triangular *)
+}
+
+val factor : Mat.t -> t
+(** Thin QR of an [m × n] matrix with [m >= n].
+    @raise Invalid_argument when [m < n];
+    @raise Tri.Singular when a column becomes numerically dependent. *)
+
+val solve_least_squares : Mat.t -> Vec.t -> Vec.t
+(** [solve_least_squares a b] minimises [‖a x − b‖₂] for full-column-rank
+    [a] ([m >= n]). *)
+
+val solve_square : Mat.t -> Vec.t -> Vec.t
+(** Exact solve of a square system via QR (an alternative to {!Lu}). *)
+
+val residual_norm : Mat.t -> Vec.t -> Vec.t -> float
+(** [‖a x − b‖₂]. *)

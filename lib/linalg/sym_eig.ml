@@ -1,0 +1,81 @@
+type decomposition = { eigenvalues : Vec.t; eigenvectors : Mat.t }
+
+let off_diag_norm a =
+  let n = Mat.rows a in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then s := !s +. (a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  sqrt !s
+
+let decompose ?(tol = 1e-12) ?(max_sweeps = 64) m =
+  if not (Mat.is_symmetric ~tol:1e-8 m) then
+    invalid_arg "Sym_eig.decompose: matrix not symmetric";
+  let n = Mat.rows m in
+  let a = Mat.symmetrize m in
+  let v = Mat.identity n in
+  let scale = Float.max (Mat.max_abs a) 1e-300 in
+  let sweeps = ref 0 in
+  while off_diag_norm a > tol *. scale *. float_of_int n && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = a.(p).(q) in
+        if Float.abs apq > 1e-300 then begin
+          let app = a.(p).(p) and aqq = a.(q).(q) in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let s = if theta >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* Apply Givens rotation G(p,q,θ) on both sides of A and
+             accumulate into V. *)
+          for k = 0 to n - 1 do
+            let akp = a.(k).(p) and akq = a.(k).(q) in
+            a.(k).(p) <- (c *. akp) -. (s *. akq);
+            a.(k).(q) <- (s *. akp) +. (c *. akq)
+          done;
+          for k = 0 to n - 1 do
+            let apk = a.(p).(k) and aqk = a.(q).(k) in
+            a.(p).(k) <- (c *. apk) -. (s *. aqk);
+            a.(q).(k) <- (s *. apk) +. (c *. aqk)
+          done;
+          for k = 0 to n - 1 do
+            let vkp = v.(k).(p) and vkq = v.(k).(q) in
+            v.(k).(p) <- (c *. vkp) -. (s *. vkq);
+            v.(k).(q) <- (s *. vkp) +. (c *. vkq)
+          done
+        end
+      done
+    done
+  done;
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare a.(j).(j) a.(i).(i)) idx;
+  {
+    eigenvalues = Array.map (fun i -> a.(i).(i)) idx;
+    eigenvectors = Mat.init n n (fun i j -> v.(i).(idx.(j)));
+  }
+
+let spectral_radius m =
+  let { eigenvalues; _ } = decompose m in
+  Array.fold_left (fun s x -> Float.max s (Float.abs x)) 0.0 eigenvalues
+
+let min_eigenvalue m =
+  let { eigenvalues; _ } = decompose m in
+  Array.fold_left Float.min Float.infinity eigenvalues
+
+let sqrt_psd m =
+  let { eigenvalues; eigenvectors = v } = decompose m in
+  let n = Mat.rows m in
+  let sq = Array.map (fun l -> sqrt (Float.max l 0.0)) eigenvalues in
+  (* V diag(sqrt λ) Vᵀ *)
+  Mat.init n n (fun i j ->
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (v.(i).(k) *. sq.(k) *. v.(j).(k))
+      done;
+      !s)

@@ -1,0 +1,21 @@
+(** Eigendecomposition of symmetric matrices by the cyclic Jacobi method.
+
+    Used to validate covariance conditioning, to build whitening transforms
+    in the dataset simulators, and to cross-check the Cholesky-based LDA
+    solution against the generalized-eigenvalue view of eq. (10). *)
+
+type decomposition = {
+  eigenvalues : Vec.t;  (** descending order *)
+  eigenvectors : Mat.t;  (** column [j] pairs with [eigenvalues.(j)] *)
+}
+
+val decompose : ?tol:float -> ?max_sweeps:int -> Mat.t -> decomposition
+(** @raise Invalid_argument if the matrix is not symmetric within [1e-8].
+    [tol] (default [1e-12]) is the off-diagonal Frobenius threshold scaled
+    by the matrix norm; [max_sweeps] defaults to 64. *)
+
+val spectral_radius : Mat.t -> float
+val min_eigenvalue : Mat.t -> float
+val sqrt_psd : Mat.t -> Mat.t
+(** Symmetric square root of a positive-semidefinite matrix (negative
+    eigenvalues from roundoff are clamped to zero). *)

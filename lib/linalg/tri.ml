@@ -1,0 +1,51 @@
+exception Singular of string
+
+let check_square_compatible name a b =
+  if not (Mat.is_square a) then invalid_arg (name ^ ": matrix not square");
+  if Mat.rows a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let solve_lower l b =
+  check_square_compatible "Tri.solve_lower" l b;
+  let n = Array.length b in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (l.(i).(j) *. y.(j))
+    done;
+    let d = l.(i).(i) in
+    if d = 0.0 then raise (Singular "Tri.solve_lower: zero diagonal");
+    y.(i) <- !s /. d
+  done;
+  y
+
+let solve_upper u b =
+  check_square_compatible "Tri.solve_upper" u b;
+  let n = Array.length b in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (u.(i).(j) *. x.(j))
+    done;
+    let d = u.(i).(i) in
+    if d = 0.0 then raise (Singular "Tri.solve_upper: zero diagonal");
+    x.(i) <- !s /. d
+  done;
+  x
+
+let solve_lower_transpose l b =
+  check_square_compatible "Tri.solve_lower_transpose" l b;
+  let n = Array.length b in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (l.(j).(i) *. x.(j))
+    done;
+    let d = l.(i).(i) in
+    if d = 0.0 then raise (Singular "Tri.solve_lower_transpose: zero diagonal");
+    x.(i) <- !s /. d
+  done;
+  x

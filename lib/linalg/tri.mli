@@ -1,0 +1,15 @@
+(** Triangular linear solves (forward and backward substitution). *)
+
+exception Singular of string
+(** Raised when a (near-)zero pivot is met; carries a description. *)
+
+val solve_lower : Mat.t -> Vec.t -> Vec.t
+(** [solve_lower l b] solves [L y = b] for lower-triangular [L] (entries
+    above the diagonal are ignored). @raise Singular on a zero diagonal. *)
+
+val solve_upper : Mat.t -> Vec.t -> Vec.t
+(** [solve_upper u b] solves [U x = b] for upper-triangular [U]. *)
+
+val solve_lower_transpose : Mat.t -> Vec.t -> Vec.t
+(** [solve_lower_transpose l b] solves [Lᵀ x = b] using only the lower
+    triangle of [l]. *)

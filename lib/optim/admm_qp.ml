@@ -1,0 +1,116 @@
+open Linalg
+
+type problem = { p : Mat.t; q : Vec.t; a : Mat.t; l : Vec.t; u : Vec.t }
+
+let problem ?p ?q ~a ~l ~u () =
+  let m, n = Mat.dims a in
+  if m = 0 || n = 0 then invalid_arg "Admm_qp.problem: empty constraint matrix";
+  let p = match p with Some p -> p | None -> Mat.zeros n n in
+  let q = match q with Some q -> q | None -> Vec.zeros n in
+  if Mat.dims p <> (n, n) then invalid_arg "Admm_qp.problem: P must be n x n";
+  if not (Mat.is_symmetric ~tol:1e-8 p) then
+    invalid_arg "Admm_qp.problem: P must be symmetric";
+  if Vec.dim q <> n then invalid_arg "Admm_qp.problem: q dimension";
+  if Vec.dim l <> m || Vec.dim u <> m then
+    invalid_arg "Admm_qp.problem: bound dimensions";
+  Array.iteri
+    (fun i li ->
+      if li > u.(i) then invalid_arg "Admm_qp.problem: l > u")
+    l;
+  { p = Mat.symmetrize p; q = Vec.copy q; a = Mat.copy a; l = Vec.copy l;
+    u = Vec.copy u }
+
+let box_problem ?p ?q ~lo ~hi () =
+  problem ?p ?q ~a:(Mat.identity (Vec.dim lo)) ~l:lo ~u:hi ()
+
+type params = {
+  rho : float;
+  sigma : float;
+  alpha : float;
+  eps_abs : float;
+  eps_rel : float;
+  max_iter : int;
+}
+
+let default_params =
+  { rho = 1.0; sigma = 1e-6; alpha = 1.6; eps_abs = 1e-8; eps_rel = 1e-8;
+    max_iter = 20_000 }
+
+type status = Solved | Max_iterations
+
+type solution = {
+  x : Vec.t;
+  objective : float;
+  iterations : int;
+  primal_residual : float;
+  dual_residual : float;
+  status : status;
+}
+
+let clamp l u v = Array.mapi (fun i x -> Float.max l.(i) (Float.min u.(i) x)) v
+
+let solve ?(params = default_params) pb =
+  let { rho; sigma; alpha; eps_abs; eps_rel; max_iter } = params in
+  let n = Mat.cols pb.a and m = Mat.rows pb.a in
+  (* KKT matrix P + sigma I + rho AᵀA, factored once. *)
+  let ata = Mat.mul (Mat.transpose pb.a) pb.a in
+  let kkt =
+    Mat.add_scaled_identity sigma (Mat.add pb.p (Mat.scale rho ata))
+  in
+  let factor, _ = Cholesky.factor_jittered kkt in
+  let x = ref (Vec.zeros n) in
+  let z = ref (clamp pb.l pb.u (Vec.zeros m)) in
+  let y = ref (Vec.zeros m) in
+  let iterations = ref 0 in
+  let primal_res = ref Float.infinity in
+  let dual_res = ref Float.infinity in
+  let status = ref Max_iterations in
+  (try
+     for it = 1 to max_iter do
+       iterations := it;
+       (* x-update *)
+       let rhs =
+         Vec.add
+           (Vec.sub (Vec.scale sigma !x) pb.q)
+           (Mat.tmul_vec pb.a (Vec.sub (Vec.scale rho !z) !y))
+       in
+       let x_tilde = Cholesky.solve_factored factor rhs in
+       let ax_tilde = Mat.mul_vec pb.a x_tilde in
+       (* over-relaxation on the constraint image *)
+       let ax_rel =
+         Vec.add (Vec.scale alpha ax_tilde) (Vec.scale (1.0 -. alpha) !z)
+       in
+       let z_next = clamp pb.l pb.u (Vec.add ax_rel (Vec.scale (1.0 /. rho) !y)) in
+       let y_next = Vec.add !y (Vec.scale rho (Vec.sub ax_rel z_next)) in
+       let z_prev = !z in
+       x := x_tilde;
+       z := z_next;
+       y := y_next;
+       (* residuals *)
+       let ax = Mat.mul_vec pb.a !x in
+       primal_res := Vec.norm_inf (Vec.sub ax !z);
+       dual_res :=
+         Vec.norm_inf
+           (Mat.tmul_vec pb.a (Vec.scale rho (Vec.sub !z z_prev)));
+       let eps_pri =
+         eps_abs +. (eps_rel *. Float.max (Vec.norm_inf ax) (Vec.norm_inf !z))
+       in
+       let eps_dua =
+         eps_abs
+         +. eps_rel
+            *. Vec.norm_inf (Vec.add (Mat.mul_vec pb.p !x) pb.q)
+       in
+       if !primal_res <= eps_pri && !dual_res <= eps_dua then begin
+         status := Solved;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    x = !x;
+    objective = (0.5 *. Mat.quadratic_form pb.p !x) +. Vec.dot pb.q !x;
+    iterations = !iterations;
+    primal_residual = !primal_res;
+    dual_residual = !dual_res;
+    status = !status;
+  }

@@ -1,0 +1,135 @@
+type 'sol bound_info = {
+  lower : float;
+  candidate : ('sol * float) option;
+}
+
+type ('region, 'sol) oracle = {
+  bound : 'region -> 'sol bound_info option;
+  branch : 'region -> 'region list;
+}
+
+type params = {
+  max_nodes : int;
+  rel_gap : float;
+  abs_gap : float;
+  time_limit : float option;
+  log_every : int;
+}
+
+let default_params =
+  { max_nodes = 100_000; rel_gap = 1e-6; abs_gap = 1e-12; time_limit = None;
+    log_every = 0 }
+
+type stop_reason = Proved_optimal | Gap_reached | Node_budget | Time_budget
+
+type stats = {
+  infeasible_regions : int;
+  bound_pruned : int;
+  stale_pops : int;
+  incumbent_updates : int;
+  children_generated : int;
+}
+
+type 'sol result = {
+  best : ('sol * float) option;
+  bound : float;
+  gap : float;
+  nodes_explored : int;
+  stop_reason : stop_reason;
+  stats : stats;
+}
+
+let src = Logs.Src.create "ldafp.bnb" ~doc:"branch-and-bound driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let minimize : type region sol.
+    ?params:params -> (region, sol) oracle -> region -> sol result =
+ fun ?(params = default_params) oracle root ->
+  let queue = Pqueue.create () in
+  let incumbent = ref None in
+  let incumbent_cost = ref Float.infinity in
+  let nodes = ref 0 in
+  let start_time = Sys.time () in
+  let stop = ref None in
+  let infeasible_regions = ref 0 in
+  let bound_pruned = ref 0 in
+  let stale_pops = ref 0 in
+  let incumbent_updates = ref 0 in
+  let children_generated = ref 0 in
+  let consider_candidate = function
+    | Some (sol, cost) when cost < !incumbent_cost ->
+        incumbent := Some (sol, cost);
+        incumbent_cost := cost;
+        incr incumbent_updates;
+        (* New incumbent: drop queued regions it dominates. *)
+        Pqueue.filter_in_place queue (fun lb _ -> lb < cost)
+    | _ -> ()
+  in
+  let enqueue region =
+    match oracle.bound region with
+    | None -> incr infeasible_regions
+    | Some { lower; candidate } ->
+        consider_candidate candidate;
+        if lower < !incumbent_cost then Pqueue.push queue lower region
+        else incr bound_pruned
+  in
+  enqueue root;
+  let gap_ok () =
+    !incumbent_cost < Float.infinity
+    &&
+    let bound = Pqueue.min_key queue in
+    let gap = !incumbent_cost -. bound in
+    gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs !incumbent_cost
+  in
+  while !stop = None do
+    if Pqueue.is_empty queue then stop := Some Proved_optimal
+    else if gap_ok () then stop := Some Gap_reached
+    else if !nodes >= params.max_nodes then stop := Some Node_budget
+    else if
+      match params.time_limit with
+      | Some limit -> Sys.time () -. start_time > limit
+      | None -> false
+    then stop := Some Time_budget
+    else begin
+      match Pqueue.pop queue with
+      | None -> stop := Some Proved_optimal
+      | Some (lb, region) ->
+          if lb >= !incumbent_cost then
+            (* Stale entry dominated by a newer incumbent. *)
+            incr stale_pops
+          else begin
+            incr nodes;
+            if params.log_every > 0 && !nodes mod params.log_every = 0 then
+              Log.debug (fun m ->
+                  m "node %d: bound %.6g incumbent %.6g queue %d" !nodes lb
+                    !incumbent_cost (Pqueue.length queue));
+            let children = oracle.branch region in
+            children_generated := !children_generated + List.length children;
+            List.iter enqueue children
+          end
+    end
+  done;
+  let bound =
+    if Pqueue.is_empty queue then
+      (* Everything explored or pruned: the incumbent is optimal. *)
+      Float.min !incumbent_cost (Pqueue.min_key queue)
+    else Pqueue.min_key queue
+  in
+  {
+    best = !incumbent;
+    bound;
+    gap =
+      (if !incumbent_cost = Float.infinity then Float.infinity
+       else !incumbent_cost -. bound);
+    nodes_explored = !nodes;
+    stop_reason = (match !stop with Some r -> r | None -> Proved_optimal);
+    stats =
+      {
+        infeasible_regions = !infeasible_regions;
+        bound_pruned = !bound_pruned;
+        stale_pops = !stale_pops;
+        incumbent_updates = !incumbent_updates;
+        children_generated = !children_generated;
+      };
+  }

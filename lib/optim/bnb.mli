@@ -1,0 +1,65 @@
+(** Generic best-first branch-and-bound for global minimisation.
+
+    Abstracts Algorithm 1 of the paper: the caller supplies a [bound]
+    oracle that, for a region, returns a certified lower bound on the cost
+    over that region (or proves the region infeasible) together with an
+    optional feasible incumbent candidate, and a [branch] rule that splits
+    a region into sub-regions.  The driver keeps a min-heap of live regions
+    keyed by lower bound, prunes regions whose bound exceeds the incumbent
+    and stops on proof of optimality, a gap tolerance, or a budget. *)
+
+type 'sol bound_info = {
+  lower : float;
+      (** certified lower bound on the cost over the region; [+infinity]
+          allowed (prunes immediately) *)
+  candidate : ('sol * float) option;
+      (** a feasible solution found inside the region and its exact cost *)
+}
+
+type ('region, 'sol) oracle = {
+  bound : 'region -> 'sol bound_info option;
+      (** [None] = region proved infeasible *)
+  branch : 'region -> 'region list;
+      (** split a region; return [[]] when atomic (fully explored by
+          [bound]) *)
+}
+
+type params = {
+  max_nodes : int;
+  rel_gap : float;  (** stop when (incumbent − best bound) ≤ rel_gap·|incumbent| *)
+  abs_gap : float;
+  time_limit : float option;  (** CPU seconds *)
+  log_every : int;  (** emit a [Logs] debug line every n nodes; 0 = never *)
+}
+
+val default_params : params
+(** [max_nodes = 100_000], [rel_gap = 1e-6], [abs_gap = 1e-12],
+    no time limit, no logging. *)
+
+type stop_reason =
+  | Proved_optimal  (** queue exhausted or bound met incumbent *)
+  | Gap_reached
+  | Node_budget
+  | Time_budget
+
+type stats = {
+  infeasible_regions : int;  (** regions the bound oracle proved empty *)
+  bound_pruned : int;  (** regions rejected because their bound met the incumbent *)
+  stale_pops : int;  (** queue entries dominated by a newer incumbent *)
+  incumbent_updates : int;
+  children_generated : int;
+}
+(** Search statistics — the observability the ablation benches report. *)
+
+type 'sol result = {
+  best : ('sol * float) option;  (** incumbent and its cost *)
+  bound : float;  (** greatest certified global lower bound *)
+  gap : float;  (** incumbent − bound; [infinity] without incumbent *)
+  nodes_explored : int;
+  stop_reason : stop_reason;
+  stats : stats;
+}
+
+val minimize :
+  ?params:params -> ('region, 'sol) oracle -> 'region -> 'sol result
+(** Explore from the root region. *)

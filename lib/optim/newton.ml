@@ -1,0 +1,74 @@
+open Linalg
+
+type oracle = Vec.t -> (float * Vec.t * Mat.t) option
+
+type params = { tol : float; max_iter : int; alpha : float; beta : float }
+
+let default_params = { tol = 1e-9; max_iter = 80; alpha = 0.25; beta = 0.5 }
+
+type status = Converged | Iteration_limit | Stalled
+
+type result = {
+  x : Vec.t;
+  value : float;
+  iterations : int;
+  decrement : float;
+  status : status;
+}
+
+let solve_step hess grad =
+  (* Newton direction H d = -g, via jittered Cholesky: the barrier Hessian
+     is positive definite in the domain interior but may be numerically
+     semidefinite near the analytic center of a thin box. *)
+  let l, _ = Cholesky.factor_jittered (Mat.symmetrize hess) in
+  Cholesky.solve_factored l (Vec.neg grad)
+
+let minimize ?(params = default_params) oracle x0 =
+  let eval x = oracle x in
+  match eval x0 with
+  | None -> invalid_arg "Newton.minimize: start point outside domain"
+  | Some (f0, g0, h0) ->
+      let x = ref (Vec.copy x0) in
+      let fx = ref f0 in
+      let gx = ref g0 in
+      let hx = ref h0 in
+      let iter = ref 0 in
+      let dec = ref Float.infinity in
+      let status = ref Iteration_limit in
+      let continue = ref true in
+      while !continue && !iter < params.max_iter do
+        incr iter;
+        let d = solve_step !hx !gx in
+        let lambda_sq = -.Vec.dot !gx d in
+        dec := 0.5 *. lambda_sq;
+        if !dec <= params.tol || Float.is_nan !dec then begin
+          status := Converged;
+          continue := false
+        end
+        else begin
+          (* Backtracking line search on f with domain rejection. *)
+          let t = ref 1.0 in
+          let accepted = ref false in
+          let tries = ref 0 in
+          while (not !accepted) && !tries < 60 do
+            incr tries;
+            let cand = Vec.axpy !t d !x in
+            (match eval cand with
+            | Some (fc, gc, hc)
+              when fc <= !fx +. (params.alpha *. !t *. Vec.dot !gx d)
+                   && not (Float.is_nan fc) ->
+                x := cand;
+                fx := fc;
+                gx := gc;
+                hx := hc;
+                accepted := true
+            | _ -> t := params.beta *. !t)
+          done;
+          if not !accepted then begin
+            status := Stalled;
+            continue := false
+          end
+        end
+      done;
+      { x = !x; value = !fx; iterations = !iter; decrement = !dec;
+        status = !status }

@@ -1,0 +1,34 @@
+(** Damped Newton minimisation of smooth strictly convex functions.
+
+    The inner loop of the barrier method: minimise [f] given a combined
+    value/gradient/Hessian oracle.  The oracle returns [None] outside the
+    function's domain (e.g. outside the barrier's cone), which the
+    backtracking line search treats as [+∞]. *)
+
+type oracle = Linalg.Vec.t -> (float * Linalg.Vec.t * Linalg.Mat.t) option
+
+type params = {
+  tol : float;  (** stop when the Newton decrement λ²/2 falls below this *)
+  max_iter : int;
+  alpha : float;  (** line-search sufficient-decrease fraction, in (0, ½) *)
+  beta : float;  (** line-search backtracking factor, in (0, 1) *)
+}
+
+val default_params : params
+(** [tol = 1e-9], [max_iter = 80], [alpha = 0.25], [beta = 0.5]. *)
+
+type status = Converged | Iteration_limit | Stalled
+(** [Stalled]: the line search could not make progress (typically at the
+    numerical boundary of the domain); the best iterate is still
+    returned. *)
+
+type result = {
+  x : Linalg.Vec.t;
+  value : float;
+  iterations : int;
+  decrement : float;  (** final λ²/2 *)
+  status : status;
+}
+
+val minimize : ?params:params -> oracle -> Linalg.Vec.t -> result
+(** @raise Invalid_argument if the starting point is outside the domain. *)

@@ -1,0 +1,22 @@
+(** Minimal mutable binary min-heap keyed by floats.
+
+    Drives the best-first branch-and-bound: nodes are popped in order of
+    increasing lower bound. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-key element. *)
+
+val peek_key : 'a t -> float option
+val filter_in_place : 'a t -> (float -> 'a -> bool) -> unit
+(** Drop entries not satisfying the predicate, preserving heap order —
+    used to prune queued boxes whose lower bound exceeds a new incumbent. *)
+
+val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val min_key : 'a t -> float
+(** [infinity] when empty. *)

@@ -1,0 +1,253 @@
+open Linalg
+
+type lin = { a : Vec.t; b : float }
+type soc = { l : Mat.t; g : Vec.t; c : Vec.t; d : float }
+
+type problem = {
+  n : int;
+  p : Mat.t;
+  q : Vec.t;
+  lins : lin array;
+  socs : soc array;
+}
+
+let problem ?p ?q ?(lins = []) ?(socs = []) n =
+  if n <= 0 then invalid_arg "Socp.problem: n must be positive";
+  let p = match p with Some p -> p | None -> Mat.zeros n n in
+  let q = match q with Some q -> q | None -> Vec.zeros n in
+  if Mat.dims p <> (n, n) then invalid_arg "Socp.problem: P must be n x n";
+  if not (Mat.is_symmetric ~tol:1e-8 p) then
+    invalid_arg "Socp.problem: P must be symmetric";
+  if Vec.dim q <> n then invalid_arg "Socp.problem: q must have length n";
+  List.iter
+    (fun { a; _ } ->
+      if Vec.dim a <> n then
+        invalid_arg "Socp.problem: linear constraint dimension mismatch")
+    lins;
+  List.iter
+    (fun { l; g; c; _ } ->
+      if Mat.cols l <> n || Vec.dim c <> n || Vec.dim g <> Mat.rows l then
+        invalid_arg "Socp.problem: cone constraint dimension mismatch")
+    socs;
+  { n; p = Mat.symmetrize p; q; lins = Array.of_list lins;
+    socs = Array.of_list socs }
+
+let box_constraints lo hi =
+  if Vec.dim lo <> Vec.dim hi then
+    invalid_arg "Socp.box_constraints: dimension mismatch";
+  let n = Vec.dim lo in
+  List.concat
+    (List.init n (fun i ->
+         [ { a = Vec.basis n i; b = hi.(i) };
+           { a = Vec.neg (Vec.basis n i); b = -.lo.(i) } ]))
+
+let objective_value pb x = (0.5 *. Mat.quadratic_form pb.p x) +. Vec.dot pb.q x
+
+let soc_violation { l; g; c; d } x =
+  let v = Vec.add (Mat.mul_vec l x) g in
+  Vec.norm2 v -. (Vec.dot c x +. d)
+
+let max_violation pb x =
+  let worst = ref Float.neg_infinity in
+  Array.iter (fun { a; b } -> worst := Float.max !worst (Vec.dot a x -. b)) pb.lins;
+  Array.iter (fun s -> worst := Float.max !worst (soc_violation s x)) pb.socs;
+  if !worst = Float.neg_infinity then 0.0 else !worst
+
+let is_feasible ?(tol = 1e-9) pb x = max_violation pb x <= tol
+
+type params = {
+  tau0 : float;
+  mu : float;
+  gap_tol : float;
+  newton : Newton.params;
+  max_outer : int;
+}
+
+let default_params =
+  { tau0 = 1.0; mu = 15.0; gap_tol = 1e-8;
+    newton = { Newton.default_params with tol = 1e-10 }; max_outer = 60 }
+
+type status = Optimal | Suboptimal
+
+type solution = {
+  x : Vec.t;
+  objective : float;
+  gap_bound : float;
+  outer_iterations : int;
+  newton_iterations : int;
+  status : status;
+}
+
+(* Total barrier parameter: 1 per half-space, 2 per cone. *)
+let barrier_nu pb = Array.length pb.lins + (2 * Array.length pb.socs)
+
+(* Oracle for tau * f(x) + phi(x); None outside the barrier domain. *)
+let centering_oracle pb tau : Newton.oracle =
+ fun x ->
+  let n = pb.n in
+  let fx = objective_value pb x in
+  let grad = Vec.axpy tau (Vec.add (Mat.mul_vec pb.p x) pb.q) (Vec.zeros n) in
+  let hess = Mat.scale tau pb.p in
+  let value = ref (tau *. fx) in
+  let ok = ref true in
+  Array.iter
+    (fun { a; b } ->
+      if !ok then begin
+        let s = b -. Vec.dot a x in
+        if s <= 0.0 then ok := false
+        else begin
+          value := !value -. log s;
+          let inv_s = 1.0 /. s in
+          for i = 0 to n - 1 do
+            grad.(i) <- grad.(i) +. (a.(i) *. inv_s);
+            if a.(i) <> 0.0 then
+              for j = 0 to n - 1 do
+                hess.(i).(j) <- hess.(i).(j) +. (a.(i) *. a.(j) *. inv_s *. inv_s)
+              done
+          done
+        end
+      end)
+    pb.lins;
+  Array.iter
+    (fun { l; g; c; d } ->
+      if !ok then begin
+        let u = Vec.dot c x +. d in
+        let v = Vec.add (Mat.mul_vec l x) g in
+        let h = (u *. u) -. Vec.dot v v in
+        if u <= 0.0 || h <= 0.0 then ok := false
+        else begin
+          value := !value -. log h;
+          (* grad h = 2u c - 2 Lᵀ v *)
+          let ltv = Mat.tmul_vec l v in
+          let gh = Vec.sub (Vec.scale (2.0 *. u) c) (Vec.scale 2.0 ltv) in
+          let inv_h = 1.0 /. h in
+          for i = 0 to n - 1 do
+            grad.(i) <- grad.(i) -. (gh.(i) *. inv_h)
+          done;
+          (* hess(-log h) = (gh ghᵀ)/h² − (2ccᵀ − 2LᵀL)/h *)
+          let rows_l = Mat.rows l in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              let ltl = ref 0.0 in
+              for r = 0 to rows_l - 1 do
+                ltl := !ltl +. (l.(r).(i) *. l.(r).(j))
+              done;
+              hess.(i).(j) <-
+                hess.(i).(j)
+                +. (gh.(i) *. gh.(j) *. inv_h *. inv_h)
+                -. (((2.0 *. c.(i) *. c.(j)) -. (2.0 *. !ltl)) *. inv_h)
+            done
+          done
+        end
+      end)
+    pb.socs;
+  if !ok && not (Float.is_nan !value) then Some (!value, grad, hess) else None
+
+let strictly_feasible_for_barrier pb x =
+  match centering_oracle pb 0.0 x with Some _ -> true | None -> false
+
+let solve ?(params = default_params) pb ~start =
+  if Vec.dim start <> pb.n then invalid_arg "Socp.solve: start dimension";
+  if not (strictly_feasible_for_barrier pb start) then
+    invalid_arg "Socp.solve: start point not strictly feasible";
+  let nu = float_of_int (barrier_nu pb) in
+  if nu = 0.0 then begin
+    (* Unconstrained QP: single Newton solve. *)
+    let r = Newton.minimize ~params:params.newton (centering_oracle pb 1.0) start in
+    { x = r.x; objective = objective_value pb r.x; gap_bound = 0.0;
+      outer_iterations = 0; newton_iterations = r.iterations;
+      status = Optimal }
+  end
+  else begin
+    let x = ref (Vec.copy start) in
+    let tau = ref params.tau0 in
+    let outer = ref 0 in
+    let newton_total = ref 0 in
+    let stalled = ref false in
+    while nu /. !tau > params.gap_tol && !outer < params.max_outer
+          && not !stalled do
+      incr outer;
+      let r = Newton.minimize ~params:params.newton (centering_oracle pb !tau) !x in
+      newton_total := !newton_total + r.iterations;
+      x := r.x;
+      (match r.status with Newton.Stalled -> stalled := true | _ -> ());
+      tau := params.mu *. !tau
+    done;
+    let gap = nu /. !tau *. params.mu (* gap before the last multiply *) in
+    let status =
+      if nu /. !tau <= params.gap_tol || gap <= params.gap_tol then Optimal
+      else Suboptimal
+    in
+    { x = !x; objective = objective_value pb !x; gap_bound = gap;
+      outer_iterations = !outer; newton_iterations = !newton_total; status }
+  end
+
+type feasibility =
+  | Strictly_feasible of Vec.t
+  | Infeasible of float
+  | Unknown of Vec.t
+
+(* Augment with a slack variable s (index n): every half-space becomes
+   aᵀx − s <= b and every cone ‖Lx+g‖ <= cᵀx + d + s; minimise s. *)
+let phase1_problem pb =
+  let n = pb.n in
+  let extend v extra = Array.append v [| extra |] in
+  let lins =
+    Array.to_list
+      (Array.map (fun { a; b } -> { a = extend a (-1.0); b }) pb.lins)
+  in
+  let socs =
+    Array.to_list
+      (Array.map
+         (fun { l; g; c; d } ->
+           let l' = Mat.init (Mat.rows l) (n + 1) (fun i j ->
+               if j < n then l.(i).(j) else 0.0)
+           in
+           { l = l'; g; c = extend c 1.0; d })
+         pb.socs)
+  in
+  problem ~q:(extend (Vec.zeros n) 1.0) ~lins ~socs (n + 1)
+
+let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
+    ~start =
+  if Vec.dim start <> pb.n then
+    invalid_arg "Socp.find_strictly_feasible: start dimension";
+  let v0 = max_violation pb start in
+  if v0 <= -.margin then Strictly_feasible (Vec.copy start)
+  else begin
+    let aug = phase1_problem pb in
+    let s0 = (Float.max v0 0.0) +. 1.0 +. (0.1 *. Float.abs v0) in
+    let z = ref (Array.append start [| s0 |]) in
+    (* Custom outer loop so we can stop as soon as s goes negative. *)
+    let nu = float_of_int (barrier_nu aug) in
+    let tau = ref params.tau0 in
+    let result = ref None in
+    let outer = ref 0 in
+    while !result = None && !outer < params.max_outer do
+      incr outer;
+      let r = Newton.minimize ~params:params.newton (centering_oracle aug !tau) !z in
+      z := r.x;
+      let s = !z.(aug.n - 1) in
+      let x = Array.sub !z 0 pb.n in
+      if max_violation pb x <= -.margin then result := Some (Strictly_feasible x)
+      else begin
+        let gap = nu /. !tau in
+        if gap <= params.gap_tol || r.status = Newton.Stalled then begin
+          (* s is an upper bound on s*; s - gap is a lower bound. *)
+          if s -. gap > margin then result := Some (Infeasible (s -. gap))
+          else result := Some (Unknown x)
+        end
+        else tau := params.mu *. !tau
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None -> Unknown (Array.sub !z 0 pb.n)
+  end
+
+let centering_oracle_for_tests = centering_oracle
+
+let solve_auto ?(params = default_params) pb ~start =
+  match find_strictly_feasible ~params pb ~start with
+  | Strictly_feasible x -> Some (solve ~params pb ~start:x)
+  | Infeasible _ | Unknown _ -> None

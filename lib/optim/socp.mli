@@ -1,0 +1,103 @@
+(** Convex quadratic programs with linear and second-order-cone
+    constraints, solved by a log-barrier interior-point method.
+
+    This is the engine behind the LDA-FP lower/upper bound estimation
+    (paper eq. 25): each branch-and-bound box yields a problem
+
+    {v minimize (1/2) xᵀP x + qᵀx
+      s.t.  aᵢᵀx ≤ bᵢ                      (box, per-element overflow, t-range)
+            ‖Lⱼx + gⱼ‖₂ ≤ cⱼᵀx + dⱼ       (projection overflow, eq. 20) v}
+
+    with [P] positive semidefinite.  The barrier for a second-order cone is
+    the standard self-concordant [−log((cᵀx+d)² − ‖Lx+g‖²)]. *)
+
+type lin = { a : Linalg.Vec.t; b : float }
+(** The half-space [aᵀx <= b]. *)
+
+type soc = {
+  l : Linalg.Mat.t;
+  g : Linalg.Vec.t;
+  c : Linalg.Vec.t;
+  d : float;
+}
+(** The cone [‖l x + g‖₂ <= cᵀx + d]. *)
+
+type problem = private {
+  n : int;  (** number of variables *)
+  p : Linalg.Mat.t;  (** quadratic term; symmetric PSD, [n × n] *)
+  q : Linalg.Vec.t;
+  lins : lin array;
+  socs : soc array;
+}
+
+val problem :
+  ?p:Linalg.Mat.t ->
+  ?q:Linalg.Vec.t ->
+  ?lins:lin list ->
+  ?socs:soc list ->
+  int ->
+  problem
+(** [problem n] with omitted pieces defaulting to zero.
+    @raise Invalid_argument on any dimension mismatch. *)
+
+val box_constraints : Linalg.Vec.t -> Linalg.Vec.t -> lin list
+(** [box_constraints lo hi] is the [2n] half-spaces of [lo <= x <= hi]. *)
+
+val objective_value : problem -> Linalg.Vec.t -> float
+
+val max_violation : problem -> Linalg.Vec.t -> float
+(** Largest constraint violation at a point ([<= 0] means feasible);
+    for cones this is [‖Lx+g‖ − (cᵀx+d)]. *)
+
+val is_feasible : ?tol:float -> problem -> Linalg.Vec.t -> bool
+(** [max_violation <= tol] (default [1e-9]). *)
+
+type params = {
+  tau0 : float;  (** initial barrier weight on the objective *)
+  mu : float;  (** barrier growth factor per outer iteration *)
+  gap_tol : float;  (** stop when [ν/τ] (suboptimality bound) is below *)
+  newton : Newton.params;
+  max_outer : int;
+}
+
+val default_params : params
+
+type status = Optimal | Suboptimal
+(** [Suboptimal]: an outer-iteration limit or a stalled centering step;
+    the returned point is feasible but the gap bound may exceed
+    [gap_tol]. *)
+
+type solution = {
+  x : Linalg.Vec.t;
+  objective : float;
+  gap_bound : float;  (** certified bound on suboptimality, [ν/τ] *)
+  outer_iterations : int;
+  newton_iterations : int;
+  status : status;
+}
+
+val solve : ?params:params -> problem -> start:Linalg.Vec.t -> solution
+(** Path-following from a strictly feasible [start].
+    @raise Invalid_argument if [start] is not strictly feasible. *)
+
+type feasibility =
+  | Strictly_feasible of Linalg.Vec.t
+  | Infeasible of float  (** certified positive lower bound on violation *)
+  | Unknown of Linalg.Vec.t  (** best point found; violation within noise *)
+
+val find_strictly_feasible :
+  ?params:params -> ?margin:float -> problem -> start:Linalg.Vec.t -> feasibility
+(** Phase-I: minimise the auxiliary slack [s] with every constraint relaxed
+    by [s], from an arbitrary [start].  Succeeds as soon as an iterate has
+    [max_violation <= -margin] (default [1e-9]). *)
+
+val solve_auto : ?params:params -> problem -> start:Linalg.Vec.t -> solution option
+(** Phase-I then phase-II; [None] when phase-I proves or suspects
+    infeasibility. [start] need not be feasible. *)
+
+(**/**)
+
+val centering_oracle_for_tests : problem -> float -> Newton.oracle
+(** The centering objective [τ·f + barrier] — exposed so the test suite
+    can finite-difference the hand-derived cone calculus. Not part of the
+    stable API. *)

@@ -1,0 +1,61 @@
+type align = Left | Right
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~columns ~rows =
+  let ncols = List.length columns in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let widths =
+    List.mapi
+      (fun j col ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row j)))
+          (String.length col.header) rows)
+      columns
+  in
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    List.iteri
+      (fun j cell ->
+        let col = List.nth columns j in
+        let w = List.nth widths j in
+        if j > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad col.align w cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map (fun c -> c.header) columns);
+  let total =
+    List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+  in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title ~columns ~rows () =
+  (match title with
+  | Some t ->
+      print_newline ();
+      print_endline t;
+      print_endline (String.make (String.length t) '=')
+  | None -> ());
+  print_string (render ~columns ~rows)
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let secs x = Printf.sprintf "%.2f" x
+let g4 x = Printf.sprintf "%.4g" x

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the experiment harness, in the style of
+    the paper's Tables 1–2. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+val column : ?align:align -> string -> column
+(** Default alignment [Right] (numeric tables). *)
+
+val render : columns:column list -> rows:string list list -> string
+(** Pads cells, draws an ASCII header rule.
+    @raise Invalid_argument when a row's width differs from the header. *)
+
+val print : ?title:string -> columns:column list -> rows:string list list ->
+  unit -> unit
+
+val pct : float -> string
+(** Format an error rate as a percentage with two decimals ("26.83%"). *)
+
+val secs : float -> string
+val g4 : float -> string
+(** Four significant digits. *)

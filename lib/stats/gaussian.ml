@@ -1,0 +1,123 @@
+let sqrt_pi = 1.7724538509055160273
+let sqrt2 = 1.4142135623730950488
+
+(* erf on |x| <= 2 by the all-positive-term series
+   erf(x) = (2x/sqrt pi) e^{-x^2} sum_n (2x^2)^n / (1*3*...*(2n+1)),
+   which avoids the cancellation of the alternating Taylor series. *)
+let erf_series x =
+  let x2 = x *. x in
+  let term = ref 1.0 in
+  let sum = ref 1.0 in
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term := !term *. 2.0 *. x2 /. float_of_int ((2 * !n) + 1);
+    sum := !sum +. !term;
+    incr n;
+    if !term < 1e-18 *. !sum || !n > 200 then continue := false
+  done;
+  2.0 *. x *. exp (-.x2) *. !sum /. sqrt_pi
+
+(* erfc on x >= 2 by the Laplace continued fraction, evaluated with the
+   modified Lentz algorithm:
+   erfc(x) = e^{-x^2}/sqrt(pi) * 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + ...)))) *)
+let erfc_cf x =
+  let tiny = 1e-300 in
+  let f = ref x in
+  if !f = 0.0 then f := tiny;
+  (* Modified Lentz: C and f start at b0, D at 0. *)
+  let c = ref !f in
+  let d = ref 0.0 in
+  let j = ref 1 in
+  let converged = ref false in
+  while not !converged && !j < 2000 do
+    let a = float_of_int !j /. 2.0 in
+    let b = x in
+    d := b +. (a *. !d);
+    if !d = 0.0 then d := tiny;
+    c := b +. (a /. !c);
+    if !c = 0.0 then c := tiny;
+    d := 1.0 /. !d;
+    let delta = !c *. !d in
+    f := !f *. delta;
+    if Float.abs (delta -. 1.0) < 1e-17 then converged := true;
+    incr j
+  done;
+  exp (-.(x *. x)) /. (sqrt_pi *. !f)
+
+let erf x =
+  if Float.is_nan x then x
+  else if x >= 0.0 then if x <= 3.0 then erf_series x else 1.0 -. erfc_cf x
+  else if x >= -3.0 then erf_series x
+  else erfc_cf (-.x) -. 1.0
+
+let erfc x =
+  (* Prefer the continued fraction as soon as it converges well (x > 2):
+     1 − erf_series suffers cancellation once erf is close to 1. *)
+  if Float.is_nan x then x
+  else if x > 2.0 then erfc_cf x
+  else if x >= -2.0 then 1.0 -. erf_series x
+  else 2.0 -. erfc_cf (-.x)
+
+let pdf x = exp (-0.5 *. x *. x) /. (sqrt2 *. sqrt_pi)
+let cdf x = 0.5 *. erfc (-.x /. sqrt2)
+
+(* Acklam's rational approximation to the probit function. *)
+let inv_cdf_acklam p =
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+    *. q +. c.(5)
+    |> fun num ->
+    num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  else if p <= 1.0 -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+    *. r +. a.(5)
+    |> fun num ->
+    num *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r +. 1.0)
+  else
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+
+let inv_cdf p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg (Printf.sprintf "Gaussian.inv_cdf: p = %g outside (0, 1)" p);
+  let x = inv_cdf_acklam p in
+  (* One Halley refinement step against the accurate cdf. *)
+  let e = cdf x -. p in
+  let u = e /. pdf x in
+  x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+let beta_of_confidence rho =
+  if not (rho >= 0.0 && rho < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Gaussian.beta_of_confidence: rho = %g outside [0, 1)"
+         rho);
+  if rho = 0.0 then 0.0 else inv_cdf (0.5 +. (0.5 *. rho))
+
+let tail_probability ~mean ~sigma x =
+  if sigma <= 0.0 then (if x >= mean then 0.0 else 1.0)
+  else 1.0 -. cdf ((x -. mean) /. sigma)

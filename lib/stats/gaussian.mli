@@ -1,0 +1,26 @@
+(** The standard Gaussian distribution: density, CDF, quantile.
+
+    The quantile function [inv_cdf] is the Φ⁻¹ of paper eq. (16): the
+    overflow constraints use [β = Φ⁻¹(0.5 + 0.5ρ)] to convert a confidence
+    level ρ into a number of standard deviations.  Implementation: Acklam's
+    rational approximation refined by one Halley step on [cdf], giving
+    ~1e-15 relative accuracy over (0, 1). *)
+
+val pdf : float -> float
+val cdf : float -> float
+(** Φ, via [erfc]; absolute error below 1e-15. *)
+
+val inv_cdf : float -> float
+(** Φ⁻¹ on (0, 1). @raise Invalid_argument outside (0, 1). *)
+
+val beta_of_confidence : float -> float
+(** [beta_of_confidence rho] = Φ⁻¹(0.5 + 0.5ρ), eq. (16); ρ ∈ [0, 1). *)
+
+val tail_probability : mean:float -> sigma:float -> float -> float
+(** [tail_probability ~mean ~sigma x] = P(X > x) for X ~ N(mean, sigma²). *)
+
+val erf : float -> float
+val erfc : float -> float
+(** Complementary error function, |error| < 1.2e-7 absolute from the
+    rational Chebyshev fit, refined to ~1e-15 by a Newton step on small
+    arguments; see implementation notes. *)

@@ -1,0 +1,76 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0 }
+
+let n_bins t = Array.length t.counts
+
+let bin_of t x =
+  if Float.is_nan x then `Underflow
+  else if x < t.lo then `Underflow
+  else if x >= t.hi then `Overflow
+  else
+    let w = (t.hi -. t.lo) /. float_of_int (n_bins t) in
+    let i = int_of_float ((x -. t.lo) /. w) in
+    `Bin (min (n_bins t - 1) (max 0 i))
+
+let add t x =
+  match bin_of t x with
+  | `Underflow -> { t with underflow = t.underflow + 1 }
+  | `Overflow -> { t with overflow = t.overflow + 1 }
+  | `Bin i ->
+      let counts = Array.copy t.counts in
+      counts.(i) <- counts.(i) + 1;
+      { t with counts }
+
+let add_all t xs = Array.fold_left add t xs
+let of_values ~lo ~hi ~bins xs = add_all (create ~lo ~hi ~bins) xs
+
+let total t = Array.fold_left ( + ) (t.underflow + t.overflow) t.counts
+
+let bin_center t i =
+  if i < 0 || i >= n_bins t then invalid_arg "Histogram.bin_center";
+  let w = (t.hi -. t.lo) /. float_of_int (n_bins t) in
+  t.lo +. ((float_of_int i +. 0.5) *. w)
+
+let mode_bin t =
+  if total t = 0 then invalid_arg "Histogram.mode_bin: empty";
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best
+
+let mean_estimate t =
+  let mass = Array.fold_left ( + ) 0 t.counts in
+  if mass = 0 then invalid_arg "Histogram.mean_estimate: no in-range mass";
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i c -> s := !s +. (float_of_int c *. bin_center t i))
+    t.counts;
+  !s /. float_of_int mass
+
+let render ?(width = 50) ?label t =
+  let label =
+    match label with Some f -> f | None -> fun x -> Printf.sprintf "%8.3f" x
+  in
+  let maxc = Array.fold_left max 1 t.counts in
+  let buf = Buffer.create 1024 in
+  if t.underflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "   < lo : %d\n" t.underflow);
+  Array.iteri
+    (fun i c ->
+      let bar = c * width / maxc in
+      Buffer.add_string buf
+        (Printf.sprintf "%s | %s %d\n" (label (bin_center t i))
+           (String.make bar '#') c))
+    t.counts;
+  if t.overflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "   > hi : %d\n" t.overflow);
+  Buffer.contents buf

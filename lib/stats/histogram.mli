@@ -1,0 +1,36 @@
+(** Fixed-bin histograms with a terminal renderer.
+
+    Used by the examples to visualise the projected class distributions
+    (the view of the paper's Figure 1) and by tests as a cheap
+    distribution check. *)
+
+type t = private {
+  lo : float;  (** left edge of the first bin *)
+  hi : float;  (** right edge of the last bin *)
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [lo >= hi] or [bins < 1]. *)
+
+val add : t -> float -> t
+val add_all : t -> float array -> t
+val of_values : lo:float -> hi:float -> bins:int -> float array -> t
+
+val total : t -> int
+(** Including under/overflow. *)
+
+val bin_of : t -> float -> [ `Bin of int | `Underflow | `Overflow ]
+val bin_center : t -> int -> float
+val mode_bin : t -> int
+(** Index of the fullest bin (ties toward the left).
+    @raise Invalid_argument on an empty histogram. *)
+
+val mean_estimate : t -> float
+(** Mean of the binned mass (bin centers weighted by counts; ignores
+    under/overflow). @raise Invalid_argument when no in-range mass. *)
+
+val render : ?width:int -> ?label:(float -> string) -> t -> string
+(** ASCII bar chart, one line per bin. *)

@@ -1,0 +1,66 @@
+open Linalg
+
+type t = {
+  mu_a : Vec.t;
+  mu_b : Vec.t;
+  sigma_a : Mat.t;
+  sigma_b : Mat.t;
+  n_a : int;
+  n_b : int;
+}
+
+let of_data a b =
+  if Mat.rows a = 0 || Mat.rows b = 0 then
+    invalid_arg "Scatter.of_data: empty class";
+  if Mat.cols a <> Mat.cols b then
+    invalid_arg "Scatter.of_data: feature count mismatch";
+  {
+    mu_a = Moments.mean a;
+    mu_b = Moments.mean b;
+    sigma_a = Moments.covariance a;
+    sigma_b = Moments.covariance b;
+    n_a = Mat.rows a;
+    n_b = Mat.rows b;
+  }
+
+let dim s = Vec.dim s.mu_a
+let mean_difference s = Vec.sub s.mu_a s.mu_b
+
+let between_class s =
+  let d = mean_difference s in
+  Mat.outer d d
+
+let within_class s = Mat.scale 0.5 (Mat.add s.sigma_a s.sigma_b)
+let pooled_mean s = Vec.scale 0.5 (Vec.add s.mu_a s.mu_b)
+
+let fisher_ratio s w =
+  let num = Mat.quadratic_form (within_class s) w in
+  let t = Vec.dot (mean_difference s) w in
+  if t = 0.0 then Float.infinity else num /. (t *. t)
+
+let projected_stats s w =
+  let stats mu sigma =
+    let m = Vec.dot w mu in
+    let v = Mat.quadratic_form sigma w in
+    (m, sqrt (Float.max v 0.0))
+  in
+  (stats s.mu_a s.sigma_a, stats s.mu_b s.sigma_b)
+
+let theoretical_error s w =
+  let (ma, sa), (mb, sb) = projected_stats s w in
+  if ma = mb then 0.5
+  else
+    let thr = 0.5 *. (ma +. mb) in
+    (* Class A is decided when the projection is on A's side of the
+       threshold; errors are the tails crossing it. *)
+    let err_a =
+      if sa <= 0.0 then (if (ma >= thr) = (ma >= mb) then 0.0 else 1.0)
+      else if ma >= mb then Gaussian.cdf ((thr -. ma) /. sa)
+      else 1.0 -. Gaussian.cdf ((thr -. ma) /. sa)
+    in
+    let err_b =
+      if sb <= 0.0 then (if (mb >= thr) = (mb >= ma) then 0.0 else 1.0)
+      else if mb >= ma then Gaussian.cdf ((thr -. mb) /. sb)
+      else 1.0 -. Gaussian.cdf ((thr -. mb) /. sb)
+    in
+    0.5 *. (err_a +. err_b)

@@ -1,0 +1,46 @@
+(** Class statistics and LDA scatter matrices (paper eqs. 1–6).
+
+    [of_data a b] condenses two training matrices (rows = trials) into the
+    sufficient statistics every downstream component consumes: class means,
+    biased covariances, the between-class scatter
+    [S_B = (μ_A−μ_B)(μ_A−μ_B)ᵀ] and the within-class scatter
+    [S_W = (Σ_A + Σ_B)/2]. *)
+
+type t = {
+  mu_a : Linalg.Vec.t;
+  mu_b : Linalg.Vec.t;
+  sigma_a : Linalg.Mat.t;
+  sigma_b : Linalg.Mat.t;
+  n_a : int;
+  n_b : int;
+}
+
+val of_data : Linalg.Mat.t -> Linalg.Mat.t -> t
+(** @raise Invalid_argument on empty classes or mismatched feature counts. *)
+
+val dim : t -> int
+val mean_difference : t -> Linalg.Vec.t
+(** [μ_A − μ_B]. *)
+
+val between_class : t -> Linalg.Mat.t
+(** [S_B], eq. (1) — rank one. *)
+
+val within_class : t -> Linalg.Mat.t
+(** [S_W], eq. (2). *)
+
+val pooled_mean : t -> Linalg.Vec.t
+(** [(μ_A + μ_B)/2] — the decision threshold point of eq. (12). *)
+
+val fisher_ratio : t -> Linalg.Vec.t -> float
+(** [fisher_ratio s w] is the LDA-FP cost
+    [wᵀ S_W w / ((μ_A−μ_B)ᵀ w)²] (eq. 10); [infinity] when the
+    denominator vanishes. *)
+
+val projected_stats : t -> Linalg.Vec.t -> (float * float) * (float * float)
+(** [(mean_a, sigma_a), (mean_b, sigma_b)] of the projection [wᵀx] under
+    the class Gaussians (eq. 19). *)
+
+val theoretical_error : t -> Linalg.Vec.t -> float
+(** Bayes error of thresholding the projection midway between the
+    projected class means, under the Gaussian model with per-class
+    variances (average of the two one-sided tail errors). *)

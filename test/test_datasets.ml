@@ -1,0 +1,418 @@
+(* Tests for the dataset substrate: container, synthetic generator,
+   simulated ECoG, CSV I/O. *)
+
+open Datasets
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Dataset container                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_dataset () =
+  Dataset.create ~name:"t"
+    ~features:
+      [|
+        [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |]; [| 7.0; 8.0 |];
+        [| 9.0; 10.0 |]; [| 11.0; 12.0 |];
+      |]
+    ~labels:[| true; false; true; false; true; false |]
+
+let test_dataset_basics () =
+  let ds = sample_dataset () in
+  checki "trials" 6 (Dataset.n_trials ds);
+  checki "features" 2 (Dataset.n_features ds);
+  let na, nb = Dataset.class_counts ds in
+  checki "class A" 3 na;
+  checki "class B" 3 nb
+
+let test_dataset_class_split () =
+  let ds = sample_dataset () in
+  let a, b = Dataset.class_split ds in
+  checki "A rows" 3 (Linalg.Mat.rows a);
+  checki "B rows" 3 (Linalg.Mat.rows b);
+  checkf 1e-12 "first A row" 1.0 a.(0).(0);
+  checkf 1e-12 "first B row" 3.0 b.(0).(0)
+
+let test_dataset_of_class_matrices_roundtrip () =
+  let a = [| [| 1.0 |]; [| 2.0 |] |] and b = [| [| 3.0 |] |] in
+  let ds = Dataset.of_class_matrices ~name:"r" ~a ~b in
+  let a', b' = Dataset.class_split ds in
+  checkb "A preserved" true (Linalg.Mat.approx_equal a a');
+  checkb "B preserved" true (Linalg.Mat.approx_equal b b')
+
+let test_dataset_validation () =
+  checkb "mismatch rejected" true
+    (match
+       Dataset.create ~name:"x" ~features:[| [| 1.0 |] |] ~labels:[||]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "empty rejected" true
+    (match Dataset.create ~name:"x" ~features:[||] ~labels:[||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "NaN rejected" true
+    (match
+       Dataset.create ~name:"x" ~features:[| [| Float.nan |] |]
+         ~labels:[| true |]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "infinity rejected" true
+    (match
+       Dataset.create ~name:"x"
+         ~features:[| [| Float.infinity |] |]
+         ~labels:[| true |]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "ragged rejected" true
+    (match
+       Dataset.create ~name:"x"
+         ~features:[| [| 1.0; 2.0 |]; [| 3.0 |] |]
+         ~labels:[| true; false |]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_dataset_immutability () =
+  (* create copies its inputs; mutating the original must not leak in. *)
+  let feats = [| [| 1.0 |] |] in
+  let ds = Dataset.create ~name:"c" ~features:feats ~labels:[| true |] in
+  feats.(0).(0) <- 99.0;
+  checkf 1e-12 "copied" 1.0 ds.Dataset.features.(0).(0)
+
+let test_split_stratified () =
+  let rng = Stats.Rng.create 5 in
+  let ds = sample_dataset () in
+  let train, test = Dataset.split ds ~train_fraction:0.67 rng in
+  checki "train size" 4 (Dataset.n_trials train);
+  checki "test size" 2 (Dataset.n_trials test);
+  let ta, tb = Dataset.class_counts train in
+  checki "train stratified A" 2 ta;
+  checki "train stratified B" 2 tb
+
+let test_stratified_folds_partition () =
+  let rng = Stats.Rng.create 6 in
+  let ds = sample_dataset () in
+  let folds = Dataset.stratified_folds rng ~k:3 ds in
+  checki "fold count" 3 (Array.length folds);
+  let total_test =
+    Array.fold_left (fun acc (_, t) -> acc + Dataset.n_trials t) 0 folds
+  in
+  checki "test sets partition the data" (Dataset.n_trials ds) total_test;
+  Array.iter
+    (fun (train, test) ->
+      checki "train+test = all" (Dataset.n_trials ds)
+        (Dataset.n_trials train + Dataset.n_trials test);
+      let ta, tb = Dataset.class_counts test in
+      checkb "stratified" true (abs (ta - tb) <= 1))
+    folds
+
+let test_stratified_folds_rejects_small () =
+  let ds = sample_dataset () in
+  let rng = Stats.Rng.create 7 in
+  checkb "k too large" true
+    (match Dataset.stratified_folds rng ~k:4 ds with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic generator (eqs 30-32)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_synthetic_shape () =
+  let rng = Stats.Rng.create 1 in
+  let ds = Synthetic.generate ~n_per_class:100 rng in
+  checki "features" 3 (Dataset.n_features ds);
+  checki "trials" 200 (Dataset.n_trials ds)
+
+let test_synthetic_population_moments () =
+  (* Sample moments must approach the closed-form population values. *)
+  let rng = Stats.Rng.create 2 in
+  let ds = Synthetic.generate ~n_per_class:40_000 rng in
+  let a, b = Dataset.class_split ds in
+  let mu_a = Stats.Moments.mean a and mu_b = Stats.Moments.mean b in
+  let pm_a, pm_b = Synthetic.population_means () in
+  Array.iteri
+    (fun j v -> checkf 0.03 (Printf.sprintf "mu_a[%d]" j) v mu_a.(j))
+    pm_a;
+  Array.iteri
+    (fun j v -> checkf 0.03 (Printf.sprintf "mu_b[%d]" j) v mu_b.(j))
+    pm_b;
+  let cov = Stats.Moments.covariance a in
+  let pop = Synthetic.population_covariance () in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      checkf 0.06 (Printf.sprintf "cov[%d][%d]" i j) pop.(i).(j) cov.(i).(j)
+    done
+  done
+
+let test_synthetic_ideal_weights_cancel () =
+  (* The ideal direction must null the ε₂ and ε₃ noise exactly: check by
+     computing the projected population variance analytically. *)
+  let w = Synthetic.ideal_weights () in
+  let cov = Synthetic.population_covariance () in
+  let proj_var = Linalg.Mat.quadratic_form cov w in
+  (* residual variance should be gain² (only ε₁ remains) *)
+  checkf 1e-9 "residual variance = gain^2" (0.58 *. 0.58) proj_var
+
+let test_synthetic_error_floors () =
+  checkf 1e-6 "ideal error" (Stats.Gaussian.cdf (-0.5 /. 0.58))
+    (Synthetic.ideal_error ());
+  checkf 1e-6 "no-cancel error"
+    (Stats.Gaussian.cdf (-0.5 /. (0.58 *. sqrt 3.0)))
+    (Synthetic.no_cancellation_error ());
+  checkb "ideal < no-cancel" true
+    (Synthetic.ideal_error () < Synthetic.no_cancellation_error ())
+
+let test_synthetic_deterministic () =
+  let d1 = Synthetic.generate ~n_per_class:10 (Stats.Rng.create 3) in
+  let d2 = Synthetic.generate ~n_per_class:10 (Stats.Rng.create 3) in
+  checkb "same seed, same data" true
+    (Linalg.Mat.approx_equal d1.Dataset.features d2.Dataset.features)
+
+(* ------------------------------------------------------------------ *)
+(* ECoG simulator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ecog_shape () =
+  let rng = Stats.Rng.create 4 in
+  let ds = Ecog_sim.generate rng in
+  checki "42 features (paper)" 42 (Dataset.n_features ds);
+  checki "140 trials (70/class, paper)" 140 (Dataset.n_trials ds)
+
+let test_ecog_feature_index () =
+  let p = Ecog_sim.default_params in
+  checki "first" 0 (Ecog_sim.feature_index p ~channel:0 ~band:0);
+  checki "row major" 8 (Ecog_sim.feature_index p ~channel:1 ~band:1);
+  checki "last" 41 (Ecog_sim.feature_index p ~channel:5 ~band:6);
+  checkb "out of range" true
+    (match Ecog_sim.feature_index p ~channel:6 ~band:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ecog_population_structure () =
+  let p = Ecog_sim.default_params in
+  let mu_a, mu_b = Ecog_sim.population_means p in
+  (* antisymmetric class means *)
+  checkb "mu_a = -mu_b" true
+    (Linalg.Vec.approx_equal mu_a (Linalg.Vec.neg mu_b));
+  (* informative features non-zero, others zero *)
+  let idx = Ecog_sim.feature_index p ~channel:0 ~band:5 in
+  checkb "informative shifted" true (mu_b.(idx) > 0.0);
+  let quiet = Ecog_sim.feature_index p ~channel:5 ~band:0 in
+  checkf 1e-12 "uninformative zero" 0.0 mu_b.(quiet);
+  let cov = Ecog_sim.population_covariance p in
+  checkb "cov symmetric" true (Linalg.Mat.is_symmetric cov);
+  checkb "cov pd" true (Linalg.Cholesky.is_positive_definite cov);
+  (* same-band cross-channel correlation comes from the band noise *)
+  let i = Ecog_sim.feature_index p ~channel:0 ~band:2 in
+  let j = Ecog_sim.feature_index p ~channel:3 ~band:2 in
+  checkb "cross-channel correlated" true (cov.(i).(j) > 0.5)
+
+let test_ecog_bayes_error_sane () =
+  let e = Ecog_sim.bayes_error Ecog_sim.default_params in
+  checkb "bayes error plausible for the paper's ~20% regime" true
+    (e > 0.05 && e < 0.3)
+
+let test_ecog_validation () =
+  let bad = { Ecog_sim.default_params with Ecog_sim.band_noise = [| 1.0 |] } in
+  checkb "band noise length checked" true
+    (match Ecog_sim.generate ~params:bad (Stats.Rng.create 1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let bad =
+    { Ecog_sim.default_params with Ecog_sim.effect = [ (9, 0, 1.0) ] }
+  in
+  checkb "effect index checked" true
+    (match Ecog_sim.population_means bad with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ECG simulator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ecg_shape () =
+  let ds = Ecg_sim.generate (Stats.Rng.create 13) in
+  checki "10 features" Ecg_sim.n_features (Dataset.n_features ds);
+  checki "400 trials" 400 (Dataset.n_trials ds);
+  checki "feature names" Ecg_sim.n_features
+    (Array.length Ecg_sim.feature_names)
+
+let test_ecg_population_structure () =
+  let p = Ecg_sim.default_params in
+  let mu_a, mu_b = Ecg_sim.population_means p in
+  checkb "antisymmetric means" true
+    (Linalg.Vec.approx_equal mu_a (Linalg.Vec.neg mu_b));
+  (* PVC physiology encoded in the signs: short preceding RR, wide QRS,
+     inverted T for the arrhythmic class *)
+  checkb "rr_prev shortens" true (mu_b.(0) < 0.0);
+  checkb "qrs widens" true (mu_b.(2) > 0.0);
+  checkb "t inverts" true (mu_b.(4) < 0.0);
+  let cov = Ecg_sim.population_covariance p in
+  checkb "cov pd" true (Linalg.Cholesky.is_positive_definite cov);
+  (* RR features share the drift component; RR and amplitudes do not *)
+  checkb "rr coupled" true (cov.(0).(1) > 0.3);
+  checkf 1e-12 "rr/amplitude uncoupled" 0.0 cov.(0).(3)
+
+let test_ecg_bayes_error_scales_with_effect () =
+  let weak = { Ecg_sim.default_params with Ecg_sim.effect_scale = 0.3 } in
+  let strong = { Ecg_sim.default_params with Ecg_sim.effect_scale = 2.0 } in
+  checkb "stronger effect separates better" true
+    (Ecg_sim.bayes_error strong < Ecg_sim.bayes_error weak);
+  let e = Ecg_sim.bayes_error Ecg_sim.default_params in
+  checkb "default in a sane band" true (e > 0.01 && e < 0.45)
+
+let test_ecg_validation () =
+  checkb "bad trial count" true
+    (match
+       Ecg_sim.generate
+         ~params:{ Ecg_sim.default_params with Ecg_sim.trials_per_class = 0 }
+         (Stats.Rng.create 1)
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* CSV I/O                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_roundtrip_memory () =
+  let ds = sample_dataset () in
+  let lines = Dataset_io.to_lines ds in
+  let ds2 = Dataset_io.of_lines ~name:"t" lines in
+  checkb "features roundtrip" true
+    (Linalg.Mat.approx_equal ds.Dataset.features ds2.Dataset.features);
+  Alcotest.(check (array bool))
+    "labels roundtrip" ds.Dataset.labels ds2.Dataset.labels
+
+let test_csv_roundtrip_file () =
+  let ds = Synthetic.generate ~n_per_class:25 (Stats.Rng.create 8) in
+  let path = Filename.temp_file "ldafp_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset_io.save path ds;
+      let ds2 = Dataset_io.load path in
+      checkb "exact roundtrip" true
+        (Linalg.Mat.approx_equal ~tol:0.0 ds.Dataset.features
+           ds2.Dataset.features))
+
+let test_csv_label_variants () =
+  let ds =
+    Dataset_io.of_lines ~name:"v"
+      [ "a,1.0"; "B,2.0"; "1,3.0"; "0,4.0"; "true,5.0"; "false,6.0" ]
+  in
+  Alcotest.(check (array bool))
+    "label synonyms" [| true; false; true; false; true; false |]
+    ds.Dataset.labels
+
+let test_csv_errors () =
+  let is_err lines =
+    match Dataset_io.of_lines ~name:"e" lines with
+    | exception Dataset_io.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "bad label" true (is_err [ "X,1.0" ]);
+  checkb "bad number" true (is_err [ "A,abc" ]);
+  checkb "ragged" true (is_err [ "A,1.0,2.0"; "B,1.0" ]);
+  checkb "empty" true (is_err [ "" ]);
+  checkb "header only" true (is_err [ "label,x1" ])
+
+let test_csv_header_skipped () =
+  let ds = Dataset_io.of_lines ~name:"h" [ "label,x1"; "A,1.5"; "B,-2.5" ] in
+  checki "two rows" 2 (Dataset.n_trials ds);
+  checkf 1e-12 "value" 1.5 ds.Dataset.features.(0).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_folds_partition =
+  QCheck.Test.make ~name:"stratified folds partition trials" ~count:50
+    QCheck.(pair (int_range 2 5) (int_range 0 1_000_000))
+    (fun (k, seed) ->
+      let rng = Stats.Rng.create seed in
+      let ds = Synthetic.generate ~n_per_class:(k * 3) rng in
+      let folds = Dataset.stratified_folds rng ~k ds in
+      let total =
+        Array.fold_left (fun acc (_, t) -> acc + Dataset.n_trials t) 0 folds
+      in
+      total = Dataset.n_trials ds)
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~name:"CSV roundtrip exact" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let ds = Synthetic.generate ~n_per_class:5 rng in
+      let ds2 = Dataset_io.of_lines ~name:"p" (Dataset_io.to_lines ds) in
+      Linalg.Mat.approx_equal ~tol:0.0 ds.Dataset.features ds2.Dataset.features
+      && ds.Dataset.labels = ds2.Dataset.labels)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_folds_partition; prop_csv_roundtrip ]
+
+let () =
+  Alcotest.run "datasets"
+    [
+      ( "dataset",
+        [
+          Alcotest.test_case "basics" `Quick test_dataset_basics;
+          Alcotest.test_case "class split" `Quick test_dataset_class_split;
+          Alcotest.test_case "class matrices roundtrip" `Quick
+            test_dataset_of_class_matrices_roundtrip;
+          Alcotest.test_case "validation" `Quick test_dataset_validation;
+          Alcotest.test_case "defensive copies" `Quick
+            test_dataset_immutability;
+          Alcotest.test_case "stratified split" `Quick test_split_stratified;
+          Alcotest.test_case "stratified folds" `Quick
+            test_stratified_folds_partition;
+          Alcotest.test_case "folds reject small classes" `Quick
+            test_stratified_folds_rejects_small;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "shape" `Quick test_synthetic_shape;
+          Alcotest.test_case "population moments" `Slow
+            test_synthetic_population_moments;
+          Alcotest.test_case "ideal weights cancel" `Quick
+            test_synthetic_ideal_weights_cancel;
+          Alcotest.test_case "error floors" `Quick test_synthetic_error_floors;
+          Alcotest.test_case "deterministic" `Quick
+            test_synthetic_deterministic;
+        ] );
+      ( "ecog",
+        [
+          Alcotest.test_case "shape" `Quick test_ecog_shape;
+          Alcotest.test_case "feature index" `Quick test_ecog_feature_index;
+          Alcotest.test_case "population structure" `Quick
+            test_ecog_population_structure;
+          Alcotest.test_case "bayes error" `Quick test_ecog_bayes_error_sane;
+          Alcotest.test_case "validation" `Quick test_ecog_validation;
+        ] );
+      ( "ecg",
+        [
+          Alcotest.test_case "shape" `Quick test_ecg_shape;
+          Alcotest.test_case "population structure" `Quick
+            test_ecg_population_structure;
+          Alcotest.test_case "bayes error scaling" `Quick
+            test_ecg_bayes_error_scales_with_effect;
+          Alcotest.test_case "validation" `Quick test_ecg_validation;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "memory roundtrip" `Quick
+            test_csv_roundtrip_memory;
+          Alcotest.test_case "file roundtrip" `Quick test_csv_roundtrip_file;
+          Alcotest.test_case "label variants" `Quick test_csv_label_variants;
+          Alcotest.test_case "parse errors" `Quick test_csv_errors;
+          Alcotest.test_case "header skipped" `Quick test_csv_header_skipped;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the hardware-model library: gate counts, power model,
+   cycle-accurate datapath, Verilog generation. *)
+
+open Fixedpoint
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Gate_model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_counts_structural () =
+  let add = Hw.Gate_model.ripple_adder ~width:8 in
+  checki "adder FAs" 8 add.Hw.Gate_model.full_adders;
+  let mul = Hw.Gate_model.array_multiplier ~width:8 in
+  checki "multiplier ANDs" 64 mul.Hw.Gate_model.and_cells;
+  checki "multiplier FAs" 56 mul.Hw.Gate_model.full_adders;
+  let reg = Hw.Gate_model.register ~width:8 in
+  checki "register FFs" 8 reg.Hw.Gate_model.flipflops
+
+let test_gate_counts_quadratic_growth () =
+  (* The multiplier dominates and grows ~quadratically: 2x width must be
+     close to 4x gate equivalents at large widths. *)
+  let g w =
+    Hw.Gate_model.gate_equivalents (Hw.Gate_model.array_multiplier ~width:w)
+  in
+  let ratio = g 32 /. g 16 in
+  checkb "quadratic-ish" true (ratio > 3.5 && ratio < 4.5)
+
+let test_gate_counts_compose () =
+  let open Hw.Gate_model in
+  let a = ripple_adder ~width:4 and b = register ~width:4 in
+  let c = a ++ b in
+  checki "FAs compose" 4 c.full_adders;
+  checki "FFs compose" 4 c.flipflops;
+  let clf = classifier ~width:6 ~n_features:42 in
+  (* ROM dominates flip-flop count: 42 words x 6 bits + 2 registers *)
+  checki "classifier FFs" ((42 * 6) + 12) clf.flipflops;
+  checkb "invalid width" true
+    (match ripple_adder ~width:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Power_model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_quadratic_ratios () =
+  (* The paper's two headline numbers. *)
+  checkf 1e-12 "3x word length = 9x power" 9.0
+    (Hw.Power_model.quadratic_ratio ~from_wl:12 ~to_wl:4);
+  checkf 0.01 "8b -> 6b = 1.78x" 1.7778
+    (Hw.Power_model.quadratic_ratio ~from_wl:8 ~to_wl:6)
+
+let test_power_monotone () =
+  let prev = ref 0.0 in
+  List.iter
+    (fun wl ->
+      let p = Hw.Power_model.gate_based ~word_length:wl ~n_features:42 in
+      checkb (Printf.sprintf "monotone at %d" wl) true (p > !prev);
+      prev := p)
+    [ 3; 4; 5; 6; 7; 8; 10; 12; 16 ]
+
+let test_power_gate_vs_quadratic_shape () =
+  (* At large word lengths the gate model approaches the quadratic one:
+     ratio(16->8) under the gate model should be within a factor ~2 of 4. *)
+  let g wl = Hw.Power_model.gate_based ~word_length:wl ~n_features:42 in
+  let ratio = g 16 /. g 8 in
+  checkb "between linear and quadratic" true (ratio > 2.0 && ratio < 4.5)
+
+let test_energy_per_classification () =
+  let e = Hw.Power_model.energy_per_classification ~word_length:6 ~n_features:10 in
+  let p = Hw.Power_model.gate_based ~word_length:6 ~n_features:10 in
+  checkf 1e-9 "energy = power x cycles" (p *. 11.0) e
+
+(* ------------------------------------------------------------------ *)
+(* Datapath                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_datapath_paper_example () =
+  let fmt = Qformat.make ~k:3 ~f:0 in
+  let w = Fx_vector.of_floats fmt [| 1.0; 1.0; 1.0 |] in
+  let x = Fx_vector.of_floats fmt [| 3.0; 3.0; -4.0 |] in
+  let trace = Hw.Datapath.run ~w ~x ~threshold:(Fx.zero fmt) () in
+  checki "final y" 2 trace.Hw.Datapath.y_raw;
+  checki "two wraps" 2 (Hw.Datapath.wrap_events trace);
+  checkb "decision A (2 >= 0)" true trace.Hw.Datapath.decision
+
+let test_datapath_equals_fx_dot () =
+  (* The RTL-level trace must agree with the arithmetic library MAC. *)
+  let rng = Stats.Rng.create 12 in
+  for _ = 1 to 300 do
+    let f = 1 + Stats.Rng.int rng 6 in
+    let fmt = Qformat.make ~k:2 ~f in
+    let m = 1 + Stats.Rng.int rng 10 in
+    let rand_vec () =
+      Fx_vector.of_floats fmt
+        (Array.init m (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0))
+    in
+    let w = rand_vec () and x = rand_vec () in
+    let trace = Hw.Datapath.run ~w ~x ~threshold:(Fx.zero fmt) () in
+    checki "same accumulator" (Fx.raw (Fx_vector.dot w x))
+      trace.Hw.Datapath.y_raw
+  done
+
+let test_datapath_cycle_count () =
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let w = Fx_vector.of_floats fmt [| 0.5; 0.5; 0.5; 0.5; 0.5 |] in
+  let x = Fx_vector.of_floats fmt [| 1.0; 1.0; 1.0; 1.0; 1.0 |] in
+  let trace = Hw.Datapath.run ~w ~x ~threshold:(Fx.zero fmt) () in
+  checki "one cycle per feature" 5 (List.length trace.Hw.Datapath.cycles)
+
+let test_datapath_polarity () =
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let w = Fx_vector.of_floats fmt [| 1.0 |] in
+  let x = Fx_vector.of_floats fmt [| 1.0 |] in
+  let t1 = Hw.Datapath.run ~polarity:true ~w ~x ~threshold:(Fx.zero fmt) () in
+  let t2 = Hw.Datapath.run ~polarity:false ~w ~x ~threshold:(Fx.zero fmt) () in
+  checkb "polarity flips decision" true
+    (t1.Hw.Datapath.decision <> t2.Hw.Datapath.decision)
+
+let test_datapath_parallel_equals_serial () =
+  (* Wrapping addition is associative/commutative mod 2^WL, so the adder
+     tree must produce the identical word — on random vectors including
+     ones that wrap. *)
+  let rng = Stats.Rng.create 14 in
+  for _ = 1 to 300 do
+    let f = 1 + Stats.Rng.int rng 6 in
+    let fmt = Qformat.make ~k:2 ~f in
+    let m = 1 + Stats.Rng.int rng 16 in
+    let rand_vec () =
+      Fx_vector.of_floats fmt
+        (Array.init m (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0))
+    in
+    let w = rand_vec () and x = rand_vec () in
+    let thr = Fx.of_float ~ov:Rounding.Saturate fmt 0.25 in
+    let serial = Hw.Datapath.run ~w ~x ~threshold:thr () in
+    let parallel = Hw.Datapath.run_parallel ~w ~x ~threshold:thr () in
+    checki "same word" serial.Hw.Datapath.y_raw parallel.Hw.Datapath.y_raw;
+    checkb "same decision" serial.Hw.Datapath.decision
+      parallel.Hw.Datapath.decision
+  done
+
+let test_datapath_parallel_paper_example () =
+  let fmt = Qformat.make ~k:3 ~f:0 in
+  let w = Fx_vector.of_floats fmt [| 1.0; 1.0; 1.0 |] in
+  let x = Fx_vector.of_floats fmt [| 3.0; 3.0; -4.0 |] in
+  let trace = Hw.Datapath.run_parallel ~w ~x ~threshold:(Fx.zero fmt) () in
+  checki "tree also recovers 2" 2 trace.Hw.Datapath.y_raw
+
+let test_datapath_mismatch_rejected () =
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let w = Fx_vector.of_floats fmt [| 1.0 |] in
+  let x = Fx_vector.of_floats (Qformat.make ~k:2 ~f:3) [| 1.0 |] in
+  checkb "format mismatch" true
+    (match Hw.Datapath.run ~w ~x ~threshold:(Fx.zero fmt) () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Verilog_gen                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_spec () =
+  let fmt = Qformat.make ~k:2 ~f:4 in
+  Hw.Verilog_gen.spec_of_weights ~fmt
+    ~weights:[| 0.5; -1.0; 1.9375 |]
+    ~threshold:0.25 ()
+
+let test_verilog_rom_contents () =
+  let spec = sample_spec () in
+  let rom = Hw.Verilog_gen.rom_contents spec in
+  checki "rows" 3 (List.length rom);
+  (* 0.5 in Q2.4 = raw 8 = 001000; -1.0 = raw -16 = 110000 *)
+  Alcotest.(check string) "w0 bits" "001000" (List.assoc 0 rom);
+  Alcotest.(check string) "w1 bits" "110000" (List.assoc 1 rom);
+  Alcotest.(check string) "w2 bits" "011111" (List.assoc 2 rom)
+
+let test_verilog_module_wellformed () =
+  let spec = sample_spec () in
+  let src = Hw.Verilog_gen.module_source spec in
+  let contains needle =
+    let nlen = String.length needle and hlen = String.length src in
+    let rec go i =
+      i + nlen <= hlen && (String.sub src i nlen = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "module decl" true (contains "module ldafp_classifier");
+  checkb "endmodule" true (contains "endmodule");
+  checkb "threshold constant" true (contains "THRESHOLD");
+  checkb "feature count" true (contains "localparam integer M = 3");
+  checkb "signed arithmetic" true (contains "signed");
+  checkb "rom entries" true (contains "w_rom[2] = 6'b011111");
+  (* balanced begin/end as a cheap syntax sanity check *)
+  let count needle =
+    let nlen = String.length needle in
+    let rec go i acc =
+      if i + nlen > String.length src then acc
+      else if String.sub src i nlen = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  checkb "begin/end balanced" true (count "begin" = count "end" - 1)
+(* "endmodule" contains one extra "end" *)
+
+let test_verilog_testbench () =
+  let spec = sample_spec () in
+  let fmt = Qformat.make ~k:2 ~f:4 in
+  let vectors =
+    [
+      { Hw.Verilog_gen.inputs = Fx_vector.of_floats fmt [| 1.0; 0.0; 0.0 |];
+        expected = true };
+      { Hw.Verilog_gen.inputs = Fx_vector.of_floats fmt [| -1.0; 1.0; 0.0 |];
+        expected = false };
+    ]
+  in
+  let tb = Hw.Verilog_gen.testbench_source spec vectors in
+  let contains needle =
+    let nlen = String.length needle and hlen = String.length tb in
+    let rec go i =
+      i + nlen <= hlen && (String.sub tb i nlen = needle || go (i + 1))
+    in
+    go 0
+  in
+  checkb "tb module" true (contains "module ldafp_classifier_tb");
+  checkb "dut instantiated" true (contains "ldafp_classifier dut");
+  checkb "pass message" true (contains "PASS (2 vectors)");
+  checkb "checks vector 0" true (contains "FAIL vector 0")
+
+let test_verilog_binary_of_negative () =
+  (* two's complement encodings via the public ROM interface *)
+  let fmt = Qformat.make ~k:3 ~f:0 in
+  let spec =
+    Hw.Verilog_gen.spec_of_weights ~fmt ~weights:[| -4.0; -1.0; 3.0 |]
+      ~threshold:0.0 ()
+  in
+  let rom = Hw.Verilog_gen.rom_contents spec in
+  Alcotest.(check string) "-4 = 100" "100" (List.assoc 0 rom);
+  Alcotest.(check string) "-1 = 111" "111" (List.assoc 1 rom);
+  Alcotest.(check string) "3 = 011" "011" (List.assoc 2 rom)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "gate_model",
+        [
+          Alcotest.test_case "structural counts" `Quick
+            test_gate_counts_structural;
+          Alcotest.test_case "quadratic growth" `Quick
+            test_gate_counts_quadratic_growth;
+          Alcotest.test_case "composition" `Quick test_gate_counts_compose;
+        ] );
+      ( "power_model",
+        [
+          Alcotest.test_case "paper ratios" `Quick test_power_quadratic_ratios;
+          Alcotest.test_case "monotone" `Quick test_power_monotone;
+          Alcotest.test_case "gate vs quadratic" `Quick
+            test_power_gate_vs_quadratic_shape;
+          Alcotest.test_case "energy" `Quick test_energy_per_classification;
+        ] );
+      ( "datapath",
+        [
+          Alcotest.test_case "paper 3+3-4 example" `Quick
+            test_datapath_paper_example;
+          Alcotest.test_case "equals Fx_vector.dot" `Quick
+            test_datapath_equals_fx_dot;
+          Alcotest.test_case "cycle count" `Quick test_datapath_cycle_count;
+          Alcotest.test_case "polarity" `Quick test_datapath_polarity;
+          Alcotest.test_case "parallel equals serial" `Quick
+            test_datapath_parallel_equals_serial;
+          Alcotest.test_case "parallel paper example" `Quick
+            test_datapath_parallel_paper_example;
+          Alcotest.test_case "mismatch rejected" `Quick
+            test_datapath_mismatch_rejected;
+        ] );
+      ( "verilog",
+        [
+          Alcotest.test_case "rom contents" `Quick test_verilog_rom_contents;
+          Alcotest.test_case "module well-formed" `Quick
+            test_verilog_module_wellformed;
+          Alcotest.test_case "testbench" `Quick test_verilog_testbench;
+          Alcotest.test_case "negative encodings" `Quick
+            test_verilog_binary_of_negative;
+        ] );
+    ]

@@ -1,0 +1,473 @@
+(* Tests for the dense linear-algebra substrate. *)
+
+open Linalg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+let checkfa msg = Alcotest.(check (array (float 1e-9))) msg
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_basics () =
+  let a = [| 1.0; -2.0; 3.0 |] and b = [| 0.5; 0.5; 0.5 |] in
+  checkfa "add" [| 1.5; -1.5; 3.5 |] (Vec.add a b);
+  checkfa "sub" [| 0.5; -2.5; 2.5 |] (Vec.sub a b);
+  checkfa "scale" [| 2.0; -4.0; 6.0 |] (Vec.scale 2.0 a);
+  checkf "dot" 1.0 (Vec.dot a b);
+  checkf "norm2" (sqrt 14.0) (Vec.norm2 a);
+  checkf "norm1" 6.0 (Vec.norm1 a);
+  checkf "norm_inf" 3.0 (Vec.norm_inf a);
+  checkfa "axpy" [| 2.5; -3.5; 6.5 |] (Vec.axpy 2.0 a b);
+  checkf "sum" 2.0 (Vec.sum a);
+  checkf "mean" (2.0 /. 3.0) (Vec.mean a);
+  checki "amax" 2 (Vec.amax_index a)
+
+let test_vec_normalize () =
+  let a = [| 3.0; 4.0 |] in
+  checkfa "unit" [| 0.6; 0.8 |] (Vec.normalize a);
+  checkf "unit norm" 1.0 (Vec.norm2 (Vec.normalize a));
+  checkfa "inf-normalized" [| 0.75; 1.0 |] (Vec.normalize_inf a);
+  checkb "zero rejected" true
+    (match Vec.normalize [| 0.0; 0.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_vec_basis_slice () =
+  checkfa "basis" [| 0.0; 1.0; 0.0 |] (Vec.basis 3 1);
+  checkfa "slice" [| 2.0; 3.0 |]
+    (Vec.slice [| 1.0; 2.0; 3.0; 4.0 |] ~pos:1 ~len:2);
+  checkb "dim mismatch raises" true
+    (match Vec.add [| 1.0 |] [| 1.0; 2.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Mat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_mat_mul () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Mat.mul a b in
+  checkfa "row0" [| 19.0; 22.0 |] c.(0);
+  checkfa "row1" [| 43.0; 50.0 |] c.(1);
+  checkb "a*I = a" true (Mat.approx_equal a (Mat.mul a (Mat.identity 2)));
+  checkb "I*a = a" true (Mat.approx_equal a (Mat.mul (Mat.identity 2) a))
+
+let test_mat_vec () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  checkfa "mul_vec" [| 5.0; 11.0; 17.0 |] (Mat.mul_vec a [| 1.0; 2.0 |]);
+  checkfa "tmul_vec" [| 22.0; 28.0 |] (Mat.tmul_vec a [| 1.0; 2.0; 3.0 |]);
+  let t = Mat.transpose a in
+  checki "transpose rows" 2 (Mat.rows t);
+  checkfa "transpose row" [| 1.0; 3.0; 5.0 |] t.(0)
+
+let test_mat_outer_quadratic () =
+  let u = [| 1.0; 2.0 |] and v = [| 3.0; 4.0; 5.0 |] in
+  let o = Mat.outer u v in
+  checki "outer rows" 2 (Mat.rows o);
+  checkf "outer entry" 8.0 o.(1).(1);
+  let s = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  checkf "quadratic form" 18.0 (Mat.quadratic_form s [| 1.0; 2.0 |])
+
+let test_mat_props () =
+  let s = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  checkb "symmetric" true (Mat.is_symmetric s);
+  checkb "not symmetric" false
+    (Mat.is_symmetric [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]);
+  checkf "trace" 5.0 (Mat.trace s);
+  checkf "fro" (sqrt 15.0) (Mat.frobenius_norm s);
+  checkf "max_abs" 3.0 (Mat.max_abs s);
+  let sym = Mat.symmetrize [| [| 1.0; 2.0 |]; [| 4.0; 1.0 |] |] in
+  checkf "symmetrize" 3.0 sym.(0).(1);
+  checkf "diag entry" 2.0 (Mat.diag [| 2.0; 5.0 |]).(0).(0);
+  checkfa "diagonal" [| 2.0; 3.0 |] (Mat.diagonal s)
+
+(* ------------------------------------------------------------------ *)
+(* Tri / Cholesky                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let random_spd rng n =
+  let a =
+    Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+  in
+  Mat.add_scaled_identity (0.5 *. float_of_int n)
+    (Mat.mul a (Mat.transpose a))
+
+let test_cholesky_reconstruct () =
+  let rng = Stats.Rng.create 1 in
+  for n = 1 to 8 do
+    let a = random_spd rng n in
+    let l = Cholesky.factor a in
+    let llt = Mat.mul l (Mat.transpose l) in
+    checkb
+      (Printf.sprintf "LLt = A (n=%d)" n)
+      true
+      (Mat.approx_equal ~tol:1e-8 a llt);
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        checkf "upper zero" 0.0 l.(i).(j)
+      done
+    done
+  done
+
+let test_cholesky_solve_residual () =
+  let rng = Stats.Rng.create 2 in
+  for n = 1 to 10 do
+    let a = random_spd rng n in
+    let b = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0) in
+    let x = Cholesky.solve a b in
+    checkb
+      (Printf.sprintf "residual small (n=%d)" n)
+      true
+      (Vec.dist2 (Mat.mul_vec a x) b < 1e-8)
+  done
+
+let test_cholesky_not_pd () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  checkb "not pd detected" false (Cholesky.is_positive_definite a);
+  checkb "raises" true
+    (match Cholesky.factor a with
+    | exception Cholesky.Not_positive_definite _ -> true
+    | _ -> false)
+
+let test_cholesky_jittered () =
+  let a = Mat.outer [| 1.0; 2.0 |] [| 1.0; 2.0 |] in
+  let l, jitter = Cholesky.factor_jittered a in
+  checkb "jitter positive" true (jitter > 0.0);
+  let llt = Mat.mul l (Mat.transpose l) in
+  checkb "close to A" true (Mat.approx_equal ~tol:1e-4 a llt)
+
+let test_cholesky_inverse_logdet () =
+  let a = [| [| 4.0; 2.0 |]; [| 2.0; 3.0 |] |] in
+  let inv = Cholesky.inverse a in
+  checkb "A A-1 = I" true
+    (Mat.approx_equal ~tol:1e-9 (Mat.identity 2) (Mat.mul a inv));
+  checkf "log det" (log 8.0) (Cholesky.log_det a)
+
+let test_tri_solves () =
+  let l = [| [| 2.0; 0.0 |]; [| 1.0; 3.0 |] |] in
+  checkfa "lower solve" [| 2.0; 1.0 |] (Tri.solve_lower l [| 4.0; 5.0 |]);
+  let u = [| [| 2.0; 1.0 |]; [| 0.0; 3.0 |] |] in
+  checkfa "upper solve" [| 0.5; 3.0 |] (Tri.solve_upper u [| 4.0; 9.0 |]);
+  let lt = Tri.solve_lower_transpose l [| 4.0; 9.0 |] in
+  (* Lᵀ x = b with Lᵀ = [[2,1],[0,3]]: x = (0.5, 3) *)
+  checkfa "lower transpose solve" [| 0.5; 3.0 |] lt;
+  checkb "singular raises" true
+    (match
+       Tri.solve_lower [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |] |] [| 1.0; 1.0 |]
+     with
+    | exception Tri.Singular _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* LU                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_lu_solve () =
+  let rng = Stats.Rng.create 3 in
+  for n = 1 to 10 do
+    let a =
+      Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)
+    in
+    let a = Mat.add_scaled_identity 0.1 a in
+    let b = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    match Lu.solve a b with
+    | x ->
+        checkb
+          (Printf.sprintf "residual (n=%d)" n)
+          true
+          (Vec.dist2 (Mat.mul_vec a x) b < 1e-7)
+    | exception Tri.Singular _ -> ()
+  done
+
+let test_lu_pivoting_example () =
+  (* The paper's §1 motivation: pivoting rescues the tiny-pivot system. *)
+  let a = [| [| 1e-20; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let b = [| 1.0; 2.0 |] in
+  let x = Lu.solve a b in
+  checkb "pivoted solve accurate" true (Vec.dist2 (Mat.mul_vec a x) b < 1e-12)
+
+let test_lu_det () =
+  checkf "det 2x2" (-2.0) (Lu.det [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]);
+  checkf "det identity" 1.0 (Lu.det (Mat.identity 4));
+  checkf "det singular" 0.0 (Lu.det [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]);
+  checkf "det swap" 2.0 (Lu.det [| [| 3.0; 4.0 |]; [| 1.0; 2.0 |] |])
+
+let test_lu_inverse_condition () =
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let inv = Lu.inverse a in
+  checkb "inverse" true
+    (Mat.approx_equal ~tol:1e-9 (Mat.identity 2) (Mat.mul a inv));
+  checkb "condition >= 1" true (Lu.condition_estimate a >= 1.0);
+  checkb "cond of identity is 1" true
+    (Float.abs (Lu.condition_estimate (Mat.identity 3) -. 1.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Sym_eig                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_jacobi_diag () =
+  let d = Mat.diag [| 3.0; 1.0; 2.0 |] in
+  let { Sym_eig.eigenvalues; _ } = Sym_eig.decompose d in
+  checkfa "sorted eigenvalues" [| 3.0; 2.0; 1.0 |] eigenvalues
+
+let test_jacobi_2x2_analytic () =
+  let { Sym_eig.eigenvalues; eigenvectors } =
+    Sym_eig.decompose [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |]
+  in
+  checkf "l1" 3.0 eigenvalues.(0);
+  checkf "l2" 1.0 eigenvalues.(1);
+  let v = Mat.col eigenvectors 0 in
+  checkf "eigvec ratio" 1.0 (v.(0) /. v.(1))
+
+let test_jacobi_reconstruction () =
+  let rng = Stats.Rng.create 4 in
+  for n = 2 to 8 do
+    let a = random_spd rng n in
+    let { Sym_eig.eigenvalues; eigenvectors = v } = Sym_eig.decompose a in
+    let recon =
+      Mat.mul (Mat.mul v (Mat.diag eigenvalues)) (Mat.transpose v)
+    in
+    checkb
+      (Printf.sprintf "reconstruction n=%d" n)
+      true
+      (Mat.approx_equal ~tol:1e-7 a recon);
+    checkb "VtV = I" true
+      (Mat.approx_equal ~tol:1e-8 (Mat.identity n)
+         (Mat.mul (Mat.transpose v) v))
+  done
+
+let test_sqrt_psd () =
+  let rng = Stats.Rng.create 5 in
+  let a = random_spd rng 5 in
+  let s = Sym_eig.sqrt_psd a in
+  checkb "S S = A" true (Mat.approx_equal ~tol:1e-7 a (Mat.mul s s));
+  checkb "S symmetric" true (Mat.is_symmetric ~tol:1e-8 s)
+
+let test_spectral_bounds () =
+  let a = [| [| 2.0; 0.0 |]; [| 0.0; -5.0 |] |] in
+  checkf "spectral radius" 5.0 (Sym_eig.spectral_radius a);
+  checkf "min eig" (-5.0) (Sym_eig.min_eigenvalue a)
+
+(* ------------------------------------------------------------------ *)
+(* QR                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_qr_reconstruct () =
+  let rng = Stats.Rng.create 7 in
+  List.iter
+    (fun (m, n) ->
+      let a =
+        Mat.init m n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)
+      in
+      let { Qr.q; r } = Qr.factor a in
+      checkb
+        (Printf.sprintf "QR = A (%dx%d)" m n)
+        true
+        (Mat.approx_equal ~tol:1e-9 a (Mat.mul q r));
+      checkb "Q orthonormal columns" true
+        (Mat.approx_equal ~tol:1e-9 (Mat.identity n)
+           (Mat.mul (Mat.transpose q) q));
+      (* R upper triangular *)
+      for i = 0 to n - 1 do
+        for j = 0 to i - 1 do
+          checkf "r lower zero" 0.0 r.(i).(j)
+        done
+      done)
+    [ (3, 3); (6, 3); (10, 5); (4, 1) ]
+
+let test_qr_least_squares () =
+  (* Overdetermined line fit y = 2x + 1 with known residuals. *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 1.0 |]; [| 2.0; 1.0 |]; [| 3.0; 1.0 |] |] in
+  let b = [| 1.0; 3.0; 5.0; 7.0 |] in
+  let x = Qr.solve_least_squares a b in
+  checkfa "exact fit" [| 2.0; 1.0 |] x;
+  (* perturbed: solution minimises the residual, check against normal
+     equations *)
+  let b2 = [| 1.1; 2.9; 5.2; 6.8 |] in
+  let x2 = Qr.solve_least_squares a b2 in
+  let at = Mat.transpose a in
+  let normal = Cholesky.solve (Mat.mul at a) (Mat.mul_vec at b2) in
+  checkb "matches normal equations" true (Vec.approx_equal ~tol:1e-9 x2 normal)
+
+let test_qr_square_solve_matches_lu () =
+  let rng = Stats.Rng.create 8 in
+  for n = 1 to 8 do
+    let a =
+      Mat.add_scaled_identity 0.3
+        (Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+    in
+    let b = Array.init n (fun i -> float_of_int (i - 2)) in
+    match (Qr.solve_square a b, Lu.solve a b) with
+    | xq, xl ->
+        checkb
+          (Printf.sprintf "QR and LU agree (n=%d)" n)
+          true
+          (Vec.approx_equal ~tol:1e-7 xq xl)
+    | exception Tri.Singular _ -> ()
+  done
+
+let test_qr_rejects_wide_and_dependent () =
+  checkb "wide rejected" true
+    (match Qr.factor [| [| 1.0; 2.0; 3.0 |] |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "dependent columns rejected" true
+    (match Qr.factor [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |]; [| 3.0; 6.0 |] |] with
+    | exception Tri.Singular _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Linsys                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_linsys_dispatch () =
+  let rng = Stats.Rng.create 6 in
+  let spd = random_spd rng 4 in
+  let b = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let r = Linsys.solve_report spd b in
+  checkb "spd uses cholesky" true (r.Linsys.used = `Cholesky);
+  checkb "small residual" true (r.Linsys.residual_norm < 1e-8);
+  let gen = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let r = Linsys.solve_report gen [| 1.0; 2.0 |] in
+  checkb "indefinite symmetric falls back to LU" true (r.Linsys.used = `Lu);
+  checkfa "swap solve" [| 2.0; 1.0 |] r.Linsys.solution
+
+let test_linsys_regularized () =
+  let a = Mat.outer [| 1.0; 1.0 |] [| 1.0; 1.0 |] in
+  let x = Linsys.solve_spd_regularized ~ridge:1e-8 a [| 2.0; 2.0 |] in
+  checkb "finite" true (Array.for_all Float.is_finite x);
+  checkb "approximately solves" true
+    (Vec.dist2 (Mat.mul_vec a x) [| 2.0; 2.0 |] < 1e-3)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_vec n =
+  QCheck.make
+    ~print:(fun v -> Format.asprintf "%a" Vec.pp v)
+    QCheck.Gen.(
+      let* l = list_repeat n (float_range (-10.0) 10.0) in
+      return (Array.of_list l))
+
+let prop_dot_symmetric =
+  QCheck.Test.make ~name:"dot symmetric" ~count:200
+    (QCheck.pair (arb_vec 5) (arb_vec 5)) (fun (a, b) ->
+      Float.abs (Vec.dot a b -. Vec.dot b a) < 1e-9)
+
+let prop_cauchy_schwarz =
+  QCheck.Test.make ~name:"Cauchy-Schwarz" ~count:200
+    (QCheck.pair (arb_vec 6) (arb_vec 6)) (fun (a, b) ->
+      Float.abs (Vec.dot a b) <= (Vec.norm2 a *. Vec.norm2 b) +. 1e-9)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"triangle inequality" ~count:200
+    (QCheck.pair (arb_vec 6) (arb_vec 6)) (fun (a, b) ->
+      Vec.norm2 (Vec.add a b) <= Vec.norm2 a +. Vec.norm2 b +. 1e-9)
+
+let arb_spd =
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" Mat.pp m)
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* seed = int_range 0 1_000_000 in
+      let rng = Stats.Rng.create seed in
+      return (random_spd rng n))
+
+let prop_cholesky_roundtrip =
+  QCheck.Test.make ~name:"cholesky reconstructs" ~count:100 arb_spd (fun a ->
+      let l = Cholesky.factor a in
+      Mat.approx_equal ~tol:1e-7 a (Mat.mul l (Mat.transpose l)))
+
+let prop_solve_consistent =
+  QCheck.Test.make ~name:"cholesky and LU agree on s.p.d. systems" ~count:100
+    arb_spd (fun a ->
+      let n = Mat.rows a in
+      let b = Array.init n (fun i -> float_of_int (i + 1)) in
+      let x1 = Cholesky.solve a b in
+      let x2 = Lu.solve a b in
+      Vec.approx_equal ~tol:1e-6 x1 x2)
+
+let prop_quadratic_form_nonneg =
+  QCheck.Test.make ~name:"s.p.d. quadratic form positive" ~count:100
+    (QCheck.pair arb_spd (arb_vec 6)) (fun (a, x) ->
+      let x = Array.sub x 0 (Mat.rows a) in
+      QCheck.assume (Vec.norm2 x > 1e-6);
+      Mat.quadratic_form a x > 0.0)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dot_symmetric;
+      prop_cauchy_schwarz;
+      prop_triangle_inequality;
+      prop_cholesky_roundtrip;
+      prop_solve_consistent;
+      prop_quadratic_form_nonneg;
+    ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "basis/slice" `Quick test_vec_basis_slice;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "mat-vec" `Quick test_mat_vec;
+          Alcotest.test_case "outer/quadratic" `Quick test_mat_outer_quadratic;
+          Alcotest.test_case "properties" `Quick test_mat_props;
+        ] );
+      ( "cholesky",
+        [
+          Alcotest.test_case "reconstruct" `Quick test_cholesky_reconstruct;
+          Alcotest.test_case "solve residual" `Quick
+            test_cholesky_solve_residual;
+          Alcotest.test_case "not pd" `Quick test_cholesky_not_pd;
+          Alcotest.test_case "jittered" `Quick test_cholesky_jittered;
+          Alcotest.test_case "inverse/logdet" `Quick
+            test_cholesky_inverse_logdet;
+          Alcotest.test_case "triangular solves" `Quick test_tri_solves;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "pivoting" `Quick test_lu_pivoting_example;
+          Alcotest.test_case "determinant" `Quick test_lu_det;
+          Alcotest.test_case "inverse/condition" `Quick
+            test_lu_inverse_condition;
+        ] );
+      ( "sym_eig",
+        [
+          Alcotest.test_case "diagonal" `Quick test_jacobi_diag;
+          Alcotest.test_case "2x2 analytic" `Quick test_jacobi_2x2_analytic;
+          Alcotest.test_case "reconstruction" `Quick
+            test_jacobi_reconstruction;
+          Alcotest.test_case "sqrt_psd" `Quick test_sqrt_psd;
+          Alcotest.test_case "spectral bounds" `Quick test_spectral_bounds;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "reconstruct" `Quick test_qr_reconstruct;
+          Alcotest.test_case "least squares" `Quick test_qr_least_squares;
+          Alcotest.test_case "square solve" `Quick
+            test_qr_square_solve_matches_lu;
+          Alcotest.test_case "rejects degenerate" `Quick
+            test_qr_rejects_wide_and_dependent;
+        ] );
+      ( "linsys",
+        [
+          Alcotest.test_case "dispatch" `Quick test_linsys_dispatch;
+          Alcotest.test_case "regularized" `Quick test_linsys_regularized;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,582 @@
+(* Tests for the optimisation substrate: intervals, priority queue,
+   Newton, the barrier SOCP solver, and the branch-and-bound driver. *)
+
+open Optim
+open Linalg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_basics () =
+  let iv = Interval.make ~lo:(-2.0) ~hi:3.0 in
+  checkf 1e-12 "width" 5.0 (Interval.width iv);
+  checkf 1e-12 "mid" 0.5 (Interval.mid iv);
+  checkb "mem" true (Interval.mem iv 0.0);
+  checkb "not mem" false (Interval.mem iv 4.0);
+  checkf 1e-12 "clamp lo" (-2.0) (Interval.clamp iv (-9.0));
+  checkf 1e-12 "clamp hi" 3.0 (Interval.clamp iv 9.0);
+  checkb "bad bounds rejected" true
+    (match Interval.make ~lo:1.0 ~hi:0.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_interval_sup_inf_sq () =
+  (* eq. 26/27: sup/inf of t² over the interval. *)
+  let straddle = Interval.make ~lo:(-2.0) ~hi:3.0 in
+  checkf 1e-12 "sup straddling" 9.0 (Interval.sup_sq straddle);
+  checkf 1e-12 "inf straddling" 0.0 (Interval.inf_sq straddle);
+  let pos = Interval.make ~lo:1.0 ~hi:4.0 in
+  checkf 1e-12 "sup positive" 16.0 (Interval.sup_sq pos);
+  checkf 1e-12 "inf positive" 1.0 (Interval.inf_sq pos);
+  let neg = Interval.make ~lo:(-5.0) ~hi:(-2.0) in
+  checkf 1e-12 "sup negative" 25.0 (Interval.sup_sq neg);
+  checkf 1e-12 "inf negative" 4.0 (Interval.inf_sq neg)
+
+let test_interval_split_intersect () =
+  let iv = Interval.make ~lo:0.0 ~hi:10.0 in
+  let l, r = Interval.split iv in
+  checkf 1e-12 "left hi" 5.0 (Interval.hi l);
+  checkf 1e-12 "right lo" 5.0 (Interval.lo r);
+  let l, r = Interval.split ~at:2.0 iv in
+  checkf 1e-12 "custom cut left" 2.0 (Interval.hi l);
+  checkf 1e-12 "custom cut right" 2.0 (Interval.lo r);
+  (match Interval.intersect iv (Interval.make ~lo:8.0 ~hi:12.0) with
+  | Some i ->
+      checkf 1e-12 "intersection lo" 8.0 (Interval.lo i);
+      checkf 1e-12 "intersection hi" 10.0 (Interval.hi i)
+  | None -> Alcotest.fail "expected overlap");
+  checkb "disjoint" true
+    (Interval.intersect iv (Interval.make ~lo:11.0 ~hi:12.0) = None)
+
+let test_interval_scale_shift () =
+  let iv = Interval.make ~lo:1.0 ~hi:2.0 in
+  let s = Interval.scale (-2.0) iv in
+  checkf 1e-12 "scale flips" (-4.0) (Interval.lo s);
+  checkf 1e-12 "scale flips hi" (-2.0) (Interval.hi s);
+  let t = Interval.shift 3.0 iv in
+  checkf 1e-12 "shift" 4.0 (Interval.lo t)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  checki "length" 5 (Pqueue.length q);
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (k, _) ->
+        popped := k :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0)))
+    "ascending order" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] (List.rev !popped)
+
+let test_pqueue_filter () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k ()) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Pqueue.filter_in_place q (fun k () -> k < 3.5);
+  checki "filtered length" 3 (Pqueue.length q);
+  checkf 1e-12 "min still right" 1.0 (Pqueue.min_key q)
+
+let test_pqueue_empty () =
+  let q = Pqueue.create () in
+  checkb "empty" true (Pqueue.is_empty q);
+  checkb "pop none" true (Pqueue.pop q = None);
+  checkf 1e-12 "min of empty is inf" Float.infinity (Pqueue.min_key q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops sorted" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) (float_range (-100.0) 100.0))
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push q k k) keys;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      List.sort compare keys = out)
+
+(* ------------------------------------------------------------------ *)
+(* Newton                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let quadratic_oracle center : Newton.oracle =
+ fun x ->
+  (* f(x) = 1/2 ||x - c||², minimum at c *)
+  let d = Vec.sub x center in
+  Some (0.5 *. Vec.dot d d, d, Mat.identity (Vec.dim x))
+
+let test_newton_quadratic () =
+  let c = [| 1.0; -2.0; 0.5 |] in
+  let r = Newton.minimize (quadratic_oracle c) (Vec.zeros 3) in
+  checkb "converged" true (r.Newton.status = Newton.Converged);
+  checkb "found center" true (Vec.approx_equal ~tol:1e-8 c r.Newton.x)
+
+let test_newton_log_barrier_1d () =
+  (* f(x) = x - log(1 - x), domain x < 1; f' = 1 + 1/(1-x) > 0 always:
+     decreasing x helps; but domain also requires... actually minimise
+     f(x) = -log(x) - log(1 - x): minimum at x = 1/2. *)
+  let oracle : Newton.oracle =
+   fun x ->
+    let v = x.(0) in
+    if v <= 0.0 || v >= 1.0 then None
+    else
+      Some
+        ( -.log v -. log (1.0 -. v),
+          [| (-1.0 /. v) +. (1.0 /. (1.0 -. v)) |],
+          [| [| (1.0 /. (v *. v)) +. (1.0 /. ((1.0 -. v) *. (1.0 -. v))) |] |]
+        )
+  in
+  let r = Newton.minimize oracle [| 0.9 |] in
+  checkb "converged" true (r.Newton.status = Newton.Converged);
+  checkf 1e-7 "minimum at 1/2" 0.5 r.Newton.x.(0)
+
+let test_newton_rejects_infeasible_start () =
+  let oracle : Newton.oracle =
+   fun x -> if x.(0) <= 0.0 then None else Some (x.(0), [| 1.0 |], [| [| 1e-9 |] |])
+  in
+  checkb "raises" true
+    (match Newton.minimize oracle [| -1.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Socp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_socp_box_qp () =
+  (* min (x-3)² + (y+1)² s.t. -1 <= x,y <= 1: optimum at (1,-1)...
+     but (y+1)² pushes y to -1 which is on the boundary. Interior-point
+     converges to the boundary within gap tolerance. *)
+  let p = Mat.scale 2.0 (Mat.identity 2) in
+  let q = [| -6.0; 2.0 |] in
+  let lins = Socp.box_constraints [| -1.0; -1.0 |] [| 1.0; 1.0 |] in
+  let problem = Socp.problem ~p ~q ~lins 2 in
+  let sol = Socp.solve problem ~start:[| 0.0; 0.0 |] in
+  checkf 1e-3 "x at bound" 1.0 sol.Socp.x.(0);
+  checkf 1e-3 "y at bound" (-1.0) sol.Socp.x.(1);
+  checkb "feasible" true (Socp.is_feasible ~tol:1e-7 problem sol.Socp.x)
+
+let test_socp_unconstrained () =
+  let p = Mat.scale 2.0 (Mat.identity 2) in
+  let q = [| -2.0; -4.0 |] in
+  let problem = Socp.problem ~p ~q 2 in
+  let sol = Socp.solve problem ~start:[| 0.0; 0.0 |] in
+  checkb "analytic optimum" true
+    (Vec.approx_equal ~tol:1e-6 [| 1.0; 2.0 |] sol.Socp.x)
+
+let test_socp_cone_projection () =
+  (* min ||x - c||² s.t. ||x|| <= 1 with c outside the ball: optimum is
+     the radial projection c/||c||. *)
+  let c = [| 2.0; 2.0 |] in
+  let p = Mat.scale 2.0 (Mat.identity 2) in
+  let q = Vec.scale (-2.0) c in
+  let cone =
+    { Socp.l = Mat.identity 2; g = Vec.zeros 2; c = Vec.zeros 2; d = 1.0 }
+  in
+  let problem = Socp.problem ~p ~q ~socs:[ cone ] 2 in
+  let sol = Socp.solve problem ~start:[| 0.0; 0.0 |] in
+  let expected = Vec.scale (1.0 /. Vec.norm2 c) c in
+  checkb "radial projection" true
+    (Vec.approx_equal ~tol:1e-4 expected sol.Socp.x)
+
+let test_socp_lower_bound_certificate () =
+  (* The solver's objective minus gap must lower-bound the true optimum:
+     check against the analytic cone projection value. *)
+  let c = [| 3.0; 0.0 |] in
+  let p = Mat.scale 2.0 (Mat.identity 2) in
+  let q = Vec.scale (-2.0) c in
+  let cone =
+    { Socp.l = Mat.identity 2; g = Vec.zeros 2; c = Vec.zeros 2; d = 1.0 }
+  in
+  let problem = Socp.problem ~p ~q ~socs:[ cone ] 2 in
+  let sol = Socp.solve problem ~start:[| 0.0; 0.0 |] in
+  (* true optimum of x² - 6x at x = 1 (cone boundary): 1 - 6 = -5 *)
+  let true_min = -5.0 in
+  checkb "obj >= true min" true (sol.Socp.objective >= true_min -. 1e-9);
+  checkb "obj - gap <= true min" true
+    (sol.Socp.objective -. sol.Socp.gap_bound <= true_min +. 1e-6)
+
+let test_socp_rejects_infeasible_start () =
+  let lins = Socp.box_constraints [| 0.0 |] [| 1.0 |] in
+  let problem = Socp.problem ~lins 1 in
+  checkb "raises on outside start" true
+    (match Socp.solve problem ~start:[| 5.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_phase1_finds_feasible () =
+  (* Feasible region: a small box away from the start. *)
+  let lins = Socp.box_constraints [| 4.0; 4.0 |] [| 5.0; 5.0 |] in
+  let problem = Socp.problem ~lins 2 in
+  match Socp.find_strictly_feasible problem ~start:[| 0.0; 0.0 |] with
+  | Socp.Strictly_feasible x ->
+      checkb "strictly inside" true (Socp.max_violation problem x < 0.0)
+  | _ -> Alcotest.fail "expected feasible point"
+
+let test_phase1_detects_infeasible () =
+  (* x <= 0 and x >= 1 simultaneously: infeasible by margin 1/2. *)
+  let lins =
+    [
+      { Socp.a = [| 1.0 |]; b = 0.0 };
+      { Socp.a = [| -1.0 |]; b = -1.0 };
+    ]
+  in
+  let problem = Socp.problem ~lins 1 in
+  match Socp.find_strictly_feasible problem ~start:[| 0.5 |] with
+  | Socp.Infeasible margin -> checkb "positive margin" true (margin > 0.0)
+  | Socp.Strictly_feasible _ -> Alcotest.fail "claimed feasible"
+  | Socp.Unknown _ -> Alcotest.fail "should certify infeasibility"
+
+let test_solve_auto_pipeline () =
+  (* min x² over [3, 5]: phase-1 must move into the box first. *)
+  let p = Mat.scale 2.0 (Mat.identity 1) in
+  let lins = Socp.box_constraints [| 3.0 |] [| 5.0 |] in
+  let problem = Socp.problem ~p ~lins 1 in
+  match Socp.solve_auto problem ~start:[| 0.0 |] with
+  | Some sol -> checkf 1e-3 "optimum at lower bound" 3.0 sol.Socp.x.(0)
+  | None -> Alcotest.fail "expected solution"
+
+let test_socp_dimension_checks () =
+  checkb "bad P" true
+    (match Socp.problem ~p:(Mat.identity 3) 2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "bad lin" true
+    (match Socp.problem ~lins:[ { Socp.a = [| 1.0 |]; b = 0.0 } ] 2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Bnb                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Toy problem: minimise a convex quadratic over integers in a range,
+   regions are integer intervals, bound is the continuous minimum. *)
+let integer_quadratic_oracle target =
+  let cost x = (x -. target) ** 2.0 in
+  {
+    Bnb.bound =
+      (fun (lo, hi) ->
+        if lo > hi then None
+        else
+          let cont = Float.max (float_of_int lo) (Float.min (float_of_int hi) target) in
+          let lower = cost cont in
+          let cand_x = int_of_float (Float.round cont) in
+          let cand_x = max lo (min hi cand_x) in
+          Some { Bnb.lower; candidate = Some (cand_x, cost (float_of_int cand_x)) });
+    branch =
+      (fun (lo, hi) ->
+        if lo >= hi then []
+        else
+          let mid = (lo + hi) / 2 in
+          [ (lo, mid); (mid + 1, hi) ]);
+  }
+
+let test_bnb_finds_integer_optimum () =
+  let r = Bnb.minimize (integer_quadratic_oracle 7.3) (-100, 100) in
+  (match r.Bnb.best with
+  | Some (x, c) ->
+      checki "optimal integer" 7 x;
+      checkf 1e-12 "optimal cost" 0.09 c
+  | None -> Alcotest.fail "no solution");
+  checkb "terminated ok" true
+    (match r.Bnb.stop_reason with
+    | Bnb.Proved_optimal | Bnb.Gap_reached -> true
+    | _ -> false)
+
+let test_bnb_exhaustive_agreement () =
+  (* Against brute force on many random targets. *)
+  let rng = Stats.Rng.create 99 in
+  for _ = 1 to 50 do
+    let target = Stats.Rng.uniform rng ~lo:(-20.0) ~hi:20.0 in
+    let r = Bnb.minimize (integer_quadratic_oracle target) (-25, 25) in
+    let brute = Float.round target in
+    let brute = Float.max (-25.0) (Float.min 25.0 brute) in
+    match r.Bnb.best with
+    | Some (x, _) ->
+        checkb
+          (Printf.sprintf "agrees with brute force (target %g)" target)
+          true
+          (Float.abs (float_of_int x -. brute) <= 1.0
+          && (float_of_int x -. target) ** 2.0
+             <= ((brute -. target) ** 2.0) +. 1e-9)
+    | None -> Alcotest.fail "no solution"
+  done
+
+let test_bnb_node_budget () =
+  (* A deliberately weak bound (always 0 on non-atomic regions) so the
+     search cannot prune and must hit the node budget. *)
+  let weak_oracle =
+    {
+      Bnb.bound =
+        (fun (lo, hi) ->
+          if lo > hi then None
+          else if lo = hi then
+            let c = (float_of_int lo -. 0.4) ** 2.0 in
+            Some { Bnb.lower = c; candidate = Some (lo, c) }
+          else
+            Some
+              { Bnb.lower = 0.0;
+                candidate = Some (hi, (float_of_int hi -. 0.4) ** 2.0) });
+      branch =
+        (fun (lo, hi) ->
+          if lo >= hi then []
+          else
+            let mid = (lo + hi) / 2 in
+            [ (lo, mid); (mid + 1, hi) ]);
+    }
+  in
+  let params =
+    { Bnb.default_params with max_nodes = 3; rel_gap = 0.0; abs_gap = 0.0 }
+  in
+  let r = Bnb.minimize ~params weak_oracle (-1000, 1000) in
+  checkb "stopped on budget" true (r.Bnb.stop_reason = Bnb.Node_budget);
+  checkb "still has incumbent" true (r.Bnb.best <> None);
+  checkb "bound <= incumbent" true
+    (match r.Bnb.best with
+    | Some (_, c) -> r.Bnb.bound <= c +. 1e-12
+    | None -> false);
+  checkb "children counted" true (r.Bnb.stats.Bnb.children_generated > 0)
+
+let test_bnb_infeasible_root () =
+  let oracle =
+    { Bnb.bound = (fun _ -> None); branch = (fun _ -> []) }
+  in
+  let r = Bnb.minimize oracle () in
+  checkb "no solution" true (r.Bnb.best = None);
+  checkb "proved" true (r.Bnb.stop_reason = Bnb.Proved_optimal)
+
+let test_bnb_pruning_respects_incumbent () =
+  (* A bound oracle that counts calls: once the exact optimum is the
+     incumbent, sibling regions with worse bounds must not be explored. *)
+  let calls = ref 0 in
+  let oracle =
+    {
+      Bnb.bound =
+        (fun (lo, hi) ->
+          incr calls;
+          if lo > hi then None
+          else
+            (* cost = x; lower bound = lo; candidate = lo *)
+            Some { Bnb.lower = float_of_int lo;
+                   candidate = Some (lo, float_of_int lo) });
+      branch =
+        (fun (lo, hi) ->
+          if lo >= hi then []
+          else
+            let mid = (lo + hi) / 2 in
+            [ (lo, mid); (mid + 1, hi) ]);
+    }
+  in
+  let r = Bnb.minimize oracle (0, 1 lsl 16) in
+  (match r.Bnb.best with
+  | Some (x, _) -> checki "found 0" 0 x
+  | None -> Alcotest.fail "no solution");
+  checkb "explored few nodes" true (!calls < 50)
+
+(* ------------------------------------------------------------------ *)
+(* Gradcheck on the barrier calculus                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_socp_barrier_derivatives () =
+  (* The hand-derived gradient/Hessian of the log-barrier (half-spaces +
+     second-order cones) against finite differences, via the centering
+     oracle at tau = 1. This is the calculus every Newton step relies
+     on. *)
+  let rng = Stats.Rng.create 77 in
+  let n = 3 in
+  let p =
+    let b = Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    Mat.add_scaled_identity 1.0 (Mat.mul b (Mat.transpose b))
+  in
+  let q = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+  let lins = Socp.box_constraints (Vec.make n (-2.0)) (Vec.make n 2.0) in
+  let cone =
+    {
+      Socp.l = Mat.init 2 n (fun i j -> if i = j then 0.5 else 0.1);
+      g = [| 0.05; -0.05 |];
+      c = Vec.make n 0.2;
+      d = 1.5;
+    }
+  in
+  let problem = Socp.problem ~p ~q ~lins ~socs:[ cone ] n in
+  (* Probe the centering objective through a tiny wrapper solve: we use
+     find_strictly_feasible's interior point as the test point. *)
+  match Socp.find_strictly_feasible problem ~start:(Vec.zeros n) with
+  | Socp.Strictly_feasible x0 | Socp.Unknown x0 -> (
+      let oracle = Socp.centering_oracle_for_tests problem 1.0 in
+      match Gradcheck.check_oracle oracle x0 with
+      | None -> Alcotest.fail "interior point rejected by the oracle"
+      | Some r ->
+          checkb
+            (Printf.sprintf "barrier gradient matches FD (err %.2e)"
+               r.Gradcheck.max_grad_error)
+            true
+            (r.Gradcheck.max_grad_error < 1e-5);
+          checkb
+            (Printf.sprintf "barrier hessian matches FD (err %.2e)"
+               r.Gradcheck.max_hess_error)
+            true
+            (r.Gradcheck.max_hess_error < 1e-4))
+  | Socp.Infeasible _ -> Alcotest.fail "toy problem is feasible"
+
+(* ------------------------------------------------------------------ *)
+(* Admm_qp                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_admm_unconstrained_like () =
+  (* min (x-3)² with -10 <= x <= 10: optimum interior at 3. *)
+  let pb =
+    Admm_qp.box_problem
+      ~p:(Mat.scale 2.0 (Mat.identity 1))
+      ~q:[| -6.0 |] ~lo:[| -10.0 |] ~hi:[| 10.0 |] ()
+  in
+  let s = Admm_qp.solve pb in
+  checkb "solved" true (s.Admm_qp.status = Admm_qp.Solved);
+  checkf 1e-5 "interior optimum" 3.0 s.Admm_qp.x.(0)
+
+let test_admm_active_bound () =
+  (* min (x-3)² with x <= 1: bound active. *)
+  let pb =
+    Admm_qp.box_problem
+      ~p:(Mat.scale 2.0 (Mat.identity 1))
+      ~q:[| -6.0 |] ~lo:[| -1.0 |] ~hi:[| 1.0 |] ()
+  in
+  let s = Admm_qp.solve pb in
+  checkf 1e-5 "clipped optimum" 1.0 s.Admm_qp.x.(0)
+
+let test_admm_general_constraints () =
+  (* min x² + y² s.t. x + y >= 2: optimum (1,1). *)
+  let pb =
+    Admm_qp.problem
+      ~p:(Mat.scale 2.0 (Mat.identity 2))
+      ~a:[| [| 1.0; 1.0 |] |]
+      ~l:[| 2.0 |] ~u:[| Float.infinity |] ()
+  in
+  let s = Admm_qp.solve pb in
+  checkf 1e-4 "x" 1.0 s.Admm_qp.x.(0);
+  checkf 1e-4 "y" 1.0 s.Admm_qp.x.(1)
+
+let test_admm_validation () =
+  checkb "l > u rejected" true
+    (match
+       Admm_qp.box_problem ~lo:[| 1.0 |] ~hi:[| 0.0 |] ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Cross-validation of the two independent convex solvers on random
+   box QPs: the barrier method and ADMM must agree. *)
+let prop_admm_agrees_with_barrier =
+  QCheck.Test.make ~name:"ADMM and barrier agree on random box QPs"
+    ~count:40
+    QCheck.(pair (int_range 1 6) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      let base =
+        Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      in
+      let p =
+        Mat.add_scaled_identity (0.5 *. float_of_int n)
+          (Mat.mul base (Mat.transpose base))
+      in
+      let q = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-3.0) ~hi:3.0) in
+      let lo = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:(-0.1)) in
+      let hi = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:0.1 ~hi:2.0) in
+      let admm = Admm_qp.solve (Admm_qp.box_problem ~p ~q ~lo ~hi ()) in
+      let socp =
+        Socp.solve
+          (Socp.problem ~p ~q ~lins:(Socp.box_constraints lo hi) n)
+          ~start:(Vec.zeros n)
+      in
+      Float.abs (admm.Admm_qp.objective -. socp.Socp.objective)
+      <= 1e-4 *. (1.0 +. Float.abs socp.Socp.objective))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pqueue_sorted; prop_admm_agrees_with_barrier ]
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "sup/inf squared (eq 26-27)" `Quick
+            test_interval_sup_inf_sq;
+          Alcotest.test_case "split/intersect" `Quick
+            test_interval_split_intersect;
+          Alcotest.test_case "scale/shift" `Quick test_interval_scale_shift;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "filter" `Quick test_pqueue_filter;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+        ] );
+      ( "newton",
+        [
+          Alcotest.test_case "quadratic" `Quick test_newton_quadratic;
+          Alcotest.test_case "log barrier 1d" `Quick
+            test_newton_log_barrier_1d;
+          Alcotest.test_case "infeasible start" `Quick
+            test_newton_rejects_infeasible_start;
+        ] );
+      ( "socp",
+        [
+          Alcotest.test_case "box QP" `Quick test_socp_box_qp;
+          Alcotest.test_case "unconstrained" `Quick test_socp_unconstrained;
+          Alcotest.test_case "cone projection" `Quick
+            test_socp_cone_projection;
+          Alcotest.test_case "lower bound certificate" `Quick
+            test_socp_lower_bound_certificate;
+          Alcotest.test_case "rejects infeasible start" `Quick
+            test_socp_rejects_infeasible_start;
+          Alcotest.test_case "phase1 feasible" `Quick
+            test_phase1_finds_feasible;
+          Alcotest.test_case "phase1 infeasible" `Quick
+            test_phase1_detects_infeasible;
+          Alcotest.test_case "solve_auto" `Quick test_solve_auto_pipeline;
+          Alcotest.test_case "dimension checks" `Quick
+            test_socp_dimension_checks;
+        ] );
+      ( "gradcheck",
+        [
+          Alcotest.test_case "SOC barrier derivatives" `Quick
+            test_socp_barrier_derivatives;
+        ] );
+      ( "admm",
+        [
+          Alcotest.test_case "interior optimum" `Quick
+            test_admm_unconstrained_like;
+          Alcotest.test_case "active bound" `Quick test_admm_active_bound;
+          Alcotest.test_case "general constraints" `Quick
+            test_admm_general_constraints;
+          Alcotest.test_case "validation" `Quick test_admm_validation;
+        ] );
+      ( "bnb",
+        [
+          Alcotest.test_case "integer optimum" `Quick
+            test_bnb_finds_integer_optimum;
+          Alcotest.test_case "matches brute force" `Quick
+            test_bnb_exhaustive_agreement;
+          Alcotest.test_case "node budget" `Quick test_bnb_node_budget;
+          Alcotest.test_case "infeasible root" `Quick test_bnb_infeasible_root;
+          Alcotest.test_case "pruning" `Quick
+            test_bnb_pruning_respects_incumbent;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,97 @@
+(* Tests for the reporting library: table rendering and the experiment
+   harness (fast pieces; the full table reproductions run in bench). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf tol msg = Alcotest.(check (float tol)) msg
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let out =
+    Report.Table.render
+      ~columns:
+        [ Report.Table.column ~align:Report.Table.Left "name";
+          Report.Table.column "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  checki "four lines" 4 (List.length lines);
+  (* header, rule, two rows; all rows equal width *)
+  (match lines with
+  | header :: rule :: rows ->
+      checki "rule width matches header" (String.length header)
+        (String.length rule);
+      List.iter
+        (fun r -> checki "row width" (String.length header) (String.length r))
+        rows;
+      checkb "left aligned" true (String.length header > 0 && header.[0] = 'n')
+  | _ -> Alcotest.fail "unexpected shape");
+  checkb "right-aligned number" true
+    (let last = List.nth lines 3 in
+     String.length last >= 2 && last.[String.length last - 1] = '2')
+
+let test_table_rejects_ragged () =
+  checkb "ragged row" true
+    (match
+       Report.Table.render
+         ~columns:[ Report.Table.column "a"; Report.Table.column "b" ]
+         ~rows:[ [ "only one" ] ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_formatters () =
+  Alcotest.(check string) "pct" "26.83%" (Report.Table.pct 0.2683);
+  Alcotest.(check string) "pct zero" "0.00%" (Report.Table.pct 0.0);
+  Alcotest.(check string) "secs" "1.23" (Report.Table.secs 1.2345);
+  Alcotest.(check string) "g4" "0.1235" (Report.Table.g4 0.123456)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments: fast pieces                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_power_rows () =
+  let rows = Report.Experiments.power ~n_features:42 ~wls:[ 4; 8; 16 ] () in
+  checki "row count" 3 (List.length rows);
+  let r16 = List.nth rows 2 in
+  checkf 1e-12 "normalised at 16" 1.0 r16.Report.Experiments.quadratic;
+  checkf 1e-12 "gate normalised at 16" 1.0 r16.Report.Experiments.gate_based;
+  let r4 = List.hd rows in
+  checkf 1e-12 "quadratic 4 vs 16" (1.0 /. 16.0) r4.Report.Experiments.quadratic;
+  checkb "gate model monotone" true
+    (r4.Report.Experiments.gate_based < r16.Report.Experiments.gate_based)
+
+let test_figure2_quick () =
+  (* The robustness experiment must show LDA's worst perturbed error
+     exceeding LDA-FP's. *)
+  let r = Report.Experiments.figure2 ~quick:true () in
+  checkb "nominal errors sane" true
+    (r.Report.Experiments.lda_nominal >= 0.0
+    && r.Report.Experiments.lda_nominal <= 1.0
+    && r.Report.Experiments.ldafp_nominal >= 0.0);
+  checkb "worst >= nominal (lda)" true
+    (r.Report.Experiments.lda_worst >= r.Report.Experiments.lda_nominal -. 1e-12);
+  checkb "worst >= nominal (ldafp)" true
+    (r.Report.Experiments.ldafp_worst
+    >= r.Report.Experiments.ldafp_nominal -. 1e-12);
+  checkb "ldafp more robust" true
+    (r.Report.Experiments.ldafp_worst <= r.Report.Experiments.lda_worst +. 0.02)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged" `Quick test_table_rejects_ragged;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "power rows" `Quick test_power_rows;
+          Alcotest.test_case "figure2 quick" `Slow test_figure2_quick;
+        ] );
+    ]
