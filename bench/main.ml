@@ -9,8 +9,8 @@ open Report
 
 let usage =
   "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
-  \                [--baselines] [--ecg] [--ablations] [--micro] [--quick|--full]\n\
-  \                [--seed N]\n\
+  \                [--baselines] [--ecg] [--ablations] [--micro] [--parallel]\n\
+  \                [--quick|--full] [--seed N]\n\
    With no experiment flag, everything runs."
 
 type options = {
@@ -23,6 +23,7 @@ type options = {
   mutable ecg : bool;
   mutable ablations : bool;
   mutable micro : bool;
+  mutable parallel : bool;
   mutable quick : bool;
   mutable seed : int option;
 }
@@ -32,7 +33,7 @@ let parse_args () =
     {
       table1 = false; table2 = false; figure2 = false; figure4 = false;
       power = false; baselines = false; ecg = false; ablations = false;
-      micro = false;
+      micro = false; parallel = false;
       quick = true; seed = None;
     }
   in
@@ -49,6 +50,7 @@ let parse_args () =
     | "--ecg" :: rest -> any := true; o.ecg <- true; go rest
     | "--ablations" :: rest -> any := true; o.ablations <- true; go rest
     | "--micro" :: rest -> any := true; o.micro <- true; go rest
+    | "--parallel" :: rest -> any := true; o.parallel <- true; go rest
     | "--quick" :: rest -> o.quick <- true; go rest
     | "--full" :: rest -> o.quick <- false; go rest
     | "--seed" :: n :: rest -> o.seed <- Some (int_of_string n); go rest
@@ -66,7 +68,8 @@ let parse_args () =
     o.power <- true;
     o.baselines <- true;
     o.ecg <- true;
-    o.micro <- true
+    o.micro <- true;
+    o.parallel <- true
   end;
   o
 
@@ -155,6 +158,62 @@ let run_micro () =
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) tests)
 
 (* ------------------------------------------------------------------ *)
+(* Sequential vs parallel branch-and-bound (E7)                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_parallel_bnb ~quick ?seed () =
+  let open Ldafp_core in
+  let seed = Option.value seed ~default:42 in
+  print_newline ();
+  print_endline "Branch-and-bound: sequential vs parallel (E7)";
+  print_endline "=============================================";
+  let rng = Stats.Rng.create seed in
+  let ds =
+    Datasets.Synthetic.generate ~n_per_class:(if quick then 300 else 1000) rng
+  in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:(if quick then 4 else 6) in
+  let prep = Pipeline.prepare ~fmt ds in
+  let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
+  let max_nodes = if quick then 150 else 2000 in
+  let solve domains =
+    let config =
+      {
+        Lda_fp.default_config with
+        bnb_params =
+          { Optim.Bnb.default_params with max_nodes; rel_gap = 1e-6; domains };
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Lda_fp.solve ~config pb in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "synthetic %s problem, %d-node budget, %d core(s) detected\n"
+    (Fixedpoint.Qformat.to_string fmt)
+    max_nodes cores;
+  let seq, seq_t = solve 1 in
+  let report label (outcome, t) =
+    match outcome with
+    | None -> Printf.printf "  %-12s no feasible solution\n%!" label
+    | Some o ->
+        let d = o.Lda_fp.diagnostics in
+        let seq_cost =
+          match seq with Some s -> s.Lda_fp.cost | None -> Float.nan
+        in
+        Printf.printf
+          "  %-12s cost %.6g  nodes %5d  idle %4d  %6.2fs  speedup %.2fx  \
+           (cost ratio vs seq %.6f)\n\
+           %!"
+          label o.Lda_fp.cost d.Lda_fp.nodes
+          d.Lda_fp.search.Optim.Bnb.idle_wakeups t
+          (seq_t /. Float.max t 1e-9)
+          (o.Lda_fp.cost /. seq_cost)
+  in
+  report "domains=1" (seq, seq_t);
+  List.iter
+    (fun domains ->
+      if domains > 1 then report (Printf.sprintf "domains=%d" domains) (solve domains))
+    [ 2; 4 ]
 
 let () =
   let o = parse_args () in
@@ -190,4 +249,5 @@ let () =
     Experiments.print_ablation ~title:"Ablation: solver features (synthetic, WL=8)"
       (Experiments.ablation_solver ~quick ?seed ())
   end;
-  if o.micro then run_micro ()
+  if o.micro then run_micro ();
+  if o.parallel then run_parallel_bnb ~quick ?seed ()

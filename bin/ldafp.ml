@@ -48,11 +48,21 @@ let rho_arg =
     & info [ "rho" ] ~docv:"RHO"
         ~doc:"Confidence level of the overflow constraints (eq. 16).")
 
-let config_of_nodes nodes =
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the branch-and-bound search (OCaml 5 \
+           multicore); 1 = sequential.")
+
+let config_of_nodes ?(domains = 1) nodes =
   {
     Lda_fp.default_config with
     bnb_params =
-      { Optim.Bnb.default_params with max_nodes = nodes; rel_gap = 1e-3 };
+      { Optim.Bnb.default_params with max_nodes = nodes; rel_gap = 1e-3;
+        domains };
   }
 
 (* ---------------- generate ---------------- *)
@@ -117,7 +127,7 @@ let train_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output model path.")
   in
-  let run verbose data wl k method_ nodes rho out =
+  let run verbose data wl k method_ nodes domains rho out =
     setup_logs verbose;
     let ds = Datasets.Dataset_io.load data in
     let fmt = fmt_of ~wl ~k in
@@ -129,17 +139,20 @@ let train_cmd =
             (fun r ->
               let d = r.Pipeline.outcome.Lda_fp.diagnostics in
               Fmt.pr
-                "LDA-FP: cost %.6g, %d nodes, gap %.3g, %.2fs (%s)@."
+                "LDA-FP: cost %.6g, %d nodes, gap %.3g, %.2fs on %d \
+                 domain(s) (%s)@."
                 r.Pipeline.outcome.Lda_fp.cost d.Lda_fp.nodes d.Lda_fp.gap
                 d.Lda_fp.train_seconds
+                d.Lda_fp.search.Optim.Bnb.domains_used
                 (match d.Lda_fp.stop_reason with
                 | Optim.Bnb.Proved_optimal -> "proved optimal"
                 | Optim.Bnb.Gap_reached -> "gap tolerance"
                 | Optim.Bnb.Node_budget -> "node budget"
                 | Optim.Bnb.Time_budget -> "time budget");
               r.Pipeline.classifier)
-            (Pipeline.train_ldafp ~config:(config_of_nodes nodes) ~rho ~fmt
-               ds)
+            (Pipeline.train_ldafp
+               ~config:(config_of_nodes ~domains nodes)
+               ~rho ~fmt ds)
     in
     match clf with
     | None ->
@@ -159,7 +172,7 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Train a fixed-point classifier.")
     Term.(
       const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
-      $ nodes_arg $ rho_arg $ out)
+      $ nodes_arg $ domains_arg $ rho_arg $ out)
 
 (* ---------------- eval ---------------- *)
 
@@ -203,10 +216,10 @@ let sweep_cmd =
       & opt int 5
       & info [ "folds" ] ~docv:"K" ~doc:"Cross-validation folds.")
   in
-  let run verbose seed data k wls nodes folds =
+  let run verbose seed data k wls nodes domains folds =
     setup_logs verbose;
     let ds = Datasets.Dataset_io.load data in
-    let config = config_of_nodes nodes in
+    let config = config_of_nodes ~domains nodes in
     let rows =
       List.map
         (fun wl ->
@@ -246,7 +259,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Word-length sweep with cross-validation.")
     Term.(
       const run $ verbose_arg $ seed_arg $ data_arg $ k_arg $ wls $ nodes_arg
-      $ folds)
+      $ domains_arg $ folds)
 
 (* ---------------- rtl ---------------- *)
 

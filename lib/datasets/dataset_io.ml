@@ -26,27 +26,30 @@ let parse_line lineno line =
       end
 
 let of_lines ~name lines =
+  (* Each parsed row keeps its 1-based line number in the original input:
+     headers and blank lines are skipped, so the index into the filtered
+     row array is NOT the file line. *)
   let rows = ref [] in
   List.iteri
     (fun i line ->
       if String.trim line <> "" then
         match parse_line (i + 1) line with
-        | Some row -> rows := row :: !rows
+        | Some row -> rows := (i + 1, row) :: !rows
         | None -> ())
     lines;
   let rows = Array.of_list (List.rev !rows) in
   if Array.length rows = 0 then fail 0 "empty dataset";
-  let m = Array.length (snd rows.(0)) in
-  Array.iteri
-    (fun i (_, feats) ->
+  let m = Array.length (snd (snd rows.(0))) in
+  Array.iter
+    (fun (lineno, (_, feats)) ->
       if Array.length feats <> m then
-        fail (i + 1)
+        fail lineno
           (Printf.sprintf "expected %d features, found %d" m
              (Array.length feats)))
     rows;
   Dataset.create ~name
-    ~features:(Array.map snd rows)
-    ~labels:(Array.map fst rows)
+    ~features:(Array.map (fun (_, (_, feats)) -> feats) rows)
+    ~labels:(Array.map (fun (_, (label, _)) -> label) rows)
 
 let to_lines ds =
   let m = Dataset.n_features ds in

@@ -25,16 +25,20 @@ let is_singleton t = t.lo_raw = t.hi_raw
 let singleton_value t = if is_singleton t then Some (lo t) else None
 let mem t x = x >= lo t && x <= hi t
 
-let mid t =
-  let m = (t.lo_raw + t.hi_raw) / 2 in
-  Qformat.value_of_raw t.fmt m
+(* Floor division by 2: [/] truncates toward zero, which for negative
+   raw sums biases midpoints upward and makes splits of mirrored
+   intervals asymmetric (e.g. [-5,-2] would cut into 3+1 raws where
+   [2,5] cuts 2+2). *)
+let half_raw_sum t = (t.lo_raw + t.hi_raw) asr 1
+
+let mid t = Qformat.value_of_raw t.fmt (half_raw_sum t)
 
 let split ?at t =
   if is_singleton t then None
   else
     let cut =
       match at with
-      | None -> (t.lo_raw + t.hi_raw) / 2
+      | None -> half_raw_sum t
       | Some x ->
           let r = Rounding.round_scaled Rounding.Nearest (ldexp x t.fmt.Qformat.f) in
           (* Left half is [lo, cut]; ensure both halves non-empty. *)

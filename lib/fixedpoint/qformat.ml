@@ -36,12 +36,13 @@ let raw_of_value_exn fmt x =
     invalid_arg
       (Printf.sprintf "Qformat.raw_of_value_exn: %g is not on the Q%d.%d grid"
          x fmt.k fmt.f);
-  let r = int_of_float r in
-  if r < min_raw fmt || r > max_raw fmt then
+  (* Range-check as floats: [int_of_float] is unspecified once the
+     scaled value exceeds the [int] range. *)
+  if r < float_of_int (min_raw fmt) || r > float_of_int (max_raw fmt) then
     invalid_arg
       (Printf.sprintf "Qformat.raw_of_value_exn: %g out of Q%d.%d range" x
          fmt.k fmt.f);
-  r
+  int_of_float r
 
 let floor_to_grid fmt x = ldexp (Float.floor (ldexp x fmt.f)) (-fmt.f)
 let ceil_to_grid fmt x = ldexp (Float.ceil (ldexp x fmt.f)) (-fmt.f)

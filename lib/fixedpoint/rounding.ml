@@ -3,6 +3,18 @@ type overflow = Wrap | Saturate | Error
 
 exception Fixed_point_overflow of string
 
+(* [int_of_float] is unspecified outside the [int] range, so extreme
+   scaled values (e.g. 1e300 · 2^f) must saturate rather than convert to
+   garbage; callers then clamp the saturated raw into their format's
+   bounds.  2^62 is the smallest magnitude that can overflow a 63-bit
+   OCaml int. *)
+let saturated_int_of_float what s =
+  if Float.is_nan s then
+    invalid_arg (Printf.sprintf "%s: NaN has no rounding" what)
+  else if s >= 0x1p62 then max_int
+  else if s <= -0x1p62 then min_int
+  else int_of_float s
+
 let round_scaled mode s =
   let lo = Float.floor s in
   let hi = Float.ceil s in
@@ -26,7 +38,7 @@ let round_scaled mode s =
           else if Float.rem lo 2.0 = 0.0 then lo
           else hi
   in
-  int_of_float pick
+  saturated_int_of_float "Rounding.round_scaled" pick
 
 let shift_right_rounded mode r n =
   if n < 0 then invalid_arg "Rounding.shift_right_rounded: negative shift";

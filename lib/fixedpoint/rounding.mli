@@ -24,7 +24,10 @@ exception Fixed_point_overflow of string
 
 val round_scaled : mode -> float -> int
 (** [round_scaled mode s] rounds the already-scaled value [s] (in units of
-    one ulp) to an integer raw code according to [mode]. *)
+    one ulp) to an integer raw code according to [mode].  Magnitudes
+    beyond the [int] range saturate to [max_int]/[min_int] (where
+    [int_of_float] would be unspecified) so callers can clamp them into
+    format bounds; NaN raises [Invalid_argument]. *)
 
 val shift_right_rounded : mode -> int -> int -> int
 (** [shift_right_rounded mode r n] computes [round(r / 2^n)] on integers

@@ -98,6 +98,8 @@ let better a b =
    because t² <= (l+u)t − lu on [l, u]).  A much sharper knife than the
    η = sup t² bound once an incumbent exists, since it couples numerator
    and denominator. *)
+(* [theta] is read from the shared incumbent mirror (an Atomic when the
+   search runs on several domains); the test itself is pure. *)
 let secant_prunes cfg pb node theta =
   theta < Float.infinity
   && Interval.lo node.trange >= 0.0
@@ -131,8 +133,9 @@ let bound_node cfg pb incumbent node =
             Some { Bnb.lower = c; candidate = Some (w, c) }
         | _ -> None
       end
-      else if cfg.secant_prune && secant_prunes cfg pb node !incumbent then
-        None
+      else if
+        cfg.secant_prune && secant_prunes cfg pb node (Atomic.get incumbent)
+      then None
       else
         let eta = Interval.sup_sq node.trange in
         if eta <= 0.0 then None
@@ -244,7 +247,7 @@ let branch_node cfg pb node =
   else []
 
 let solve ?(config = default_config) pb =
-  let started = Sys.time () in
+  let started = Unix.gettimeofday () in
   let seed =
     if config.seed_incumbent then
       Ldafp_heuristics.seed_incumbent ~steps:config.sweep_steps
@@ -266,14 +269,22 @@ let solve ?(config = default_config) pb =
   in
   (* Wrap the seed into the oracle: the root's bound info carries it as a
      candidate so the B&B driver starts with the incumbent installed.  The
-     [incumbent] ref mirrors the driver's incumbent for the secant test. *)
-  let first = ref seed in
+     [incumbent] Atomic mirrors the driver's incumbent for the secant
+     test; Atomics (exchange for the one-shot seed, CAS-min for the
+     mirror) keep the oracle callable from several worker domains. *)
+  let first = Atomic.make seed in
   let incumbent =
-    ref (match seed with Some (_, c) -> c | None -> Float.infinity)
+    Atomic.make (match seed with Some (_, c) -> c | None -> Float.infinity)
   in
   let note_candidate = function
-    | Some (_, c) when c < !incumbent -> incumbent := c
-    | _ -> ()
+    | Some (_, c) ->
+        let rec improve () =
+          let current = Atomic.get incumbent in
+          if c < current && not (Atomic.compare_and_set incumbent current c)
+          then improve ()
+        in
+        improve ()
+    | None -> ()
   in
   let oracle =
     {
@@ -282,16 +293,14 @@ let solve ?(config = default_config) pb =
           match bound_node config pb incumbent node with
           | None ->
               (* Even a pruned root must surface the seed incumbent. *)
-              (match !first with
+              (match Atomic.exchange first None with
               | Some _ as cand ->
-                  first := None;
                   Some { Bnb.lower = Float.infinity; candidate = cand }
               | None -> None)
           | Some info ->
               let info =
-                match !first with
+                match Atomic.exchange first None with
                 | Some _ as cand ->
-                    first := None;
                     { info with Bnb.candidate = better cand info.Bnb.candidate }
                 | None -> info
               in
@@ -301,7 +310,7 @@ let solve ?(config = default_config) pb =
     }
   in
   let result = Bnb.minimize ~params:config.bnb_params oracle root in
-  let train_seconds = Sys.time () -. started in
+  let train_seconds = Unix.gettimeofday () -. started in
   match result.Bnb.best with
   | None -> None
   | Some (w, cost) ->

@@ -41,6 +41,9 @@ type config = {
           boxes still contain w = 0 (default true) *)
   socp_params : Optim.Socp.params;
   bnb_params : Optim.Bnb.params;
+      (** includes [domains]: set it above 1 to explore the tree on
+          several OCaml 5 domains — [bound_node]/[branch_node] are pure
+          per node, so the oracle is safe to call concurrently *)
 }
 
 val default_config : config
@@ -54,7 +57,7 @@ type diagnostics = {
   gap : float;
   stop_reason : Optim.Bnb.stop_reason;
   seed_cost : float option;  (** incumbent cost after H1/H2 only *)
-  train_seconds : float;
+  train_seconds : float;  (** wall-clock, consistent with [time_limit] *)
   search : Optim.Bnb.stats;  (** pruning/incumbent statistics *)
 }
 

@@ -14,11 +14,12 @@ type params = {
   abs_gap : float;
   time_limit : float option;
   log_every : int;
+  domains : int;
 }
 
 let default_params =
   { max_nodes = 100_000; rel_gap = 1e-6; abs_gap = 1e-12; time_limit = None;
-    log_every = 0 }
+    log_every = 0; domains = 1 }
 
 type stop_reason = Proved_optimal | Gap_reached | Node_budget | Time_budget
 
@@ -28,6 +29,8 @@ type stats = {
   stale_pops : int;
   incumbent_updates : int;
   children_generated : int;
+  domains_used : int;
+  idle_wakeups : int;
 }
 
 type 'sol result = {
@@ -43,14 +46,19 @@ let src = Logs.Src.create "ldafp.bnb" ~doc:"branch-and-bound driver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let minimize : type region sol.
-    ?params:params -> (region, sol) oracle -> region -> sol result =
- fun ?(params = default_params) oracle root ->
+(* Budgets are wall-clock: [Sys.time] is process CPU time, which both
+   overshoots wall budgets on a busy machine and inflates ~N× once N
+   domains burn CPU concurrently. *)
+let now () = Unix.gettimeofday ()
+
+let minimize_seq : type region sol.
+    params:params -> (region, sol) oracle -> region -> sol result =
+ fun ~params oracle root ->
   let queue = Pqueue.create () in
   let incumbent = ref None in
   let incumbent_cost = ref Float.infinity in
   let nodes = ref 0 in
-  let start_time = Sys.time () in
+  let start_time = now () in
   let stop = ref None in
   let infeasible_regions = ref 0 in
   let bound_pruned = ref 0 in
@@ -88,7 +96,7 @@ let minimize : type region sol.
     else if !nodes >= params.max_nodes then stop := Some Node_budget
     else if
       match params.time_limit with
-      | Some limit -> Sys.time () -. start_time > limit
+      | Some limit -> now () -. start_time > limit
       | None -> false
     then stop := Some Time_budget
     else begin
@@ -131,5 +139,185 @@ let minimize : type region sol.
         stale_pops = !stale_pops;
         incumbent_updates = !incumbent_updates;
         children_generated = !children_generated;
+        domains_used = 1;
+        idle_wakeups = 0;
       };
   }
+
+(* Parallel driver: the calling domain plus [params.domains - 1] spawned
+   domains run the same worker loop over a shared Work_pool.  Expensive
+   oracle calls (bound/branch) run outside the pool lock; every queue or
+   counter mutation happens under it.  The incumbent cost is mirrored in
+   an Atomic so workers prune against the freshest bound without
+   locking.  Termination mirrors the sequential checks, with the global
+   bound taken over queued *and* in-flight regions so a gap can never be
+   declared while a better region is still being processed. *)
+let minimize_par : type region sol.
+    params:params -> (region, sol) oracle -> region -> sol result =
+ fun ~params oracle root ->
+  let workers = params.domains in
+  let pool : region Work_pool.t = Work_pool.create ~workers in
+  let incumbent = ref None (* under the pool lock *) in
+  let incumbent_cost = Atomic.make Float.infinity in
+  let nodes = ref 0 in
+  let start_time = now () in
+  let stop = ref None in
+  (* Counters below are mutated under the pool lock only. *)
+  let infeasible_regions = ref 0 in
+  let bound_pruned = ref 0 in
+  let stale_pops = ref 0 in
+  let incumbent_updates = ref 0 in
+  let children_generated = ref 0 in
+  let consider_candidate_locked = function
+    | Some (sol, cost) when cost < Atomic.get incumbent_cost ->
+        incumbent := Some (sol, cost);
+        Atomic.set incumbent_cost cost;
+        incr incumbent_updates;
+        Work_pool.prune pool (fun lb _ -> lb < cost)
+    | _ -> ()
+  in
+  let record_bounded_locked region = function
+    | None -> incr infeasible_regions
+    | Some { lower; candidate } ->
+        consider_candidate_locked candidate;
+        if lower < Atomic.get incumbent_cost then
+          Work_pool.push pool lower region
+        else incr bound_pruned
+  in
+  (* The root is bounded on the calling domain before any worker starts,
+     exactly as in the sequential driver (callers may rely on the root
+     bound running first, e.g. to install a seeded incumbent). *)
+  let root_info = oracle.bound root in
+  Work_pool.locked pool (fun () -> record_bounded_locked root root_info);
+  let gap_ok_locked () =
+    let inc = Atomic.get incumbent_cost in
+    inc < Float.infinity
+    &&
+    let bound = Work_pool.frontier_bound pool in
+    let gap = inc -. bound in
+    gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs inc
+  in
+  let halt_locked reason =
+    if !stop = None then stop := Some reason;
+    Work_pool.close pool
+  in
+  let worker i () =
+    let rec loop () =
+      let action =
+        Work_pool.locked pool (fun () ->
+            let rec decide () =
+              if Work_pool.is_closed pool then `Exit
+              else if Work_pool.drained pool then begin
+                halt_locked Proved_optimal;
+                `Exit
+              end
+              else if gap_ok_locked () then begin
+                halt_locked Gap_reached;
+                `Exit
+              end
+              else if !nodes >= params.max_nodes then begin
+                halt_locked Node_budget;
+                `Exit
+              end
+              else if
+                match params.time_limit with
+                | Some limit -> now () -. start_time > limit
+                | None -> false
+              then begin
+                halt_locked Time_budget;
+                `Exit
+              end
+              else
+                match Work_pool.take pool ~worker:i with
+                | None ->
+                    (* Empty queue but siblings still expanding: their
+                       children may refill it. *)
+                    Work_pool.wait pool;
+                    decide ()
+                | Some (lb, region) ->
+                    if lb >= Atomic.get incumbent_cost then begin
+                      incr stale_pops;
+                      Work_pool.release pool ~worker:i;
+                      decide ()
+                    end
+                    else begin
+                      incr nodes;
+                      if params.log_every > 0 && !nodes mod params.log_every = 0
+                      then
+                        Log.debug (fun m ->
+                            m "node %d [w%d]: bound %.6g incumbent %.6g queue %d"
+                              !nodes i lb
+                              (Atomic.get incumbent_cost)
+                              (Work_pool.queue_length pool));
+                      `Expand region
+                    end
+            in
+            decide ())
+      in
+      match action with
+      | `Exit -> ()
+      | `Expand region ->
+          let children = oracle.branch region in
+          Work_pool.locked pool (fun () ->
+              children_generated :=
+                !children_generated + List.length children);
+          (* Bound each child outside the lock; publish immediately so
+             siblings prune against fresh incumbents. *)
+          List.iter
+            (fun child ->
+              let info = oracle.bound child in
+              Work_pool.locked pool (fun () ->
+                  record_bounded_locked child info))
+            children;
+          Work_pool.locked pool (fun () -> Work_pool.release pool ~worker:i);
+          loop ()
+    in
+    (* An oracle exception must not leave sibling domains blocked on the
+       pool: close it, then re-raise (Domain.join propagates). *)
+    try loop ()
+    with e ->
+      Work_pool.locked pool (fun () -> Work_pool.close pool);
+      raise e
+  in
+  let spawned =
+    Array.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  worker 0 ();
+  Array.iter Domain.join spawned;
+  let bound, idle_wakeups =
+    Work_pool.locked pool (fun () ->
+        let inc = Atomic.get incumbent_cost in
+        let b =
+          if Work_pool.queue_is_empty pool then
+            Float.min inc (Work_pool.min_queue_key pool)
+          else Work_pool.min_queue_key pool
+        in
+        (b, Work_pool.idle_wakeups pool))
+  in
+  let incumbent_cost = Atomic.get incumbent_cost in
+  {
+    best = !incumbent;
+    bound;
+    gap =
+      (if incumbent_cost = Float.infinity then Float.infinity
+       else incumbent_cost -. bound);
+    nodes_explored = !nodes;
+    stop_reason = (match !stop with Some r -> r | None -> Proved_optimal);
+    stats =
+      {
+        infeasible_regions = !infeasible_regions;
+        bound_pruned = !bound_pruned;
+        stale_pops = !stale_pops;
+        incumbent_updates = !incumbent_updates;
+        children_generated = !children_generated;
+        domains_used = workers;
+        idle_wakeups;
+      };
+  }
+
+let minimize ?(params = default_params) oracle root =
+  if params.domains <= 1 then minimize_seq ~params oracle root
+  else minimize_par ~params oracle root
+
+let minimize_parallel ?(params = default_params) ~domains oracle root =
+  minimize ~params:{ params with domains } oracle root

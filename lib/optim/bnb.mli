@@ -6,7 +6,16 @@
     optional feasible incumbent candidate, and a [branch] rule that splits
     a region into sub-regions.  The driver keeps a min-heap of live regions
     keyed by lower bound, prunes regions whose bound exceeds the incumbent
-    and stops on proof of optimality, a gap tolerance, or a budget. *)
+    and stops on proof of optimality, a gap tolerance, or a budget.
+
+    With [params.domains > 1] the driver runs the same search across
+    that many OCaml 5 domains sharing one work pool (see
+    {!Work_pool}): the oracle must then be safe to call concurrently
+    from several domains on {e distinct} regions (pure per-node
+    functions of the shared read-only problem qualify; region-local
+    mutation is fine because each region is processed by exactly one
+    domain).  With [domains = 1] (the default) the code path is the
+    sequential driver, unchanged. *)
 
 type 'sol bound_info = {
   lower : float;
@@ -28,13 +37,18 @@ type params = {
   max_nodes : int;
   rel_gap : float;  (** stop when (incumbent − best bound) ≤ rel_gap·|incumbent| *)
   abs_gap : float;
-  time_limit : float option;  (** CPU seconds *)
+  time_limit : float option;
+      (** wall-clock seconds (measured with [Unix.gettimeofday]; CPU
+          time would overshoot the budget and scale ~N× wrong across N
+          domains) *)
   log_every : int;  (** emit a [Logs] debug line every n nodes; 0 = never *)
+  domains : int;
+      (** number of domains exploring the tree; 1 = sequential driver *)
 }
 
 val default_params : params
 (** [max_nodes = 100_000], [rel_gap = 1e-6], [abs_gap = 1e-12],
-    no time limit, no logging. *)
+    no time limit, no logging, [domains = 1]. *)
 
 type stop_reason =
   | Proved_optimal  (** queue exhausted or bound met incumbent *)
@@ -48,6 +62,10 @@ type stats = {
   stale_pops : int;  (** queue entries dominated by a newer incumbent *)
   incumbent_updates : int;
   children_generated : int;
+  domains_used : int;  (** 1 for the sequential driver *)
+  idle_wakeups : int;
+      (** times a worker domain found the queue empty and had to wait
+          for siblings' children; 0 for the sequential driver *)
 }
 (** Search statistics — the observability the ablation benches report. *)
 
@@ -62,4 +80,17 @@ type 'sol result = {
 
 val minimize :
   ?params:params -> ('region, 'sol) oracle -> 'region -> 'sol result
-(** Explore from the root region. *)
+(** Explore from the root region, on [params.domains] domains.  The
+    root is always bounded on the calling domain before workers start.
+    Termination semantics (gap, node budget, wall-clock limit) are
+    identical across domain counts; in parallel the gap test uses the
+    minimum bound over queued {e and} in-flight regions, so it is never
+    optimistic. *)
+
+val minimize_parallel :
+  ?params:params ->
+  domains:int ->
+  ('region, 'sol) oracle ->
+  'region ->
+  'sol result
+(** [minimize] with [params.domains] overridden by [domains]. *)

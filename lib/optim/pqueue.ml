@@ -53,22 +53,46 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* The vacated slot now aliases the moved entry, which is live —
+         no dangling reference to [top] remains in the array. *)
       sift_down t 0
-    end;
+    end
+    else
+      (* Drop the backing store so the popped value can be collected. *)
+      t.data <- [||];
     Some (top.key, top.value)
   end
 
 let peek_key t = if t.size = 0 then None else Some t.data.(0).key
 let min_key t = match peek_key t with None -> Float.infinity | Some k -> k
 
+(* Floyd's bottom-up heap construction: O(n). *)
+let heapify t =
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
 let filter_in_place t pred =
-  let kept = ref [] in
-  for i = 0 to t.size - 1 do
+  let old_size = t.size in
+  let kept = ref 0 in
+  for i = 0 to old_size - 1 do
     let e = t.data.(i) in
-    if pred e.key e.value then kept := e :: !kept
+    if pred e.key e.value then begin
+      t.data.(!kept) <- e;
+      incr kept
+    end
   done;
-  t.size <- 0;
-  List.iter (fun e -> push t e.key e.value) !kept
+  t.size <- !kept;
+  if !kept = 0 then t.data <- [||]
+  else begin
+    (* Alias dead slots to a surviving entry so dropped values (pruned
+       regions, stale solutions) can be collected instead of staying
+       pinned by the backing array. *)
+    for i = !kept to old_size - 1 do
+      t.data.(i) <- t.data.(0)
+    done;
+    heapify t
+  end
 
 let fold f acc t =
   let acc = ref acc in

@@ -14,8 +14,10 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_key : 'a t -> float option
 val filter_in_place : 'a t -> (float -> 'a -> bool) -> unit
-(** Drop entries not satisfying the predicate, preserving heap order —
-    used to prune queued boxes whose lower bound exceeds a new incumbent. *)
+(** Drop entries not satisfying the predicate, restoring heap order —
+    used to prune queued boxes whose lower bound exceeds a new incumbent.
+    O(n): compacts survivors in place and re-heapifies bottom-up; dead
+    slots are cleared so dropped values do not stay pinned in memory. *)
 
 val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val min_key : 'a t -> float

@@ -1,0 +1,64 @@
+type 'a t = {
+  lock : Mutex.t;
+  changed : Condition.t;
+  queue : 'a Pqueue.t;
+  working : float array;
+      (* per-worker key of the in-flight item; +infinity when idle *)
+  mutable in_flight : int;
+  mutable closed : bool;
+  mutable idle_wakeups : int;
+}
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Work_pool.create: workers < 1";
+  {
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    queue = Pqueue.create ();
+    working = Array.make workers Float.infinity;
+    in_flight = 0;
+    closed = false;
+    idle_wakeups = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t key value =
+  Pqueue.push t.queue key value;
+  Condition.broadcast t.changed
+
+let take t ~worker =
+  match Pqueue.pop t.queue with
+  | None -> None
+  | Some (key, value) ->
+      t.working.(worker) <- key;
+      t.in_flight <- t.in_flight + 1;
+      Some (key, value)
+
+let release t ~worker =
+  t.working.(worker) <- Float.infinity;
+  t.in_flight <- t.in_flight - 1;
+  Condition.broadcast t.changed
+
+let wait t =
+  t.idle_wakeups <- t.idle_wakeups + 1;
+  Condition.wait t.changed t.lock
+
+let close t =
+  t.closed <- true;
+  Condition.broadcast t.changed
+
+let is_closed t = t.closed
+let drained t = Pqueue.is_empty t.queue && t.in_flight = 0
+let queue_is_empty t = Pqueue.is_empty t.queue
+let queue_length t = Pqueue.length t.queue
+let min_queue_key t = Pqueue.min_key t.queue
+
+let frontier_bound t =
+  Array.fold_left Float.min (Pqueue.min_key t.queue) t.working
+
+let in_flight t = t.in_flight
+let prune t pred = Pqueue.filter_in_place t.queue pred
+let idle_wakeups t = t.idle_wakeups

@@ -1,0 +1,71 @@
+(** Domain-safe best-first work pool for the parallel branch-and-bound
+    driver.
+
+    A mutex-protected min-heap of keyed work items plus the bookkeeping
+    the B&B termination rules need: which items are currently being
+    processed (in flight) and at what keys, whether the pool has been
+    drained (nothing queued, nothing in flight), and a cooperative
+    shutdown flag.
+
+    Locking discipline: every operation below except {!locked} must be
+    called while holding the pool lock, i.e. from inside the callback of
+    {!locked}.  The lock is not reentrant — do not nest {!locked}
+    calls. *)
+
+type 'a t
+
+val create : workers:int -> 'a t
+(** A pool serving [workers] worker slots (ids [0 .. workers-1]). *)
+
+val locked : 'a t -> (unit -> 'b) -> 'b
+(** [locked t f] runs [f ()] holding the pool lock, releasing it on
+    return or exception. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** Queue an item and wake waiting workers.  Requires the lock. *)
+
+val take : 'a t -> worker:int -> (float * 'a) option
+(** Pop the minimum-key item and mark it in flight on [worker]; [None]
+    when the queue is empty (work may still be in flight elsewhere).
+    Each worker may hold at most one item at a time.  Requires the
+    lock. *)
+
+val release : 'a t -> worker:int -> unit
+(** Mark [worker]'s in-flight item finished and wake waiting workers
+    (its children, if any, must have been {!push}ed first).  Requires
+    the lock. *)
+
+val wait : 'a t -> unit
+(** Block until the pool state changes (push / release / close).
+    Re-check conditions on wake-up: wake-ups can be spurious.  Counts
+    one idle wake-up.  Requires the lock (released while blocked). *)
+
+val close : 'a t -> unit
+(** Initiate shutdown and wake everyone.  Requires the lock. *)
+
+val is_closed : 'a t -> bool
+
+val drained : 'a t -> bool
+(** Nothing queued and nothing in flight: the search space is
+    exhausted.  Requires the lock. *)
+
+val queue_is_empty : 'a t -> bool
+val queue_length : 'a t -> int
+
+val min_queue_key : 'a t -> float
+(** [infinity] when empty.  Requires the lock. *)
+
+val frontier_bound : 'a t -> float
+(** Minimum key over queued {e and} in-flight items — the certified
+    global lower bound of the live frontier; [infinity] when drained.
+    Requires the lock. *)
+
+val in_flight : 'a t -> int
+
+val prune : 'a t -> (float -> 'a -> bool) -> unit
+(** Drop queued items not satisfying the predicate (in-flight items are
+    unaffected).  Requires the lock. *)
+
+val idle_wakeups : 'a t -> int
+(** Number of times a worker went idle waiting for work — the
+    contention/starvation observability counter.  Requires the lock. *)

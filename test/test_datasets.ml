@@ -329,6 +329,22 @@ let test_csv_header_skipped () =
   checki "two rows" 2 (Dataset.n_trials ds);
   checkf 1e-12 "value" 1.5 ds.Dataset.features.(0).(0)
 
+let test_csv_error_line_numbers () =
+  (* Errors must report the 1-based line of the original input, not the
+     index into the filtered rows: headers and blank lines still count
+     toward line numbers even though they produce no data. *)
+  let line_of lines =
+    match Dataset_io.of_lines ~name:"ln" lines with
+    | exception Dataset_io.Parse_error { line; _ } -> line
+    | _ -> -1
+  in
+  checki "ragged row after header and blank" 4
+    (line_of [ "label,x1,x2"; ""; "A,1,2"; "B,1" ]);
+  checki "bad number after header and blank" 3
+    (line_of [ "label,x1"; ""; "A,oops" ]);
+  checki "bad label mid-file" 3
+    (line_of [ "label,x1"; "A,1.0"; "X,2.0"; "B,3.0" ])
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -413,6 +429,8 @@ let () =
           Alcotest.test_case "label variants" `Quick test_csv_label_variants;
           Alcotest.test_case "parse errors" `Quick test_csv_errors;
           Alcotest.test_case "header skipped" `Quick test_csv_header_skipped;
+          Alcotest.test_case "error line numbers" `Quick
+            test_csv_error_line_numbers;
         ] );
       ("properties", qcheck_tests);
     ]

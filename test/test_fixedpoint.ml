@@ -121,6 +121,21 @@ let test_overflow_policies () =
     | exception Rounding.Fixed_point_overflow _ -> true
     | _ -> false)
 
+let test_round_scaled_saturates () =
+  (* Beyond the int range [int_of_float] is unspecified; extreme scaled
+     values must saturate so callers can clamp them into format bounds. *)
+  checki "huge positive" max_int (Rounding.round_scaled Rounding.Nearest 1e300);
+  checki "huge negative" min_int
+    (Rounding.round_scaled Rounding.Nearest (-1e300));
+  checki "+inf" max_int (Rounding.round_scaled Rounding.Floor Float.infinity);
+  checki "-inf" min_int (Rounding.round_scaled Rounding.Ceil Float.neg_infinity);
+  checki "in-range unchanged" (-3)
+    (Rounding.round_scaled Rounding.Nearest (-3.4));
+  checkb "nan rejected" true
+    (match Rounding.round_scaled Rounding.Nearest Float.nan with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Fx scalars                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -348,6 +363,50 @@ let test_interval_empty_rejected () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_interval_mid_floor_division () =
+  (* Midpoints must use floor division of the raw sum: truncating
+     [(lo + hi) / 2] rounds toward zero, which on negative-raw intervals
+     biased the midpoint a grid step up.  Q2.2, raws [-5, -2]: the
+     midpoint is raw floor(-7/2) = -4, i.e. -1.0 (truncation gave -3,
+     i.e. -0.75). *)
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let neg = Fx_interval.of_values fmt ~lo:(-1.25) ~hi:(-0.5) in
+  checkf "negative mid floors" (-1.0) (Fx_interval.mid neg);
+  let pos = Fx_interval.of_values fmt ~lo:0.5 ~hi:1.25 in
+  checkf "positive mid unchanged" 0.75 (Fx_interval.mid pos)
+
+let test_interval_split_balance () =
+  (* A 4-point negative interval must split 2+2, exactly like its
+     mirrored positive counterpart (pre-fix it split 3+1). *)
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let neg = Fx_interval.of_values fmt ~lo:(-1.25) ~hi:(-0.5) in
+  (match Fx_interval.split neg with
+  | Some (l, r) ->
+      checki "negative left count" 2 (Fx_interval.count l);
+      checki "negative right count" 2 (Fx_interval.count r);
+      checkf "negative left hi" (-1.0) (Fx_interval.hi l);
+      checkf "negative right lo" (-0.75) (Fx_interval.lo r)
+  | None -> Alcotest.fail "split failed");
+  let pos = Fx_interval.of_values fmt ~lo:0.5 ~hi:1.25 in
+  match Fx_interval.split pos with
+  | Some (l, r) ->
+      checki "positive left count" 2 (Fx_interval.count l);
+      checki "positive right count" 2 (Fx_interval.count r)
+  | None -> Alcotest.fail "split failed"
+
+let test_interval_clamp_extreme_magnitudes () =
+  (* [clamp_value] goes through [int_of_float] on the scaled input, which
+     is unspecified beyond the int range: huge reals must land exactly on
+     the interval endpoints. *)
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let iv = Fx_interval.of_values fmt ~lo:(-1.0) ~hi:1.0 in
+  checkf "huge positive clamps to hi" 1.0 (Fx_interval.clamp_value iv 1e300);
+  checkf "huge negative clamps to lo" (-1.0)
+    (Fx_interval.clamp_value iv (-1e300));
+  checkf "+inf clamps to hi" 1.0 (Fx_interval.clamp_value iv Float.infinity);
+  checkf "-inf clamps to lo" (-1.0)
+    (Fx_interval.clamp_value iv Float.neg_infinity)
+
 (* ------------------------------------------------------------------ *)
 (* Format_policy                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -513,6 +572,8 @@ let () =
             test_shift_right_rounded_matches_float;
           Alcotest.test_case "nearest ties" `Quick test_shift_right_nearest_ties;
           Alcotest.test_case "overflow policies" `Quick test_overflow_policies;
+          Alcotest.test_case "extreme magnitudes saturate" `Quick
+            test_round_scaled_saturates;
         ] );
       ( "fx",
         [
@@ -549,6 +610,12 @@ let () =
           Alcotest.test_case "clamp value" `Quick test_interval_clamp_value;
           Alcotest.test_case "empty rejected" `Quick
             test_interval_empty_rejected;
+          Alcotest.test_case "mid uses floor division" `Quick
+            test_interval_mid_floor_division;
+          Alcotest.test_case "split balance" `Quick
+            test_interval_split_balance;
+          Alcotest.test_case "clamp extreme magnitudes" `Quick
+            test_interval_clamp_extreme_magnitudes;
         ] );
       ( "format_policy",
         [ Alcotest.test_case "policies" `Quick test_policies ] );

@@ -721,9 +721,63 @@ let prop_seed_feasible =
           Ldafp_problem.feasible pb w
           && Float.abs (c -. Ldafp_problem.cost pb w) < 1e-9)
 
+let prop_parallel_solver_matches_sequential =
+  (* The multi-domain search must agree with the sequential one: same
+     incumbent cost up to the gap tolerance and comparable termination,
+     for domains ∈ {1, 2, 4} on random problems. *)
+  QCheck.Test.make ~name:"parallel solve matches sequential" ~count:6
+    QCheck.(pair (int_range 0 100_000) (int_range 0 2))
+    (fun (seed, dpow) ->
+      let domains = 1 lsl dpow in
+      let rng = Stats.Rng.create seed in
+      let gen off =
+        Array.init 12 (fun _ ->
+            [|
+              off +. (0.4 *. Stats.Sampler.std_normal rng);
+              0.3 *. Stats.Sampler.std_normal rng;
+            |])
+      in
+      let scatter = Stats.Scatter.of_data (gen 0.8) (gen (-0.8)) in
+      match Ldafp_problem.build ~fmt:(Qformat.make ~k:2 ~f:2) scatter with
+      | exception Invalid_argument _ -> true
+      | pb -> (
+          let rel_gap = 1e-6 in
+          let config domains =
+            {
+              Lda_fp.default_config with
+              bnb_params =
+                {
+                  Optim.Bnb.default_params with
+                  max_nodes = 20_000;
+                  rel_gap;
+                  domains;
+                };
+            }
+          in
+          let seq = Lda_fp.solve ~config:(config 1) pb in
+          let par = Lda_fp.solve ~config:(config domains) pb in
+          match (seq, par) with
+          | None, None -> true
+          | Some s, Some p ->
+              let ok_stop o =
+                match o.Lda_fp.diagnostics.Lda_fp.stop_reason with
+                | Optim.Bnb.Proved_optimal | Optim.Bnb.Gap_reached -> true
+                | _ -> false
+              in
+              ok_stop s && ok_stop p
+              && p.Lda_fp.diagnostics.Lda_fp.search.Optim.Bnb.domains_used
+                 = domains
+              && Float.abs (s.Lda_fp.cost -. p.Lda_fp.cost)
+                 <= 2.0 *. rel_gap *. (1.0 +. Float.abs s.Lda_fp.cost)
+          | _ -> false))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_solver_cost_matches_reported; prop_seed_feasible ]
+    [
+      prop_solver_cost_matches_reported;
+      prop_seed_feasible;
+      prop_parallel_solver_matches_sequential;
+    ]
 
 let () =
   Alcotest.run "lda"

@@ -94,6 +94,61 @@ let test_pqueue_empty () =
   checkb "pop none" true (Pqueue.pop q = None);
   checkf 1e-12 "min of empty is inf" Float.infinity (Pqueue.min_key q)
 
+let test_pqueue_filter_releases_dropped () =
+  (* [filter_in_place] must clear dead slots so dropped payloads become
+     collectable — in the solver those payloads are whole search regions,
+     and keeping them pinned by the backing array is a leak.  Observed
+     through finalisers on the dropped boxes. *)
+  let released = ref 0 in
+  let q = Pqueue.create () in
+  let fill () =
+    for i = 0 to 63 do
+      let v = ref i in
+      Gc.finalise (fun _ -> incr released) v;
+      Pqueue.push q (float_of_int i) v
+    done
+  in
+  fill ();
+  Pqueue.filter_in_place q (fun k _ -> k < 8.0);
+  Gc.full_major ();
+  Gc.full_major ();
+  checki "filtered length" 8 (Pqueue.length q);
+  checkb "dropped values were collected" true (!released >= 40);
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (k, v) ->
+        checkf 1e-12 "payload matches key" k (float_of_int !v);
+        popped := k :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0)))
+    "survivors ascending"
+    [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0 ]
+    (List.rev !popped)
+
+let prop_pqueue_filter_heap =
+  QCheck.Test.make ~name:"filter_in_place preserves heap order" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 60) (float_range (-50.0) 50.0))
+        (float_range (-50.0) 50.0))
+    (fun (keys, cut) ->
+      let q = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push q k k) keys;
+      Pqueue.filter_in_place q (fun k _ -> k <= cut);
+      let expected =
+        List.sort compare (List.filter (fun k -> k <= cut) keys)
+      in
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (k, v) -> k = v && drain (k :: acc)
+        | None -> List.rev acc = expected
+      in
+      drain [])
+
 let prop_pqueue_sorted =
   QCheck.Test.make ~name:"pqueue pops sorted" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 0 50) (float_range (-100.0) 100.0))
@@ -281,7 +336,10 @@ let integer_quadratic_oracle target =
       (fun (lo, hi) ->
         if lo >= hi then []
         else
-          let mid = (lo + hi) / 2 in
+          (* Floor division: truncating [/] on a negative two-element
+             interval returns the upper endpoint, re-creating the parent
+             as its own child forever. *)
+          let mid = (lo + hi) asr 1 in
           [ (lo, mid); (mid + 1, hi) ]);
   }
 
@@ -335,7 +393,7 @@ let test_bnb_node_budget () =
         (fun (lo, hi) ->
           if lo >= hi then []
           else
-            let mid = (lo + hi) / 2 in
+            let mid = (lo + hi) asr 1 in
             [ (lo, mid); (mid + 1, hi) ]);
     }
   in
@@ -377,7 +435,7 @@ let test_bnb_pruning_respects_incumbent () =
         (fun (lo, hi) ->
           if lo >= hi then []
           else
-            let mid = (lo + hi) / 2 in
+            let mid = (lo + hi) asr 1 in
             [ (lo, mid); (mid + 1, hi) ]);
     }
   in
@@ -386,6 +444,94 @@ let test_bnb_pruning_respects_incumbent () =
   | Some (x, _) -> checki "found 0" 0 x
   | None -> Alcotest.fail "no solution");
   checkb "explored few nodes" true (!calls < 50)
+
+let test_bnb_wall_clock_time_limit () =
+  (* The bound oracle sleeps, burning wall time but almost no CPU time:
+     [time_limit] must trip on the wall clock.  With the old [Sys.time]
+     measurement the clock barely advanced during the sleeps and this
+     search ran all the way to its node budget. *)
+  let oracle =
+    {
+      Bnb.bound =
+        (fun _ ->
+          Unix.sleepf 0.02;
+          Some { Bnb.lower = 0.0; candidate = Some ((), 1.0) });
+      branch = (fun depth -> [ depth + 1 ]);
+    }
+  in
+  let params =
+    {
+      Bnb.default_params with
+      max_nodes = 25;
+      rel_gap = 0.0;
+      abs_gap = 0.0;
+      time_limit = Some 0.05;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Bnb.minimize ~params oracle 0 in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  checkb "stopped on the wall clock" true
+    (r.Bnb.stop_reason = Bnb.Time_budget);
+  checkb "stopped promptly" true (elapsed < 0.45)
+
+let test_bnb_parallel_matches_sequential () =
+  let seq = Bnb.minimize (integer_quadratic_oracle 7.3) (-100, 100) in
+  let seq_cost =
+    match seq.Bnb.best with Some (_, c) -> c | None -> Float.nan
+  in
+  List.iter
+    (fun domains ->
+      let r =
+        Bnb.minimize_parallel ~domains (integer_quadratic_oracle 7.3)
+          (-100, 100)
+      in
+      (match r.Bnb.best with
+      | Some (x, c) ->
+          checki (Printf.sprintf "optimum on %d domains" domains) 7 x;
+          checkf 1e-12 (Printf.sprintf "cost on %d domains" domains) seq_cost c
+      | None -> Alcotest.fail "no solution");
+      checki "domains_used" domains r.Bnb.stats.Bnb.domains_used;
+      checkb "terminated ok" true
+        (match r.Bnb.stop_reason with
+        | Bnb.Proved_optimal | Bnb.Gap_reached -> true
+        | _ -> false))
+    [ 2; 4 ]
+
+let test_bnb_domains_one_identity () =
+  (* domains = 1 must route to the sequential driver: identical result,
+     node count and statistics, not merely an equivalent incumbent. *)
+  let a = Bnb.minimize (integer_quadratic_oracle 3.7) (-50, 50) in
+  let b =
+    Bnb.minimize_parallel ~domains:1 (integer_quadratic_oracle 3.7) (-50, 50)
+  in
+  checkb "same best" true (a.Bnb.best = b.Bnb.best);
+  checki "same nodes" a.Bnb.nodes_explored b.Bnb.nodes_explored;
+  checkb "same stop reason" true (a.Bnb.stop_reason = b.Bnb.stop_reason);
+  checkb "same stats" true (a.Bnb.stats = b.Bnb.stats);
+  checki "one domain reported" 1 a.Bnb.stats.Bnb.domains_used;
+  checkf 1e-12 "same bound" a.Bnb.bound b.Bnb.bound
+
+let prop_bnb_parallel_incumbent =
+  QCheck.Test.make ~name:"parallel B&B matches sequential incumbent"
+    ~count:25
+    QCheck.(pair (float_range (-20.0) 20.0) (int_range 2 4))
+    (fun (target, domains) ->
+      let seq = Bnb.minimize (integer_quadratic_oracle target) (-25, 25) in
+      let par =
+        Bnb.minimize_parallel ~domains (integer_quadratic_oracle target)
+          (-25, 25)
+      in
+      let ok_stop r =
+        match r.Bnb.stop_reason with
+        | Bnb.Proved_optimal | Bnb.Gap_reached -> true
+        | _ -> false
+      in
+      match (seq.Bnb.best, par.Bnb.best) with
+      | Some (_, cs), Some (_, cp) ->
+          ok_stop seq && ok_stop par
+          && Float.abs (cs -. cp) <= 1e-9 *. (1.0 +. Float.abs cs)
+      | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Gradcheck on the barrier calculus                                   *)
@@ -507,7 +653,12 @@ let prop_admm_agrees_with_barrier =
 
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_pqueue_sorted; prop_admm_agrees_with_barrier ]
+    [
+      prop_pqueue_sorted;
+      prop_pqueue_filter_heap;
+      prop_admm_agrees_with_barrier;
+      prop_bnb_parallel_incumbent;
+    ]
 
 let () =
   Alcotest.run "optim"
@@ -526,6 +677,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
           Alcotest.test_case "filter" `Quick test_pqueue_filter;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "filter releases dropped values" `Quick
+            test_pqueue_filter_releases_dropped;
         ] );
       ( "newton",
         [
@@ -577,6 +730,12 @@ let () =
           Alcotest.test_case "infeasible root" `Quick test_bnb_infeasible_root;
           Alcotest.test_case "pruning" `Quick
             test_bnb_pruning_respects_incumbent;
+          Alcotest.test_case "wall-clock time limit" `Quick
+            test_bnb_wall_clock_time_limit;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_bnb_parallel_matches_sequential;
+          Alcotest.test_case "domains=1 identity" `Quick
+            test_bnb_domains_one_identity;
         ] );
       ("properties", qcheck_tests);
     ]
