@@ -10,7 +10,7 @@ open Report
 let usage =
   "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
   \                [--baselines] [--ecg] [--ablations] [--micro] [--parallel]\n\
-  \                [--quick|--full] [--seed N]\n\
+  \                [--faults] [--quick|--full] [--seed N]\n\
    With no experiment flag, everything runs."
 
 type options = {
@@ -24,6 +24,7 @@ type options = {
   mutable ablations : bool;
   mutable micro : bool;
   mutable parallel : bool;
+  mutable faults : bool;
   mutable quick : bool;
   mutable seed : int option;
 }
@@ -33,7 +34,7 @@ let parse_args () =
     {
       table1 = false; table2 = false; figure2 = false; figure4 = false;
       power = false; baselines = false; ecg = false; ablations = false;
-      micro = false; parallel = false;
+      micro = false; parallel = false; faults = false;
       quick = true; seed = None;
     }
   in
@@ -51,6 +52,7 @@ let parse_args () =
     | "--ablations" :: rest -> any := true; o.ablations <- true; go rest
     | "--micro" :: rest -> any := true; o.micro <- true; go rest
     | "--parallel" :: rest -> any := true; o.parallel <- true; go rest
+    | "--faults" :: rest -> any := true; o.faults <- true; go rest
     | "--quick" :: rest -> o.quick <- true; go rest
     | "--full" :: rest -> o.quick <- false; go rest
     | "--seed" :: n :: rest -> o.seed <- Some (int_of_string n); go rest
@@ -215,6 +217,61 @@ let run_parallel_bnb ~quick ?seed () =
       if domains > 1 then report (Printf.sprintf "domains=%d" domains) (solve domains))
     [ 2; 4 ]
 
+(* ------------------------------------------------------------------ *)
+(* Fault tolerance: solve quality and overhead under injected faults   *)
+(* ------------------------------------------------------------------ *)
+
+let run_fault_tolerance ~quick ?seed () =
+  let open Ldafp_core in
+  let seed = Option.value seed ~default:42 in
+  print_newline ();
+  print_endline "Branch-and-bound under injected oracle faults (E8)";
+  print_endline "==================================================";
+  let rng = Stats.Rng.create seed in
+  let ds =
+    Datasets.Synthetic.generate ~n_per_class:(if quick then 300 else 1000) rng
+  in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:4 in
+  let prep = Pipeline.prepare ~fmt ds in
+  let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
+  let max_nodes = if quick then 120 else 1000 in
+  let solve ~rate ~domains =
+    let inject =
+      if rate = 0.0 then None
+      else
+        Some
+          (Optim.Fault_inject.config ~seed ~bound_exn_prob:(rate /. 2.0)
+             ~bound_nan_prob:(rate /. 2.0) ())
+    in
+    let config =
+      {
+        Lda_fp.default_config with
+        bnb_params =
+          { Optim.Bnb.default_params with max_nodes; rel_gap = 1e-6; domains };
+        inject_faults = inject;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Lda_fp.solve ~config pb in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "synthetic %s problem, %d-node budget\n"
+    (Fixedpoint.Qformat.to_string fmt)
+    max_nodes;
+  Printf.printf "  %-22s %-10s %-6s %s\n" "" "cost" "time"
+    "failures/retries/degraded/dropped";
+  List.iter
+    (fun (rate, domains) ->
+      let label = Printf.sprintf "faults=%2.0f%% domains=%d" (100.0 *. rate) domains in
+      match solve ~rate ~domains with
+      | None, t -> Printf.printf "  %-22s no feasible solution (%.2fs)\n%!" label t
+      | Some o, t ->
+          let s = o.Lda_fp.diagnostics.Lda_fp.search in
+          Printf.printf "  %-22s %-10.6g %5.2fs %d/%d/%d/%d\n%!" label
+            o.Lda_fp.cost t s.Optim.Bnb.oracle_failures s.Optim.Bnb.retries
+            s.Optim.Bnb.degraded_bounds s.Optim.Bnb.dropped_regions)
+    [ (0.0, 1); (0.05, 1); (0.20, 1); (0.0, 4); (0.05, 4); (0.20, 4) ]
+
 let () =
   let o = parse_args () in
   let seed = o.seed in
@@ -250,4 +307,5 @@ let () =
       (Experiments.ablation_solver ~quick ?seed ())
   end;
   if o.micro then run_micro ();
-  if o.parallel then run_parallel_bnb ~quick ?seed ()
+  if o.parallel then run_parallel_bnb ~quick ?seed ();
+  if o.faults then run_fault_tolerance ~quick ?seed ()

@@ -57,13 +57,30 @@ let domains_arg =
           "Worker domains for the branch-and-bound search (OCaml 5 \
            multicore); 1 = sequential.")
 
-let config_of_nodes ?(domains = 1) nodes =
+let config_of_nodes ?(domains = 1) ?checkpoint nodes =
   {
     Lda_fp.default_config with
     bnb_params =
       { Optim.Bnb.default_params with max_nodes = nodes; rel_gap = 1e-3;
         domains };
+    checkpoint;
   }
+
+(* SIGINT/SIGTERM flip an atomic flag the search polls between nodes, so
+   a Ctrl-C snapshots the frontier (when checkpointing) and returns the
+   incumbent instead of killing the process mid-node.  A second signal
+   falls through to the default behaviour via [exit]. *)
+let interrupt_on_signals () =
+  let flag = Atomic.make false in
+  let handle signal =
+    Sys.set_signal signal
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get flag then exit 130 else Atomic.set flag true))
+  in
+  (try handle Sys.sigint with Invalid_argument _ | Sys_error _ -> ());
+  (try handle Sys.sigterm with Invalid_argument _ | Sys_error _ -> ());
+  fun () -> Atomic.get flag
 
 (* ---------------- generate ---------------- *)
 
@@ -127,14 +144,66 @@ let train_cmd =
       & opt (some string) None
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output model path.")
   in
-  let run verbose data wl k method_ nodes domains rho out =
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Snapshot the branch-and-bound frontier to $(docv) \
+             (atomically) so an interrupted training can be resumed with \
+             $(b,--resume).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Also snapshot every $(docv) explored nodes (0 = only when \
+             stopping on a budget or interrupt).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the $(b,--checkpoint) file instead of \
+             starting from scratch (no-op when the file does not exist \
+             yet).")
+  in
+  let run verbose data wl k method_ nodes domains rho checkpoint
+      checkpoint_every resume out =
     setup_logs verbose;
     let ds = Datasets.Dataset_io.load data in
     let fmt = fmt_of ~wl ~k in
+    if resume && checkpoint = None then begin
+      Fmt.epr "--resume requires --checkpoint@.";
+      exit 2
+    end;
+    let checkpoint =
+      Option.map
+        (fun path ->
+          Lda_fp.checkpoint_spec ~every_nodes:checkpoint_every ~resume path)
+        checkpoint
+    in
     let clf =
       match method_ with
       | `Lda -> Some (Pipeline.train_conventional ~fmt ds)
       | `Ldafp ->
+          let interrupt = interrupt_on_signals () in
+          let train () =
+            Pipeline.train_ldafp
+              ~config:(config_of_nodes ~domains ?checkpoint nodes)
+              ~interrupt ~rho ~fmt ds
+          in
+          let outcome =
+            try train ()
+            with Optim.Checkpoint.Corrupt msg ->
+              Fmt.epr "cannot resume: %s@." msg;
+              exit 2
+          in
           Option.map
             (fun r ->
               let d = r.Pipeline.outcome.Lda_fp.diagnostics in
@@ -148,11 +217,17 @@ let train_cmd =
                 | Optim.Bnb.Proved_optimal -> "proved optimal"
                 | Optim.Bnb.Gap_reached -> "gap tolerance"
                 | Optim.Bnb.Node_budget -> "node budget"
-                | Optim.Bnb.Time_budget -> "time budget");
+                | Optim.Bnb.Time_budget -> "time budget"
+                | Optim.Bnb.Interrupted -> "interrupted");
+              let s = d.Lda_fp.search in
+              if s.Optim.Bnb.oracle_failures > 0 then
+                Fmt.pr
+                  "oracle faults: %d failure(s), %d retried, %d degraded \
+                   to interval bound, %d dropped@."
+                  s.Optim.Bnb.oracle_failures s.Optim.Bnb.retries
+                  s.Optim.Bnb.degraded_bounds s.Optim.Bnb.dropped_regions;
               r.Pipeline.classifier)
-            (Pipeline.train_ldafp
-               ~config:(config_of_nodes ~domains nodes)
-               ~rho ~fmt ds)
+            outcome
     in
     match clf with
     | None ->
@@ -172,7 +247,8 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Train a fixed-point classifier.")
     Term.(
       const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
-      $ nodes_arg $ domains_arg $ rho_arg $ out)
+      $ nodes_arg $ domains_arg $ rho_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ out)
 
 (* ---------------- eval ---------------- *)
 

@@ -18,7 +18,13 @@ let parse_line lineno line =
           List.map
             (fun s ->
               match float_of_string_opt (String.trim s) with
-              | Some v -> v
+              | Some v when Float.is_finite v -> v
+              | Some _ ->
+                  (* [float_of_string] happily parses "nan" and overflows
+                     "1e999" to infinity; either poisons every scatter
+                     statistic downstream, so reject at the source with
+                     the offending input line. *)
+                  fail lineno (Printf.sprintf "non-finite feature %S" s)
               | None -> fail lineno (Printf.sprintf "bad number %S" s))
             feats
         in

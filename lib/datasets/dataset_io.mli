@@ -7,7 +7,9 @@
 exception Parse_error of { line : int; message : string }
 
 val load : string -> Dataset.t
-(** @raise Parse_error on malformed input;
+(** @raise Parse_error on malformed input — including non-finite
+    feature values ([nan], or magnitudes that overflow to infinity),
+    reported with the 1-based line number of the offending input line;
     @raise Sys_error on I/O failure. *)
 
 val save : string -> Dataset.t -> unit

@@ -2,6 +2,15 @@ open Linalg
 open Fixedpoint
 open Optim
 
+type checkpoint_spec = {
+  path : string;
+  every_nodes : int;
+  resume : bool;
+}
+
+let checkpoint_spec ?(every_nodes = 0) ?(resume = false) path =
+  { path; every_nodes; resume }
+
 type config = {
   seed_incumbent : bool;
   sweep_steps : int;
@@ -13,6 +22,9 @@ type config = {
   secant_prune : bool;
   socp_params : Socp.params;
   bnb_params : Bnb.params;
+  fault_policy : Fault.policy;
+  checkpoint : checkpoint_spec option;
+  inject_faults : Fault_inject.config option;
 }
 
 let default_config =
@@ -30,6 +42,9 @@ let default_config =
         newton = { Newton.default_params with tol = 1e-9; max_iter = 60 } };
     bnb_params =
       { Bnb.default_params with max_nodes = 2000; rel_gap = 1e-3 };
+    fault_policy = Fault.default_policy;
+    checkpoint = None;
+    inject_faults = None;
   }
 
 let quick_config =
@@ -246,13 +261,46 @@ let branch_node cfg pb node =
   end
   else []
 
-let solve ?(config = default_config) pb =
+(* Retry attempt [k >= 1] of a failed relaxation: perturb the barrier
+   start weight and loosen the tolerances by a decade per attempt —
+   enough to step around a conditioning cliff while keeping the bound
+   certified (a looser gap only weakens the bound, never unsounds it). *)
+let jittered_config cfg k =
+  let s = float_of_int k in
+  let decade = 10.0 ** s in
+  let sp = cfg.socp_params in
+  {
+    cfg with
+    socp_params =
+      {
+        sp with
+        Socp.tau0 = sp.Socp.tau0 *. (1.0 +. (0.37 *. s));
+        gap_tol = sp.Socp.gap_tol *. decade;
+        newton =
+          { sp.Socp.newton with
+            Newton.tol = sp.Socp.newton.Newton.tol *. decade };
+      };
+  }
+
+let solve ?(config = default_config) ?interrupt pb =
   let started = Unix.gettimeofday () in
+  let fingerprint = Ldafp_problem.fingerprint pb in
+  (* A requested resume with no file on disk degrades to a fresh run (the
+     natural first iteration of a kill/resume loop); an existing file
+     that fails validation raises [Checkpoint.Corrupt] — silently
+     retraining over a mismatched checkpoint would hide data drift. *)
+  let restored =
+    match config.checkpoint with
+    | Some spec when spec.resume && Sys.file_exists spec.path ->
+        Log.info (fun m -> m "resuming from checkpoint %s" spec.path);
+        Some (Checkpoint.load ~expect_fingerprint:fingerprint ~path:spec.path ())
+    | _ -> None
+  in
   let seed =
-    if config.seed_incumbent then
+    if Option.is_some restored || not config.seed_incumbent then None
+    else
       Ldafp_heuristics.seed_incumbent ~steps:config.sweep_steps
         ~max_rounds:(max 4 config.polish_rounds) pb
-    else None
   in
   let seed_cost = Option.map snd seed in
   Log.debug (fun m ->
@@ -274,7 +322,14 @@ let solve ?(config = default_config) pb =
      mirror) keep the oracle callable from several worker domains. *)
   let first = Atomic.make seed in
   let incumbent =
-    Atomic.make (match seed with Some (_, c) -> c | None -> Float.infinity)
+    Atomic.make
+      (match restored with
+      | Some state -> (
+          match state.Checkpoint.incumbent with
+          | Some (_, c) -> c
+          | None -> Float.infinity)
+      | None -> (
+          match seed with Some (_, c) -> c | None -> Float.infinity))
   in
   let note_candidate = function
     | Some (_, c) ->
@@ -286,30 +341,64 @@ let solve ?(config = default_config) pb =
         improve ()
     | None -> ()
   in
+  let with_seed = function
+    | None -> (
+        (* Even a pruned root must surface the seed incumbent. *)
+        match Atomic.exchange first None with
+        | Some _ as cand ->
+            Some { Bnb.lower = Float.infinity; candidate = cand }
+        | None -> None)
+    | Some info ->
+        let info =
+          match Atomic.exchange first None with
+          | Some _ as cand ->
+              { info with Bnb.candidate = better cand info.Bnb.candidate }
+          | None -> info
+        in
+        note_candidate info.Bnb.candidate;
+        Some info
+  in
   let oracle =
     {
       Bnb.bound =
-        (fun node ->
-          match bound_node config pb incumbent node with
-          | None ->
-              (* Even a pruned root must surface the seed incumbent. *)
-              (match Atomic.exchange first None with
-              | Some _ as cand ->
-                  Some { Bnb.lower = Float.infinity; candidate = cand }
-              | None -> None)
-          | Some info ->
-              let info =
-                match Atomic.exchange first None with
-                | Some _ as cand ->
-                    { info with Bnb.candidate = better cand info.Bnb.candidate }
-                | None -> info
-              in
-              note_candidate info.Bnb.candidate;
-              Some info);
+        (fun node -> with_seed (bound_node config pb incumbent node));
       branch = (fun node -> branch_node config pb node);
     }
   in
-  let result = Bnb.minimize ~params:config.bnb_params oracle root in
+  let oracle =
+    match config.inject_faults with
+    | None -> oracle
+    | Some inj -> fst (Fault_inject.wrap inj oracle)
+  in
+  let faults =
+    {
+      Bnb.policy = config.fault_policy;
+      retry_bound =
+        Some
+          (fun ~attempt node ->
+            with_seed (bound_node (jittered_config config attempt) pb incumbent node));
+      fallback_bound =
+        Some
+          (fun node ->
+            Ldafp_problem.interval_lower_bound pb ~wbox:node.wbox
+              ~trange:node.trange);
+    }
+  in
+  let checkpointing =
+    Option.map
+      (fun spec ->
+        Bnb.checkpointing ~every_nodes:spec.every_nodes ~fingerprint spec.path)
+      config.checkpoint
+  in
+  let result =
+    match restored with
+    | Some state ->
+        Bnb.resume ~params:config.bnb_params ~faults ?checkpointing ?interrupt
+          oracle state
+    | None ->
+        Bnb.minimize ~params:config.bnb_params ~faults ?checkpointing
+          ?interrupt oracle root
+  in
   let train_seconds = Unix.gettimeofday () -. started in
   match result.Bnb.best with
   | None -> None

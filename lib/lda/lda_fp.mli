@@ -17,6 +17,21 @@
     (see {!Ldafp_heuristics}), so even a node budget of zero reproduces a
     usable classifier. *)
 
+type checkpoint_spec = {
+  path : string;  (** checkpoint file (written atomically, tmp + rename) *)
+  every_nodes : int;
+      (** snapshot cadence in explored nodes; [0] = only when stopping
+          on a budget or interrupt *)
+  resume : bool;
+      (** load [path] (fingerprint-checked against the problem) and
+          continue the search instead of starting from the root; a
+          missing file degrades to a fresh run *)
+}
+
+val checkpoint_spec :
+  ?every_nodes:int -> ?resume:bool -> string -> checkpoint_spec
+(** [every_nodes] defaults to [0], [resume] to [false]. *)
+
 type config = {
   seed_incumbent : bool;  (** run H1+H2 before the search (default true) *)
   sweep_steps : int;  (** H1 scaling count (default 200) *)
@@ -44,6 +59,17 @@ type config = {
       (** includes [domains]: set it above 1 to explore the tree on
           several OCaml 5 domains — [bound_node]/[branch_node] are pure
           per node, so the oracle is safe to call concurrently *)
+  fault_policy : Optim.Fault.policy;
+      (** what to do when the relaxation solver fails on a region
+          (default {!Optim.Fault.default_policy}: one retry, then
+          degrade).  Retries re-solve with jittered barrier parameters
+          (perturbed [tau0], tolerances loosened a decade per attempt);
+          degradation falls back to
+          {!Ldafp_problem.interval_lower_bound} *)
+  checkpoint : checkpoint_spec option;  (** periodic snapshots + resume *)
+  inject_faults : Optim.Fault_inject.config option;
+      (** deterministic fault injection on the oracle — test/bench
+          harness, [None] in production *)
 }
 
 val default_config : config
@@ -67,6 +93,18 @@ type outcome = {
   diagnostics : diagnostics;
 }
 
-val solve : ?config:config -> Ldafp_problem.t -> outcome option
+val solve :
+  ?config:config -> ?interrupt:(unit -> bool) -> Ldafp_problem.t ->
+  outcome option
 (** [None] when no feasible grid point was found (pathological formats);
-    in particular [w = 0] is excluded because its cost is infinite. *)
+    in particular [w = 0] is excluded because its cost is infinite.
+
+    [?interrupt] is polled between nodes; returning [true] stops the
+    search with {!Optim.Bnb.Interrupted} (and, with checkpointing
+    enabled, snapshots the frontier first) — the hook for SIGINT
+    handlers.  [train_seconds] counts this run only; across a
+    checkpoint/resume chain the {e cumulative} wall clock governs
+    [bnb_params.time_limit].
+    @raise Optim.Checkpoint.Corrupt when [config.checkpoint] requests a
+    resume and the file exists but fails validation (wrong problem,
+    torn write, garbage). *)

@@ -204,6 +204,36 @@ let secant_relaxation t ~wbox ~trange ~theta =
   in
   (problem, theta *. l *. u)
 
+let fingerprint t = Digest.to_hex (Digest.string (Marshal.to_string t []))
+
+let interval_lower_bound t ~wbox ~trange =
+  let m = dim t in
+  let lo = Array.map Fx_interval.lo wbox in
+  let hi = Array.map Fx_interval.hi wbox in
+  (* Term-wise interval arithmetic on wᵀ S_W w: each product
+     s·wᵢ·wⱼ attains its extrema at box corners.  The sum of per-term
+     minima under-estimates the true minimum, which is exactly what a
+     fallback lower bound needs. *)
+  let qf_min = ref 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      let s = t.sw.(i).(j) in
+      if s <> 0.0 then begin
+        let p1 = lo.(i) *. lo.(j)
+        and p2 = lo.(i) *. hi.(j)
+        and p3 = hi.(i) *. lo.(j)
+        and p4 = hi.(i) *. hi.(j) in
+        let pmin = Float.min (Float.min p1 p2) (Float.min p3 p4) in
+        let pmax = Float.max (Float.max p1 p2) (Float.max p3 p4) in
+        qf_min := !qf_min +. (if s > 0.0 then s *. pmin else s *. pmax)
+      end
+    done
+  done;
+  let l = Interval.lo trange and u = Interval.hi trange in
+  let t2_sup = Float.max (l *. l) (u *. u) in
+  if t2_sup <= 0.0 then Float.infinity
+  else Float.max 0.0 (!qf_min /. t2_sup)
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "LDA-FP problem: %a, M=%d, rho=%g (beta=%.3f), t in %a%s" Qformat.pp t.fmt

@@ -93,4 +93,23 @@ val secant_relaxation :
     [theta].  Requires [theta >= 0] and [l >= 0] (use on the positive-t
     side; mirror the region first otherwise). *)
 
+val fingerprint : t -> string
+(** Hex digest of the full problem data (format, confidence, scatter,
+    derived boxes and cones).  Two runs over the same training data and
+    configuration produce the same fingerprint; checkpoints record it so
+    a resume against different data is rejected instead of silently
+    producing garbage. *)
+
+val interval_lower_bound :
+  t ->
+  wbox:Fixedpoint.Fx_interval.t array ->
+  trange:Optim.Interval.t ->
+  float
+(** Cheap conservative lower bound on the cost over a box:
+    term-wise interval minimum of [wᵀ S_W w] divided by [sup t²],
+    clamped at 0 ([+∞] when the t-range is degenerate at 0).  Orders of
+    magnitude weaker than the SOCP relaxation but never raises and
+    costs O(M²) — the degraded fallback when the relaxation solver
+    fails on a region. *)
+
 val pp_summary : Format.formatter -> t -> unit

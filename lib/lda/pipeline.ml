@@ -78,10 +78,10 @@ type ldafp_result = {
   problem : Ldafp_problem.t;
 }
 
-let train_ldafp ?config ?rho ~fmt ds =
+let train_ldafp ?config ?interrupt ?rho ~fmt ds =
   let prep = prepare ~fmt ds in
   let problem = Ldafp_problem.build ?rho ~fmt prep.scatter in
-  match Lda_fp.solve ?config problem with
+  match Lda_fp.solve ?config ?interrupt problem with
   | None -> None
   | Some outcome ->
       Some

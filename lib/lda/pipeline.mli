@@ -52,8 +52,11 @@ type ldafp_result = {
 
 val train_ldafp :
   ?config:Lda_fp.config ->
+  ?interrupt:(unit -> bool) ->
   ?rho:float ->
   fmt:Fixedpoint.Qformat.t ->
   Datasets.Dataset.t ->
   ldafp_result option
-(** [None] when the trainer found no feasible grid point. *)
+(** [None] when the trainer found no feasible grid point.  [?interrupt]
+    and [config.checkpoint] are forwarded to {!Lda_fp.solve} — together
+    they make long trainings killable and resumable. *)

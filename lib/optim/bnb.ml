@@ -21,7 +21,21 @@ let default_params =
   { max_nodes = 100_000; rel_gap = 1e-6; abs_gap = 1e-12; time_limit = None;
     log_every = 0; domains = 1 }
 
-type stop_reason = Proved_optimal | Gap_reached | Node_budget | Time_budget
+type ('region, 'sol) faults = {
+  policy : Fault.policy;
+  retry_bound : (attempt:int -> 'region -> 'sol bound_info option) option;
+  fallback_bound : ('region -> float) option;
+}
+
+let default_faults =
+  { policy = Fault.default_policy; retry_bound = None; fallback_bound = None }
+
+type stop_reason =
+  | Proved_optimal
+  | Gap_reached
+  | Node_budget
+  | Time_budget
+  | Interrupted
 
 type stats = {
   infeasible_regions : int;
@@ -31,6 +45,10 @@ type stats = {
   children_generated : int;
   domains_used : int;
   idle_wakeups : int;
+  oracle_failures : int;
+  retries : int;
+  degraded_bounds : int;
+  dropped_regions : int;
 }
 
 type 'sol result = {
@@ -42,6 +60,16 @@ type 'sol result = {
   stats : stats;
 }
 
+type checkpointing = {
+  path : string;
+  every_nodes : int;
+  fingerprint : string;
+  save_on_stop : bool;
+}
+
+let checkpointing ?(every_nodes = 0) ?(save_on_stop = true) ~fingerprint path =
+  { path; every_nodes; fingerprint; save_on_stop }
+
 let src = Logs.Src.create "ldafp.bnb" ~doc:"branch-and-bound driver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -51,20 +79,200 @@ module Log = (val Logs.src_log src : Logs.LOG)
    domains burn CPU concurrently. *)
 let now () = Unix.gettimeofday ()
 
-let minimize_seq : type region sol.
-    params:params -> (region, sol) oracle -> region -> sol result =
- fun ~params oracle root ->
+(* ------------------------------------------------------------------ *)
+(* Fault containment around the oracle                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Outcome of a policy-guarded [bound] call: [Dropped_bound] means the
+   policy ran out of options and abandoned the region (already counted). *)
+type 'sol guarded = Bounded of 'sol bound_info option | Dropped_bound
+
+(* A NaN candidate cost is poison: it compares false with everything, so
+   it can neither be installed nor pruned coherently.  Strip it, keep the
+   (valid) bound, and count the bad invocation.  [+infinity] candidates
+   pass through — they are merely useless, never winning a comparison. *)
+let sanitize_candidate (fc : Fault.counters) = function
+  | Some { lower; candidate = Some (_, c) } when Float.is_nan c ->
+      Atomic.incr fc.Fault.failures;
+      Log.warn (fun m -> m "discarding candidate with NaN cost");
+      Some { lower; candidate = None }
+  | info -> info
+
+let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
+    (oracle : _ oracle) region =
+  let policy = faults.policy in
+  let call attempt =
+    let f =
+      if attempt = 0 then oracle.bound
+      else
+        match faults.retry_bound with
+        | Some retry -> retry ~attempt
+        | None -> oracle.bound
+    in
+    match f region with
+    | Some { lower; _ }
+      when Float.is_nan lower || lower = Float.neg_infinity ->
+        Error (Fault.Non_finite_bound lower, None)
+    | info -> Ok info
+    | exception e when Fault.containable e ->
+        Error (Fault.Oracle_raised (Printexc.to_string e), Some e)
+  in
+  let rec attempt k =
+    match call k with
+    | Ok info -> Bounded (sanitize_candidate fc info)
+    | Error (failure, original) ->
+        Atomic.incr fc.Fault.failures;
+        Log.debug (fun m ->
+            m "bound failure (attempt %d): %s" (k + 1) (Fault.describe failure));
+        if k < policy.Fault.max_retries then begin
+          Atomic.incr fc.Fault.retries;
+          attempt (k + 1)
+        end
+        else begin
+          let degraded =
+            if not policy.Fault.degrade then None
+            else
+              match faults.fallback_bound with
+              | None -> None
+              | Some fb -> (
+                  match fb region with
+                  | lb when Float.is_nan lb || lb = Float.neg_infinity -> None
+                  | lb -> Some lb
+                  | exception e when Fault.containable e ->
+                      Log.warn (fun m ->
+                          m "fallback bound itself failed: %s"
+                            (Printexc.to_string e));
+                      None)
+          in
+          match degraded with
+          | Some lb ->
+              Atomic.incr fc.Fault.degraded;
+              Log.debug (fun m ->
+                  m "degraded region to fallback bound %.6g after: %s" lb
+                    (Fault.describe failure));
+              Bounded (Some { lower = lb; candidate = None })
+          | None ->
+              if policy.Fault.reraise then
+                match original with
+                | Some e -> raise e
+                | None -> failwith ("Bnb: " ^ Fault.describe failure)
+              else begin
+                Atomic.incr fc.Fault.dropped;
+                Log.warn (fun m ->
+                    m "dropping region after %d attempt(s): %s" (k + 1)
+                      (Fault.describe failure));
+                Dropped_bound
+              end
+        end
+  in
+  attempt 0
+
+let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) oracle region =
+  let policy = faults.policy in
+  let rec attempt k =
+    match oracle.branch region with
+    | children -> children
+    | exception e when Fault.containable e ->
+        Atomic.incr fc.Fault.failures;
+        Log.debug (fun m ->
+            m "branch failure (attempt %d): %s" (k + 1) (Printexc.to_string e));
+        if k < policy.Fault.max_retries then begin
+          Atomic.incr fc.Fault.retries;
+          attempt (k + 1)
+        end
+        else if policy.Fault.reraise then raise e
+        else begin
+          Atomic.incr fc.Fault.dropped;
+          Log.warn (fun m ->
+              m "dropping unsplittable region after %d attempt(s): %s" (k + 1)
+                (Printexc.to_string e));
+          []
+        end
+  in
+  attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The search either starts fresh from a root region (bounded first, as
+   callers may rely on — e.g. to install a seeded incumbent) or restores
+   a frontier whose entries were already bounded before the snapshot. *)
+type ('region, 'sol) source =
+  | Root of 'region
+  | Restored of ('region, 'sol) Checkpoint.state
+
+let counters_alist ~infeasible ~pruned ~stale ~updates ~children
+    ~(fc : Fault.counters) =
+  [
+    ("infeasible_regions", infeasible);
+    ("bound_pruned", pruned);
+    ("stale_pops", stale);
+    ("incumbent_updates", updates);
+    ("children_generated", children);
+    ("oracle_failures", Atomic.get fc.Fault.failures);
+    ("retries", Atomic.get fc.Fault.retries);
+    ("degraded_bounds", Atomic.get fc.Fault.degraded);
+    ("dropped_regions", Atomic.get fc.Fault.dropped);
+  ]
+
+let restore_counters (fc : Fault.counters) = function
+  | Root _ -> (0, 0, 0, 0, 0, 0.0)
+  | Restored (s : _ Checkpoint.state) ->
+      let c = Checkpoint.counter s in
+      Atomic.set fc.Fault.failures (c "oracle_failures");
+      Atomic.set fc.Fault.retries (c "retries");
+      Atomic.set fc.Fault.degraded (c "degraded_bounds");
+      Atomic.set fc.Fault.dropped (c "dropped_regions");
+      ( c "infeasible_regions", c "bound_pruned", c "stale_pops",
+        c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed )
+
+(* A failed snapshot must not kill a multi-hour search: log and carry on
+   (the previous checkpoint, if any, is intact thanks to tmp + rename). *)
+let try_save ck state =
+  try Checkpoint.save ~path:ck.path state
+  with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+    Log.warn (fun m -> m "checkpoint save to %s failed: %s" ck.path msg)
+
+let stop_wants_save = function
+  | Node_budget | Time_budget | Interrupted -> true
+  | Proved_optimal | Gap_reached -> false
+
+(* ------------------------------------------------------------------ *)
+(* Sequential driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_seq : type region sol.
+    params:params ->
+    faults:(region, sol) faults ->
+    checkpointing:checkpointing option ->
+    interrupt:(unit -> bool) option ->
+    (region, sol) oracle ->
+    (region, sol) source ->
+    sol result =
+ fun ~params ~faults ~checkpointing ~interrupt oracle source ->
   let queue = Pqueue.create () in
-  let incumbent = ref None in
-  let incumbent_cost = ref Float.infinity in
-  let nodes = ref 0 in
+  let fc = Fault.fresh_counters () in
+  let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
+    restore_counters fc source
+  in
+  let incumbent =
+    ref (match source with Root _ -> None | Restored s -> s.Checkpoint.incumbent)
+  in
+  let incumbent_cost =
+    ref (match !incumbent with Some (_, c) -> c | None -> Float.infinity)
+  in
+  let nodes =
+    ref (match source with Root _ -> 0 | Restored s -> s.Checkpoint.nodes_explored)
+  in
   let start_time = now () in
+  let elapsed () = elapsed0 +. (now () -. start_time) in
   let stop = ref None in
-  let infeasible_regions = ref 0 in
-  let bound_pruned = ref 0 in
-  let stale_pops = ref 0 in
-  let incumbent_updates = ref 0 in
-  let children_generated = ref 0 in
+  let infeasible_regions = ref infeasible0 in
+  let bound_pruned = ref pruned0 in
+  let stale_pops = ref stale0 in
+  let incumbent_updates = ref updates0 in
+  let children_generated = ref children0 in
   let consider_candidate = function
     | Some (sol, cost) when cost < !incumbent_cost ->
         incumbent := Some (sol, cost);
@@ -75,14 +283,39 @@ let minimize_seq : type region sol.
     | _ -> ()
   in
   let enqueue region =
-    match oracle.bound region with
-    | None -> incr infeasible_regions
-    | Some { lower; candidate } ->
+    match guarded_bound ~faults ~fc oracle region with
+    | Dropped_bound -> ()
+    | Bounded None -> incr infeasible_regions
+    | Bounded (Some { lower; candidate }) ->
         consider_candidate candidate;
         if lower < !incumbent_cost then Pqueue.push queue lower region
         else incr bound_pruned
   in
-  enqueue root;
+  (match source with
+  | Root root -> enqueue root
+  | Restored s ->
+      Array.iter (fun (lb, region) -> Pqueue.push queue lb region)
+        s.Checkpoint.frontier);
+  let snapshot_state ck =
+    {
+      Checkpoint.fingerprint = ck.fingerprint;
+      frontier =
+        Array.of_list (Pqueue.fold (fun acc k v -> (k, v) :: acc) [] queue);
+      incumbent = !incumbent;
+      nodes_explored = !nodes;
+      counters =
+        counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
+          ~stale:!stale_pops ~updates:!incumbent_updates
+          ~children:!children_generated ~fc;
+      elapsed = elapsed ();
+    }
+  in
+  let maybe_periodic_save () =
+    match checkpointing with
+    | Some ck when ck.every_nodes > 0 && !nodes mod ck.every_nodes = 0 ->
+        try_save ck (snapshot_state ck)
+    | _ -> ()
+  in
   let gap_ok () =
     !incumbent_cost < Float.infinity
     &&
@@ -90,15 +323,17 @@ let minimize_seq : type region sol.
     let gap = !incumbent_cost -. bound in
     gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs !incumbent_cost
   in
+  let interrupted () = match interrupt with Some f -> f () | None -> false in
   while !stop = None do
     if Pqueue.is_empty queue then stop := Some Proved_optimal
     else if gap_ok () then stop := Some Gap_reached
     else if !nodes >= params.max_nodes then stop := Some Node_budget
     else if
       match params.time_limit with
-      | Some limit -> now () -. start_time > limit
+      | Some limit -> elapsed () > limit
       | None -> false
     then stop := Some Time_budget
+    else if interrupted () then stop := Some Interrupted
     else begin
       match Pqueue.pop queue with
       | None -> stop := Some Proved_optimal
@@ -112,12 +347,18 @@ let minimize_seq : type region sol.
               Log.debug (fun m ->
                   m "node %d: bound %.6g incumbent %.6g queue %d" !nodes lb
                     !incumbent_cost (Pqueue.length queue));
-            let children = oracle.branch region in
+            let children = guarded_branch ~faults ~fc oracle region in
             children_generated := !children_generated + List.length children;
-            List.iter enqueue children
+            List.iter enqueue children;
+            maybe_periodic_save ()
           end
     end
   done;
+  let stop_reason = match !stop with Some r -> r | None -> Proved_optimal in
+  (match checkpointing with
+  | Some ck when ck.save_on_stop && stop_wants_save stop_reason ->
+      try_save ck (snapshot_state ck)
+  | _ -> ());
   let bound =
     if Pqueue.is_empty queue then
       (* Everything explored or pruned: the incumbent is optimal. *)
@@ -131,7 +372,7 @@ let minimize_seq : type region sol.
       (if !incumbent_cost = Float.infinity then Float.infinity
        else !incumbent_cost -. bound);
     nodes_explored = !nodes;
-    stop_reason = (match !stop with Some r -> r | None -> Proved_optimal);
+    stop_reason;
     stats =
       {
         infeasible_regions = !infeasible_regions;
@@ -141,33 +382,67 @@ let minimize_seq : type region sol.
         children_generated = !children_generated;
         domains_used = 1;
         idle_wakeups = 0;
+        oracle_failures = Atomic.get fc.Fault.failures;
+        retries = Atomic.get fc.Fault.retries;
+        degraded_bounds = Atomic.get fc.Fault.degraded;
+        dropped_regions = Atomic.get fc.Fault.dropped;
       };
   }
 
-(* Parallel driver: the calling domain plus [params.domains - 1] spawned
-   domains run the same worker loop over a shared Work_pool.  Expensive
-   oracle calls (bound/branch) run outside the pool lock; every queue or
-   counter mutation happens under it.  The incumbent cost is mirrored in
-   an Atomic so workers prune against the freshest bound without
-   locking.  Termination mirrors the sequential checks, with the global
-   bound taken over queued *and* in-flight regions so a gap can never be
-   declared while a better region is still being processed. *)
-let minimize_par : type region sol.
-    params:params -> (region, sol) oracle -> region -> sol result =
- fun ~params oracle root ->
+(* ------------------------------------------------------------------ *)
+(* Parallel driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The calling domain plus [params.domains - 1] spawned domains run the
+   same worker loop over a shared Work_pool.  Expensive oracle calls
+   (bound/branch) run outside the pool lock; every queue or counter
+   mutation happens under it.  The incumbent cost is mirrored in an
+   Atomic so workers prune against the freshest bound without locking.
+   Termination mirrors the sequential checks, with the global bound
+   taken over queued *and* in-flight regions so a gap can never be
+   declared while a better region is still being processed.
+
+   Fault containment is what makes the pool robust: oracle calls are
+   policy-guarded, and the in-flight slot of an expanding worker is
+   released in a [Fun.protect] finaliser, so even a non-containable
+   exception re-broadcasts before propagating — one poisoned region can
+   never leave siblings blocked in [wait]. *)
+let run_par : type region sol.
+    params:params ->
+    faults:(region, sol) faults ->
+    checkpointing:checkpointing option ->
+    interrupt:(unit -> bool) option ->
+    (region, sol) oracle ->
+    (region, sol) source ->
+    sol result =
+ fun ~params ~faults ~checkpointing ~interrupt oracle source ->
   let workers = params.domains in
   let pool : region Work_pool.t = Work_pool.create ~workers in
-  let incumbent = ref None (* under the pool lock *) in
-  let incumbent_cost = Atomic.make Float.infinity in
-  let nodes = ref 0 in
+  let fc = Fault.fresh_counters () in
+  let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
+    restore_counters fc source
+  in
+  let incumbent =
+    ref (match source with Root _ -> None | Restored s -> s.Checkpoint.incumbent)
+    (* under the pool lock *)
+  in
+  let incumbent_cost =
+    Atomic.make
+      (match !incumbent with Some (_, c) -> c | None -> Float.infinity)
+  in
+  let nodes =
+    ref (match source with Root _ -> 0 | Restored s -> s.Checkpoint.nodes_explored)
+  in
   let start_time = now () in
+  let elapsed () = elapsed0 +. (now () -. start_time) in
   let stop = ref None in
   (* Counters below are mutated under the pool lock only. *)
-  let infeasible_regions = ref 0 in
-  let bound_pruned = ref 0 in
-  let stale_pops = ref 0 in
-  let incumbent_updates = ref 0 in
-  let children_generated = ref 0 in
+  let infeasible_regions = ref infeasible0 in
+  let bound_pruned = ref pruned0 in
+  let stale_pops = ref stale0 in
+  let incumbent_updates = ref updates0 in
+  let children_generated = ref children0 in
+  let last_saved_nodes = ref !nodes in
   let consider_candidate_locked = function
     | Some (sol, cost) when cost < Atomic.get incumbent_cost ->
         incumbent := Some (sol, cost);
@@ -184,11 +459,47 @@ let minimize_par : type region sol.
           Work_pool.push pool lower region
         else incr bound_pruned
   in
-  (* The root is bounded on the calling domain before any worker starts,
-     exactly as in the sequential driver (callers may rely on the root
-     bound running first, e.g. to install a seeded incumbent). *)
-  let root_info = oracle.bound root in
-  Work_pool.locked pool (fun () -> record_bounded_locked root root_info);
+  (match source with
+  | Root root ->
+      (* The root is bounded on the calling domain before any worker
+         starts, exactly as in the sequential driver (callers may rely on
+         the root bound running first, e.g. to install a seeded
+         incumbent). *)
+      let root_info = guarded_bound ~faults ~fc oracle root in
+      Work_pool.locked pool (fun () ->
+          match root_info with
+          | Dropped_bound -> ()
+          | Bounded info -> record_bounded_locked root info)
+  | Restored s ->
+      Work_pool.locked pool (fun () ->
+          Array.iter (fun (lb, region) -> Work_pool.push pool lb region)
+            s.Checkpoint.frontier));
+  (* Snapshot under the lock: queued and in-flight regions are never
+     mutated once visible to the pool (see Work_pool.snapshot), so
+     marshalling them here is race-free.  Siblings pause on the lock for
+     the duration of the write — the price of a consistent frontier. *)
+  let snapshot_state_locked ck =
+    {
+      Checkpoint.fingerprint = ck.fingerprint;
+      frontier = Array.of_list (Work_pool.snapshot pool);
+      incumbent = !incumbent;
+      nodes_explored = !nodes;
+      counters =
+        counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
+          ~stale:!stale_pops ~updates:!incumbent_updates
+          ~children:!children_generated ~fc;
+      elapsed = elapsed ();
+    }
+  in
+  let maybe_periodic_save_locked () =
+    match checkpointing with
+    | Some ck
+      when ck.every_nodes > 0 && !nodes - !last_saved_nodes >= ck.every_nodes
+      ->
+        last_saved_nodes := !nodes;
+        try_save ck (snapshot_state_locked ck)
+    | _ -> ()
+  in
   let gap_ok_locked () =
     let inc = Atomic.get incumbent_cost in
     inc < Float.infinity
@@ -197,6 +508,7 @@ let minimize_par : type region sol.
     let gap = inc -. bound in
     gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs inc
   in
+  let interrupted () = match interrupt with Some f -> f () | None -> false in
   let halt_locked reason =
     if !stop = None then stop := Some reason;
     Work_pool.close pool
@@ -221,10 +533,14 @@ let minimize_par : type region sol.
               end
               else if
                 match params.time_limit with
-                | Some limit -> now () -. start_time > limit
+                | Some limit -> elapsed () > limit
                 | None -> false
               then begin
                 halt_locked Time_budget;
+                `Exit
+              end
+              else if interrupted () then begin
+                halt_locked Interrupted;
                 `Exit
               end
               else
@@ -257,19 +573,29 @@ let minimize_par : type region sol.
       match action with
       | `Exit -> ()
       | `Expand region ->
-          let children = oracle.branch region in
-          Work_pool.locked pool (fun () ->
-              children_generated :=
-                !children_generated + List.length children);
-          (* Bound each child outside the lock; publish immediately so
-             siblings prune against fresh incumbents. *)
-          List.iter
-            (fun child ->
-              let info = oracle.bound child in
+          (* The in-flight slot is released in a finaliser: even if an
+             exception escapes the guards (non-containable, or a
+             [reraise] policy), siblings blocked in [wait] are woken
+             before it propagates. *)
+          Fun.protect
+            ~finally:(fun () ->
+              Work_pool.locked pool (fun () -> Work_pool.release pool ~worker:i))
+            (fun () ->
+              let children = guarded_branch ~faults ~fc oracle region in
               Work_pool.locked pool (fun () ->
-                  record_bounded_locked child info))
-            children;
-          Work_pool.locked pool (fun () -> Work_pool.release pool ~worker:i);
+                  children_generated :=
+                    !children_generated + List.length children);
+              (* Bound each child outside the lock; publish immediately so
+                 siblings prune against fresh incumbents. *)
+              List.iter
+                (fun child ->
+                  match guarded_bound ~faults ~fc oracle child with
+                  | Dropped_bound -> ()
+                  | Bounded info ->
+                      Work_pool.locked pool (fun () ->
+                          record_bounded_locked child info))
+                children);
+          Work_pool.locked pool (fun () -> maybe_periodic_save_locked ());
           loop ()
     in
     (* An oracle exception must not leave sibling domains blocked on the
@@ -284,6 +610,13 @@ let minimize_par : type region sol.
   in
   worker 0 ();
   Array.iter Domain.join spawned;
+  let stop_reason = match !stop with Some r -> r | None -> Proved_optimal in
+  (match checkpointing with
+  | Some ck when ck.save_on_stop && stop_wants_save stop_reason ->
+      (* All workers have joined: nothing is in flight, the pool queue is
+         the complete frontier. *)
+      Work_pool.locked pool (fun () -> try_save ck (snapshot_state_locked ck))
+  | _ -> ());
   let bound, idle_wakeups =
     Work_pool.locked pool (fun () ->
         let inc = Atomic.get incumbent_cost in
@@ -302,7 +635,7 @@ let minimize_par : type region sol.
       (if incumbent_cost = Float.infinity then Float.infinity
        else incumbent_cost -. bound);
     nodes_explored = !nodes;
-    stop_reason = (match !stop with Some r -> r | None -> Proved_optimal);
+    stop_reason;
     stats =
       {
         infeasible_regions = !infeasible_regions;
@@ -312,12 +645,25 @@ let minimize_par : type region sol.
         children_generated = !children_generated;
         domains_used = workers;
         idle_wakeups;
+        oracle_failures = Atomic.get fc.Fault.failures;
+        retries = Atomic.get fc.Fault.retries;
+        degraded_bounds = Atomic.get fc.Fault.degraded;
+        dropped_regions = Atomic.get fc.Fault.dropped;
       };
   }
 
-let minimize ?(params = default_params) oracle root =
-  if params.domains <= 1 then minimize_seq ~params oracle root
-  else minimize_par ~params oracle root
+let run ~params ~faults ~checkpointing ~interrupt oracle source =
+  if params.domains <= 1 then
+    run_seq ~params ~faults ~checkpointing ~interrupt oracle source
+  else run_par ~params ~faults ~checkpointing ~interrupt oracle source
+
+let minimize ?(params = default_params) ?(faults = default_faults)
+    ?checkpointing ?interrupt oracle root =
+  run ~params ~faults ~checkpointing ~interrupt oracle (Root root)
+
+let resume ?(params = default_params) ?(faults = default_faults)
+    ?checkpointing ?interrupt oracle state =
+  run ~params ~faults ~checkpointing ~interrupt oracle (Restored state)
 
 let minimize_parallel ?(params = default_params) ~domains oracle root =
   minimize ~params:{ params with domains } oracle root

@@ -15,7 +15,30 @@
     functions of the shared read-only problem qualify; region-local
     mutation is fine because each region is processed by exactly one
     domain).  With [domains = 1] (the default) the code path is the
-    sequential driver, unchanged. *)
+    sequential driver, unchanged.
+
+    {2 Fault containment}
+
+    Every [oracle.bound] / [oracle.branch] invocation is guarded: an
+    escaping exception or a non-finite (NaN / [-infinity]) lower bound is
+    classified (see {!Fault}) and handled by the configured policy —
+    retried, degraded to the caller's cheap conservative fallback bound,
+    or, as a recorded last resort, dropped.  A worker domain always
+    releases its in-flight slot and re-broadcasts, so one poisoned
+    region can neither hang nor kill the pool; with
+    {!Fault.propagate} the pre-containment fail-fast behaviour is
+    restored (the pool is still closed before the exception escapes).
+
+    {2 Checkpointing}
+
+    With [?checkpointing] the driver periodically (every
+    [every_nodes] explored nodes, and on any budget/interrupt stop)
+    serialises the live frontier, incumbent and statistics to disk via
+    {!Checkpoint} — atomically, tmp + rename — and {!resume} restarts
+    from such a snapshot instead of the root.  The contract required for
+    parallel snapshots: [branch] must not mutate the region it splits
+    (both the LDA-FP oracle and anything purely functional satisfy
+    this). *)
 
 type 'sol bound_info = {
   lower : float;
@@ -50,11 +73,31 @@ val default_params : params
 (** [max_nodes = 100_000], [rel_gap = 1e-6], [abs_gap = 1e-12],
     no time limit, no logging, [domains = 1]. *)
 
+type ('region, 'sol) faults = {
+  policy : Fault.policy;
+  retry_bound : (attempt:int -> 'region -> 'sol bound_info option) option;
+      (** used instead of [oracle.bound] for retry attempt [attempt >= 1]
+          — the hook for jittered solver parameters (loosened barrier
+          tolerances, perturbed start).  [None]: retries re-call
+          [oracle.bound] unchanged (still useful against transient /
+          injected faults). *)
+  fallback_bound : ('region -> float) option;
+      (** cheap {e certified} conservative lower bound (e.g. interval
+          arithmetic) used to keep a region alive when its real bound
+          keeps failing; must return a finite value or [+infinity].
+          [None] disables degradation even when [policy.degrade]. *)
+}
+
+val default_faults : ('region, 'sol) faults
+(** {!Fault.default_policy} with no retry override and no fallback:
+    failures are retried once and then dropped (recorded). *)
+
 type stop_reason =
   | Proved_optimal  (** queue exhausted or bound met incumbent *)
   | Gap_reached
   | Node_budget
   | Time_budget
+  | Interrupted  (** the [?interrupt] poll returned [true] *)
 
 type stats = {
   infeasible_regions : int;  (** regions the bound oracle proved empty *)
@@ -66,6 +109,16 @@ type stats = {
   idle_wakeups : int;
       (** times a worker domain found the queue empty and had to wait
           for siblings' children; 0 for the sequential driver *)
+  oracle_failures : int;
+      (** failing oracle invocations (exceptions and non-finite bounds),
+          including failing retry attempts *)
+  retries : int;  (** oracle re-invocations made by the fault policy *)
+  degraded_bounds : int;
+      (** regions kept alive with the conservative fallback bound *)
+  dropped_regions : int;
+      (** regions abandoned after the policy ran out of options — each
+          one weakens the optimality claim, which is why they are
+          counted rather than silent *)
 }
 (** Search statistics — the observability the ablation benches report. *)
 
@@ -78,14 +131,57 @@ type 'sol result = {
   stats : stats;
 }
 
+type checkpointing = {
+  path : string;
+  every_nodes : int;
+      (** snapshot cadence in explored nodes; [0] = only on stop *)
+  fingerprint : string;
+      (** problem identity written into the file and verified on load *)
+  save_on_stop : bool;
+      (** also snapshot when stopping on [Node_budget] / [Time_budget] /
+          [Interrupted] (never on a completed search — a finished run
+          needs no resume) *)
+}
+
+val checkpointing : ?every_nodes:int -> ?save_on_stop:bool ->
+  fingerprint:string -> string -> checkpointing
+(** [checkpointing ~fingerprint path] with [every_nodes = 0] and
+    [save_on_stop = true] by default. *)
+
 val minimize :
-  ?params:params -> ('region, 'sol) oracle -> 'region -> 'sol result
+  ?params:params ->
+  ?faults:('region, 'sol) faults ->
+  ?checkpointing:checkpointing ->
+  ?interrupt:(unit -> bool) ->
+  ('region, 'sol) oracle ->
+  'region ->
+  'sol result
 (** Explore from the root region, on [params.domains] domains.  The
     root is always bounded on the calling domain before workers start.
     Termination semantics (gap, node budget, wall-clock limit) are
     identical across domain counts; in parallel the gap test uses the
     minimum bound over queued {e and} in-flight regions, so it is never
-    optimistic. *)
+    optimistic.  [?interrupt] is polled between nodes (cheap, called
+    under the pool lock in parallel mode); returning [true] stops the
+    search with {!Interrupted} — the hook for signal handlers. *)
+
+val resume :
+  ?params:params ->
+  ?faults:('region, 'sol) faults ->
+  ?checkpointing:checkpointing ->
+  ?interrupt:(unit -> bool) ->
+  ('region, 'sol) oracle ->
+  ('region, 'sol) Checkpoint.state ->
+  'sol result
+(** Continue a search from a {!Checkpoint} snapshot: the saved frontier
+    is re-queued at its certified keys (without re-bounding), the
+    incumbent, node count, statistics and elapsed wall-clock time are
+    restored, so [max_nodes] and [time_limit] budget the {e whole}
+    search across restarts.  A sequential ([domains = 1]) search killed
+    at any point and resumed reaches the same incumbent cost as the
+    uninterrupted run (verified by property tests).  The caller is
+    responsible for loading the state with a fingerprint check
+    ({!Checkpoint.load}). *)
 
 val minimize_parallel :
   ?params:params ->

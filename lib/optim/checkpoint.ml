@@ -1,0 +1,64 @@
+exception Corrupt of string
+
+let magic = "ldafp-bnb-checkpoint v1"
+
+type ('region, 'sol) state = {
+  fingerprint : string;
+  frontier : (float * 'region) array;
+  incumbent : ('sol * float) option;
+  nodes_explored : int;
+  counters : (string * int) list;
+  elapsed : float;
+}
+
+let counter state name =
+  match List.assoc_opt name state.counters with Some n -> n | None -> 0
+
+let save ~path state =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      output_string oc state.fingerprint;
+      output_char oc '\n';
+      Marshal.to_channel oc state [];
+      flush oc;
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+let load ?expect_fingerprint ~path () =
+  if not (Sys.file_exists path) then
+    raise (Corrupt (Printf.sprintf "no checkpoint at %s" path));
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let line () = try input_line ic with End_of_file -> "" in
+      let got_magic = line () in
+      if got_magic <> magic then
+        raise
+          (Corrupt
+             (Printf.sprintf "%s: bad header %S (expected %S)" path got_magic
+                magic));
+      let fingerprint = line () in
+      (match expect_fingerprint with
+      | Some expected when expected <> fingerprint ->
+          raise
+            (Corrupt
+               (Printf.sprintf
+                  "%s: checkpoint is for a different problem (fingerprint %s, \
+                   expected %s)"
+                  path fingerprint expected))
+      | _ -> ());
+      let state =
+        try (Marshal.from_channel ic : ('region, 'sol) state)
+        with End_of_file | Failure _ ->
+          raise (Corrupt (Printf.sprintf "%s: truncated or corrupt payload" path))
+      in
+      if state.fingerprint <> fingerprint then
+        raise (Corrupt (Printf.sprintf "%s: header/payload fingerprint mismatch" path));
+      state)

@@ -1,0 +1,60 @@
+(** Atomic on-disk snapshots of a branch-and-bound search.
+
+    A checkpoint captures everything the driver needs to restart a
+    search where it left off: the live frontier (queued {e and}
+    in-flight regions, each with its certified lower-bound key), the
+    incumbent, the node count, the statistics counters and a caller
+    fingerprint binding the file to one specific problem instance.
+
+    {2 File format and atomicity}
+
+    A checkpoint file is a text header followed by a [Marshal] blob:
+
+    {v ldafp-bnb-checkpoint v1
+       <fingerprint>
+       <marshalled state> v}
+
+    The header is validated {e before} anything is unmarshalled, so a
+    garbage file or a checkpoint from a different problem fails with
+    {!Corrupt} instead of undefined behaviour.  [save] writes to
+    [path ^ ".tmp"], flushes and fsyncs, then [Sys.rename]s over the
+    target — on POSIX filesystems the checkpoint at [path] is therefore
+    always either the complete previous snapshot or the complete new
+    one, never a torn write, even if the process is killed mid-save.
+
+    Regions and solutions are serialised with [Marshal]; they must not
+    contain closures (the search regions of the LDA-FP solver are plain
+    records of floats and arrays). *)
+
+exception Corrupt of string
+(** Missing file, bad magic, version mismatch, fingerprint mismatch, or
+    truncated payload. *)
+
+type ('region, 'sol) state = {
+  fingerprint : string;
+      (** problem identity; {!load} rejects the file when it does not
+          match the expectation *)
+  frontier : (float * 'region) array;
+      (** live regions keyed by certified lower bound — every region
+          that was queued or in flight at snapshot time *)
+  incumbent : ('sol * float) option;
+  nodes_explored : int;
+  counters : (string * int) list;
+      (** statistics snapshot keyed by counter name (schema-agnostic so
+          old checkpoints survive new counters) *)
+  elapsed : float;  (** wall-clock seconds consumed before the snapshot *)
+}
+
+val counter : ('region, 'sol) state -> string -> int
+(** Named counter from the snapshot; 0 when absent. *)
+
+val save : path:string -> ('region, 'sol) state -> unit
+(** Atomically (tmp + fsync + rename) persist the state.
+    @raise Sys_error on I/O failure. *)
+
+val load : ?expect_fingerprint:string -> path:string -> unit ->
+  ('region, 'sol) state
+(** Read a checkpoint back.  The caller is responsible for instantiating
+    ['region]/['sol] at the same types that were saved — the
+    [fingerprint] check is the guard rail for that.
+    @raise Corrupt on any validation failure. *)

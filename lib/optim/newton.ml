@@ -6,7 +6,7 @@ type params = { tol : float; max_iter : int; alpha : float; beta : float }
 
 let default_params = { tol = 1e-9; max_iter = 80; alpha = 0.25; beta = 0.5 }
 
-type status = Converged | Iteration_limit | Stalled
+type status = Converged | Iteration_limit | Stalled | Diverged
 
 type result = {
   x : Vec.t;
@@ -41,7 +41,15 @@ let minimize ?(params = default_params) oracle x0 =
         let d = solve_step !hx !gx in
         let lambda_sq = -.Vec.dot !gx d in
         dec := 0.5 *. lambda_sq;
-        if !dec <= params.tol || Float.is_nan !dec then begin
+        if Float.is_nan !dec then begin
+          (* A NaN decrement (NaN gradient/Hessian entries, or a Newton
+             system solved into NaNs) used to be reported as Converged,
+             silently handing callers a bogus centering point.  Surface
+             it so Socp can report Suboptimal instead. *)
+          status := Diverged;
+          continue := false
+        end
+        else if !dec <= params.tol then begin
           status := Converged;
           continue := false
         end

@@ -17,10 +17,13 @@ type params = {
 val default_params : params
 (** [tol = 1e-9], [max_iter = 80], [alpha = 0.25], [beta = 0.5]. *)
 
-type status = Converged | Iteration_limit | Stalled
+type status = Converged | Iteration_limit | Stalled | Diverged
 (** [Stalled]: the line search could not make progress (typically at the
     numerical boundary of the domain); the best iterate is still
-    returned. *)
+    returned.  [Diverged]: the Newton decrement evaluated to NaN (a NaN
+    in the oracle's gradient/Hessian, or a degenerate Newton system) —
+    the returned iterate is the last {e finite} one, but it carries no
+    optimality certificate and callers must not treat it as converged. *)
 
 type result = {
   x : Linalg.Vec.t;

@@ -61,11 +61,13 @@ type params = {
   gap_tol : float;
   newton : Newton.params;
   max_outer : int;
+  start_margin : float;
 }
 
 let default_params =
   { tau0 = 1.0; mu = 15.0; gap_tol = 1e-8;
-    newton = { Newton.default_params with tol = 1e-10 }; max_outer = 60 }
+    newton = { Newton.default_params with tol = 1e-10 }; max_outer = 60;
+    start_margin = 1e-6 }
 
 type status = Optimal | Suboptimal
 
@@ -146,42 +148,6 @@ let centering_oracle pb tau : Newton.oracle =
 let strictly_feasible_for_barrier pb x =
   match centering_oracle pb 0.0 x with Some _ -> true | None -> false
 
-let solve ?(params = default_params) pb ~start =
-  if Vec.dim start <> pb.n then invalid_arg "Socp.solve: start dimension";
-  if not (strictly_feasible_for_barrier pb start) then
-    invalid_arg "Socp.solve: start point not strictly feasible";
-  let nu = float_of_int (barrier_nu pb) in
-  if nu = 0.0 then begin
-    (* Unconstrained QP: single Newton solve. *)
-    let r = Newton.minimize ~params:params.newton (centering_oracle pb 1.0) start in
-    { x = r.x; objective = objective_value pb r.x; gap_bound = 0.0;
-      outer_iterations = 0; newton_iterations = r.iterations;
-      status = Optimal }
-  end
-  else begin
-    let x = ref (Vec.copy start) in
-    let tau = ref params.tau0 in
-    let outer = ref 0 in
-    let newton_total = ref 0 in
-    let stalled = ref false in
-    while nu /. !tau > params.gap_tol && !outer < params.max_outer
-          && not !stalled do
-      incr outer;
-      let r = Newton.minimize ~params:params.newton (centering_oracle pb !tau) !x in
-      newton_total := !newton_total + r.iterations;
-      x := r.x;
-      (match r.status with Newton.Stalled -> stalled := true | _ -> ());
-      tau := params.mu *. !tau
-    done;
-    let gap = nu /. !tau *. params.mu (* gap before the last multiply *) in
-    let status =
-      if nu /. !tau <= params.gap_tol || gap <= params.gap_tol then Optimal
-      else Suboptimal
-    in
-    { x = !x; objective = objective_value pb !x; gap_bound = gap;
-      outer_iterations = !outer; newton_iterations = !newton_total; status }
-  end
-
 type feasibility =
   | Strictly_feasible of Vec.t
   | Infeasible of float
@@ -232,7 +198,12 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
       if max_violation pb x <= -.margin then result := Some (Strictly_feasible x)
       else begin
         let gap = nu /. !tau in
-        if gap <= params.gap_tol || r.status = Newton.Stalled then begin
+        let dead =
+          match r.status with
+          | Newton.Stalled | Newton.Diverged -> true
+          | Newton.Converged | Newton.Iteration_limit -> false
+        in
+        if gap <= params.gap_tol || dead then begin
           (* s is an upper bound on s*; s - gap is a lower bound. *)
           if s -. gap > margin then result := Some (Infeasible (s -. gap))
           else result := Some (Unknown x)
@@ -243,6 +214,57 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
     match !result with
     | Some r -> r
     | None -> Unknown (Array.sub !z 0 pb.n)
+  end
+
+let solve ?(params = default_params) pb ~start =
+  if Vec.dim start <> pb.n then invalid_arg "Socp.solve: start dimension";
+  let start =
+    if strictly_feasible_for_barrier pb start then Vec.copy start
+    else if max_violation pb start <= params.start_margin then
+      (* The start sits on (or within roundoff of) the constraint
+         boundary — common when a caller clips a warm start to the box.
+         Nudge it into the interior with a phase-I solve rather than
+         rejecting it. *)
+      match find_strictly_feasible ~params pb ~start with
+      | Strictly_feasible x -> x
+      | Infeasible _ | Unknown _ ->
+          invalid_arg "Socp.solve: start point not strictly feasible"
+    else invalid_arg "Socp.solve: start point not strictly feasible"
+  in
+  let nu = float_of_int (barrier_nu pb) in
+  if nu = 0.0 then begin
+    (* Unconstrained QP: single Newton solve. *)
+    let r = Newton.minimize ~params:params.newton (centering_oracle pb 1.0) start in
+    let diverged = r.status = Newton.Diverged in
+    { x = r.x; objective = objective_value pb r.x;
+      gap_bound = (if diverged then Float.infinity else 0.0);
+      outer_iterations = 0; newton_iterations = r.iterations;
+      status = (if diverged then Suboptimal else Optimal) }
+  end
+  else begin
+    let x = ref start in
+    let tau = ref params.tau0 in
+    let outer = ref 0 in
+    let newton_total = ref 0 in
+    let stalled = ref false in
+    while nu /. !tau > params.gap_tol && !outer < params.max_outer
+          && not !stalled do
+      incr outer;
+      let r = Newton.minimize ~params:params.newton (centering_oracle pb !tau) !x in
+      newton_total := !newton_total + r.iterations;
+      x := r.x;
+      (match r.status with
+      | Newton.Stalled | Newton.Diverged -> stalled := true
+      | Newton.Converged | Newton.Iteration_limit -> ());
+      tau := params.mu *. !tau
+    done;
+    let gap = nu /. !tau *. params.mu (* gap before the last multiply *) in
+    let status =
+      if nu /. !tau <= params.gap_tol || gap <= params.gap_tol then Optimal
+      else Suboptimal
+    in
+    { x = !x; objective = objective_value pb !x; gap_bound = gap;
+      outer_iterations = !outer; newton_iterations = !newton_total; status }
   end
 
 let centering_oracle_for_tests = centering_oracle

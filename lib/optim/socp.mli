@@ -58,14 +58,17 @@ type params = {
   gap_tol : float;  (** stop when [ν/τ] (suboptimality bound) is below *)
   newton : Newton.params;
   max_outer : int;
+  start_margin : float;
+      (** starts violating constraints by at most this much are nudged
+          into the interior (phase-I) instead of rejected *)
 }
 
 val default_params : params
 
 type status = Optimal | Suboptimal
-(** [Suboptimal]: an outer-iteration limit or a stalled centering step;
-    the returned point is feasible but the gap bound may exceed
-    [gap_tol]. *)
+(** [Suboptimal]: an outer-iteration limit, a stalled centering step, or
+    a diverged (NaN) Newton solve; the returned point is feasible but
+    the gap bound may exceed [gap_tol]. *)
 
 type solution = {
   x : Linalg.Vec.t;
@@ -77,8 +80,12 @@ type solution = {
 }
 
 val solve : ?params:params -> problem -> start:Linalg.Vec.t -> solution
-(** Path-following from a strictly feasible [start].
-    @raise Invalid_argument if [start] is not strictly feasible. *)
+(** Path-following from a strictly feasible [start].  A start that is
+    feasible only up to roundoff — violating no constraint by more than
+    [params.start_margin] — is first nudged into the strict interior via
+    {!find_strictly_feasible} rather than rejected.
+    @raise Invalid_argument if [start] violates a constraint by more
+    than [params.start_margin], or the phase-I nudge fails. *)
 
 type feasibility =
   | Strictly_feasible of Linalg.Vec.t

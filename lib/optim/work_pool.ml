@@ -2,8 +2,10 @@ type 'a t = {
   lock : Mutex.t;
   changed : Condition.t;
   queue : 'a Pqueue.t;
-  working : float array;
-      (* per-worker key of the in-flight item; +infinity when idle *)
+  working : (float * 'a) option array;
+      (* per-worker in-flight item and its key; None when idle.  Items
+         are kept (not just their keys) so checkpoints can snapshot the
+         full live frontier. *)
   mutable in_flight : int;
   mutable closed : bool;
   mutable idle_wakeups : int;
@@ -15,7 +17,7 @@ let create ~workers =
     lock = Mutex.create ();
     changed = Condition.create ();
     queue = Pqueue.create ();
-    working = Array.make workers Float.infinity;
+    working = Array.make workers None;
     in_flight = 0;
     closed = false;
     idle_wakeups = 0;
@@ -33,12 +35,12 @@ let take t ~worker =
   match Pqueue.pop t.queue with
   | None -> None
   | Some (key, value) ->
-      t.working.(worker) <- key;
+      t.working.(worker) <- Some (key, value);
       t.in_flight <- t.in_flight + 1;
       Some (key, value)
 
 let release t ~worker =
-  t.working.(worker) <- Float.infinity;
+  t.working.(worker) <- None;
   t.in_flight <- t.in_flight - 1;
   Condition.broadcast t.changed
 
@@ -57,7 +59,16 @@ let queue_length t = Pqueue.length t.queue
 let min_queue_key t = Pqueue.min_key t.queue
 
 let frontier_bound t =
-  Array.fold_left Float.min (Pqueue.min_key t.queue) t.working
+  Array.fold_left
+    (fun acc slot ->
+      match slot with Some (key, _) -> Float.min acc key | None -> acc)
+    (Pqueue.min_key t.queue) t.working
+
+let snapshot t =
+  let queued = Pqueue.fold (fun acc key v -> (key, v) :: acc) [] t.queue in
+  Array.fold_left
+    (fun acc slot -> match slot with Some item -> item :: acc | None -> acc)
+    queued t.working
 
 let in_flight t = t.in_flight
 let prune t pred = Pqueue.filter_in_place t.queue pred

@@ -60,6 +60,15 @@ val frontier_bound : 'a t -> float
     global lower bound of the live frontier; [infinity] when drained.
     Requires the lock. *)
 
+val snapshot : 'a t -> (float * 'a) list
+(** Every live item with its key: queued {e and} in-flight.  This is the
+    full frontier a checkpoint must persist — losing an in-flight region
+    would silently discard its whole unexplored subtree on resume.
+    Sound to serialise under the lock provided oracles never mutate a
+    region after it has been pushed (the B&B contract: [bound] may
+    mutate the region it is bounding, [branch] must not mutate the
+    region it splits).  Requires the lock. *)
+
 val in_flight : 'a t -> int
 
 val prune : 'a t -> (float -> 'a -> bool) -> unit

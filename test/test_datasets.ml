@@ -345,6 +345,25 @@ let test_csv_error_line_numbers () =
   checki "bad label mid-file" 3
     (line_of [ "label,x1"; "A,1.0"; "X,2.0"; "B,3.0" ])
 
+let test_csv_rejects_non_finite () =
+  (* [float_of_string] happily parses "nan" and "inf", and "1e999"
+     overflows to infinity; all of them would poison scatter matrices
+     and SOCP bounds downstream, so the loader must reject them with
+     the 1-based line of the original input. *)
+  let line_of lines =
+    match Dataset_io.of_lines ~name:"nf" lines with
+    | exception Dataset_io.Parse_error { line; _ } -> line
+    | _ -> -1
+  in
+  checki "nan feature" 2 (line_of [ "A,1.0"; "B,nan" ]);
+  checki "inf feature" 1 (line_of [ "A,inf" ]);
+  checki "negative inf feature" 2 (line_of [ "A,1.0"; "B,-infinity" ]);
+  checki "overflowing literal" 3
+    (line_of [ "label,x1"; "A,1.0"; "B,1e999" ]);
+  (* Large-but-finite values are still fine. *)
+  let ds = Dataset_io.of_lines ~name:"big" [ "A,1e300"; "B,-1e300" ] in
+  checkf 1.0 "finite extreme kept" 1e300 ds.Dataset.features.(0).(0)
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -431,6 +450,8 @@ let () =
           Alcotest.test_case "header skipped" `Quick test_csv_header_skipped;
           Alcotest.test_case "error line numbers" `Quick
             test_csv_error_line_numbers;
+          Alcotest.test_case "rejects non-finite features" `Quick
+            test_csv_rejects_non_finite;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -451,7 +451,7 @@ let test_solver_time_budget () =
         (match o.Lda_fp.diagnostics.Lda_fp.stop_reason with
         | Optim.Bnb.Time_budget | Optim.Bnb.Proved_optimal
         | Optim.Bnb.Gap_reached -> true
-        | Optim.Bnb.Node_budget -> false)
+        | Optim.Bnb.Node_budget | Optim.Bnb.Interrupted -> false)
 
 let test_solver_respects_node_budget () =
   let fmt = Qformat.make ~k:2 ~f:6 in

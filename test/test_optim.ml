@@ -207,6 +207,23 @@ let test_newton_rejects_infeasible_start () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_newton_nan_decrement_is_diverged () =
+  (* Regression: a NaN gradient makes the Newton decrement NaN, and
+     [!dec <= tol] is false for NaN, so the old code fell through to the
+     line search with a NaN direction and eventually reported the start
+     point as Converged.  It must be surfaced as Diverged instead. *)
+  let calls = ref 0 in
+  let oracle : Newton.oracle =
+   fun x ->
+    incr calls;
+    let g = if !calls = 1 then [| Float.nan |] else [| x.(0) |] in
+    Some (0.5 *. x.(0) *. x.(0), g, [| [| 1.0 |] |])
+  in
+  let r = Newton.minimize oracle [| 3.0 |] in
+  checkb "status is Diverged" true (r.Newton.status = Newton.Diverged);
+  checkb "decrement is NaN" true (Float.is_nan r.Newton.decrement);
+  checkf 1e-12 "last finite iterate returned" 3.0 r.Newton.x.(0)
+
 (* ------------------------------------------------------------------ *)
 (* Socp                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -268,6 +285,27 @@ let test_socp_rejects_infeasible_start () =
   let lins = Socp.box_constraints [| 0.0 |] [| 1.0 |] in
   let problem = Socp.problem ~lins 1 in
   checkb "raises on outside start" true
+    (match Socp.solve problem ~start:[| 5.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_socp_boundary_start_nudged () =
+  (* A start exactly on the constraint boundary (violation 0, within
+     [start_margin]) used to raise; it must now be nudged into the
+     interior by phase-I and solved.  min (x-3)² over [0, 1] from the
+     boundary start x = 1: optimum stays at the boundary. *)
+  let p = Mat.scale 2.0 (Mat.identity 1) in
+  let q = [| -6.0 |] in
+  let lins = Socp.box_constraints [| 0.0 |] [| 1.0 |] in
+  let problem = Socp.problem ~p ~q ~lins 1 in
+  let sol = Socp.solve problem ~start:[| 1.0 |] in
+  checkf 1e-3 "optimum at the bound" 1.0 sol.Socp.x.(0);
+  checkb "feasible" true (Socp.is_feasible ~tol:1e-7 problem sol.Socp.x);
+  (* Roundoff past the boundary is tolerated too... *)
+  let sol' = Socp.solve problem ~start:[| 1.0 +. 1e-9 |] in
+  checkf 1e-3 "roundoff-infeasible start solved" 1.0 sol'.Socp.x.(0);
+  (* ...but a genuinely infeasible start is still rejected. *)
+  checkb "far start still raises" true
     (match Socp.solve problem ~start:[| 5.0 |] with
     | exception Invalid_argument _ -> true
     | _ -> false)
@@ -687,6 +725,8 @@ let () =
             test_newton_log_barrier_1d;
           Alcotest.test_case "infeasible start" `Quick
             test_newton_rejects_infeasible_start;
+          Alcotest.test_case "NaN decrement diverges" `Quick
+            test_newton_nan_decrement_is_diverged;
         ] );
       ( "socp",
         [
@@ -698,6 +738,8 @@ let () =
             test_socp_lower_bound_certificate;
           Alcotest.test_case "rejects infeasible start" `Quick
             test_socp_rejects_infeasible_start;
+          Alcotest.test_case "boundary start nudged" `Quick
+            test_socp_boundary_start_nudged;
           Alcotest.test_case "phase1 feasible" `Quick
             test_phase1_finds_feasible;
           Alcotest.test_case "phase1 infeasible" `Quick
