@@ -76,6 +76,86 @@ let parse_args () =
   o
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_solver.json)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON emitter — enough for flat records of numbers, strings
+   and booleans; keeps the bench free of external dependencies. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* JSON has no inf/nan literals *)
+        if Float.is_finite f then
+          Buffer.add_string buf (Printf.sprintf "%.17g" f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let save path t =
+    let buf = Buffer.create 4096 in
+    write buf t;
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Buffer.contents buf))
+end
+
+let median xs =
+  let a = Array.copy xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the solver kernels (E6)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -146,6 +226,7 @@ let run_micro () =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
   in
   let tests = micro_tests () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -154,10 +235,112 @@ let run_micro () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some (t :: _) ->
-              Printf.printf "  %-40s %12.1f ns/run\n%!" name t
+              Printf.printf "  %-40s %12.1f ns/run\n%!" name t;
+              estimates := (name, t) :: !estimates
           | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
         analyzed)
-    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) tests)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) tests);
+  List.rev !estimates
+
+(* ------------------------------------------------------------------ *)
+(* Per-node bound kernel: cold vs warm start (E9)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Reproduces exactly what the branch-and-bound bound oracle does per
+   node on the Table-1 synthetic problem: build the child relaxation
+   from the shared template, establish strict feasibility, run the
+   barrier.  Cold pays a phase-I solve from the box midpoint; warm
+   starts the barrier directly from the parent's relaxation optimum
+   (strictly interior for the child when only the t-range shrank).
+   Correctness gate: both must agree on the objective to within the sum
+   of their certified gap bounds. *)
+let run_bound_kernel ~quick ?seed () =
+  let open Ldafp_core in
+  let seed = Option.value seed ~default:42 in
+  print_newline ();
+  print_endline "Per-node bound kernel: cold vs warm start (E9)";
+  print_endline "==============================================";
+  let rng = Stats.Rng.create seed in
+  let ds =
+    Datasets.Synthetic.generate ~n_per_class:(if quick then 300 else 1000) rng
+  in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:6 in
+  let prep = Pipeline.prepare ~fmt ds in
+  let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
+  let wbox = pb.Ldafp_problem.elem_box in
+  let relax trange =
+    Ldafp_problem.relaxation pb ~wbox ~trange
+      ~eta:(Optim.Interval.sup_sq trange)
+  in
+  let mid_start () = Array.map Fixedpoint.Fx_interval.mid wbox in
+  let root_trange = pb.Ldafp_problem.t_root in
+  let root =
+    match Optim.Socp.solve_auto (relax root_trange) ~start:(mid_start ()) with
+    | Some s -> s
+    | None -> failwith "bound-kernel bench: root relaxation infeasible"
+  in
+  (* One branch step on t, keeping the half that contains the root
+     optimum — the hot case the search warm-starts. *)
+  let t_opt = Ldafp_problem.t_of pb root.Optim.Socp.x in
+  let left, right = Optim.Interval.split root_trange in
+  let child_trange = if Optim.Interval.mem left t_opt then left else right in
+  let child = relax child_trange in
+  let warm_interior =
+    Optim.Socp.is_strictly_interior child root.Optim.Socp.x
+  in
+  let cold () =
+    match Optim.Socp.solve_auto child ~start:(mid_start ()) with
+    | Some s -> s
+    | None -> failwith "bound-kernel bench: child relaxation infeasible"
+  in
+  let warm () =
+    if warm_interior then
+      Optim.Socp.solve
+        ~params:(Optim.Socp.warm_start_params Optim.Socp.default_params)
+        child ~start:root.Optim.Socp.x
+    else cold ()
+  in
+  let cold_sol = cold () and warm_sol = warm () in
+  let reps = if quick then 21 else 51 in
+  let time_ms f =
+    Array.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        1e3 *. (Unix.gettimeofday () -. t0))
+  in
+  let cold_ms = median (time_ms cold) in
+  let warm_ms = median (time_ms warm) in
+  let speedup = cold_ms /. Float.max warm_ms 1e-12 in
+  let delta =
+    Float.abs (cold_sol.Optim.Socp.objective -. warm_sol.Optim.Socp.objective)
+  in
+  let tol =
+    cold_sol.Optim.Socp.gap_bound +. warm_sol.Optim.Socp.gap_bound
+    +. (1e-9 *. (1.0 +. Float.abs cold_sol.Optim.Socp.objective))
+  in
+  let agree = delta <= tol in
+  Printf.printf "  synthetic %s problem, %d reps, warm start %s\n"
+    (Fixedpoint.Qformat.to_string fmt)
+    reps
+    (if warm_interior then "strictly interior" else "NOT interior (cold fallback)");
+  Printf.printf "  cold  (phase-I + barrier):        median %8.3f ms\n" cold_ms;
+  Printf.printf "  warm  (barrier from parent opt):  median %8.3f ms\n" warm_ms;
+  Printf.printf "  speedup %.2fx   objective agreement %b (|delta| %.3g <= %.3g)\n%!"
+    speedup agree delta tol;
+  Json.Obj
+    [
+      ("problem", Json.Str (Fixedpoint.Qformat.to_string fmt));
+      ("reps", Json.Int reps);
+      ("warm_start_interior", Json.Bool warm_interior);
+      ("cold_median_ms", Json.Float cold_ms);
+      ("warm_median_ms", Json.Float warm_ms);
+      ("speedup", Json.Float speedup);
+      ("cold_objective", Json.Float cold_sol.Optim.Socp.objective);
+      ("warm_objective", Json.Float warm_sol.Optim.Socp.objective);
+      ("objective_delta", Json.Float delta);
+      ("objective_tolerance", Json.Float tol);
+      ("objective_agreement", Json.Bool agree);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Sequential vs parallel branch-and-bound (E7)                        *)
@@ -177,12 +360,13 @@ let run_parallel_bnb ~quick ?seed () =
   let prep = Pipeline.prepare ~fmt ds in
   let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
   let max_nodes = if quick then 150 else 2000 in
-  let solve domains =
+  let solve ?(warm_start = true) domains =
     let config =
       {
         Lda_fp.default_config with
         bnb_params =
           { Optim.Bnb.default_params with max_nodes; rel_gap = 1e-6; domains };
+        warm_start;
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -199,23 +383,91 @@ let run_parallel_bnb ~quick ?seed () =
     | None -> Printf.printf "  %-12s no feasible solution\n%!" label
     | Some o ->
         let d = o.Lda_fp.diagnostics in
+        let s = d.Lda_fp.search in
         let seq_cost =
           match seq with Some s -> s.Lda_fp.cost | None -> Float.nan
         in
         Printf.printf
-          "  %-12s cost %.6g  nodes %5d  idle %4d  %6.2fs  speedup %.2fx  \
-           (cost ratio vs seq %.6f)\n\
+          "  %-12s cost %.6g  nodes %5d  idle %4d  warm %4d  %6.2fs  \
+           speedup %.2fx  (cost ratio vs seq %.6f)\n\
            %!"
-          label o.Lda_fp.cost d.Lda_fp.nodes
-          d.Lda_fp.search.Optim.Bnb.idle_wakeups t
+          label o.Lda_fp.cost d.Lda_fp.nodes s.Optim.Bnb.idle_wakeups
+          s.Optim.Bnb.warm_start_hits t
           (seq_t /. Float.max t 1e-9)
           (o.Lda_fp.cost /. seq_cost)
   in
+  let record label domains (outcome, t) =
+    match outcome with
+    | None ->
+        Json.Obj
+          [
+            ("label", Json.Str label);
+            ("domains", Json.Int domains);
+            ("feasible", Json.Bool false);
+            ("seconds", Json.Float t);
+          ]
+    | Some o ->
+        let d = o.Lda_fp.diagnostics in
+        let s = d.Lda_fp.search in
+        Json.Obj
+          [
+            ("label", Json.Str label);
+            ("domains", Json.Int domains);
+            ("feasible", Json.Bool true);
+            ("seconds", Json.Float t);
+            ("cost", Json.Float o.Lda_fp.cost);
+            ("nodes", Json.Int d.Lda_fp.nodes);
+            ("warm_start_hits", Json.Int s.Optim.Bnb.warm_start_hits);
+            ("phase1_skipped", Json.Int s.Optim.Bnb.phase1_skipped);
+            ( "warm_hit_rate",
+              Json.Float
+                (float_of_int s.Optim.Bnb.warm_start_hits
+                /. float_of_int (max 1 d.Lda_fp.nodes)) );
+            ("oracle_seconds", Json.Float s.Optim.Bnb.oracle_seconds);
+          ]
+  in
   report "domains=1" (seq, seq_t);
+  (* Cold ablation at domains=1 — the warm/cold agreement gate CI checks. *)
+  let cold, cold_t = solve ~warm_start:false 1 in
+  report "cold d=1" (cold, cold_t);
+  let records = ref [ record "cold d=1" 1 (cold, cold_t);
+                      record "domains=1" 1 (seq, seq_t) ] in
   List.iter
     (fun domains ->
-      if domains > 1 then report (Printf.sprintf "domains=%d" domains) (solve domains))
-    [ 2; 4 ]
+      if domains > 1 then begin
+        let label = Printf.sprintf "domains=%d" domains in
+        let r = solve domains in
+        report label r;
+        records := record label domains r :: !records
+      end)
+    [ 2; 4 ];
+  let cost_of = function
+    | Some o, _ -> o.Ldafp_core.Lda_fp.cost
+    | None, _ -> Float.nan
+  in
+  let nodes_of = function
+    | Some o, _ -> o.Ldafp_core.Lda_fp.diagnostics.Ldafp_core.Lda_fp.nodes
+    | None, _ -> -1
+  in
+  let same_incumbent = cost_of (seq, seq_t) = cost_of (cold, cold_t) in
+  let same_nodes = nodes_of (seq, seq_t) = nodes_of (cold, cold_t) in
+  Printf.printf
+    "  warm vs cold (domains=1): same incumbent %b, same node count %b\n%!"
+    same_incumbent same_nodes;
+  Json.Obj
+    [
+      ("experiments", Json.List (List.rev !records));
+      ( "warm_vs_cold",
+        Json.Obj
+          [
+            ("same_incumbent", Json.Bool same_incumbent);
+            ("same_nodes", Json.Bool same_nodes);
+            ("warm_cost", Json.Float (cost_of (seq, seq_t)));
+            ("cold_cost", Json.Float (cost_of (cold, cold_t)));
+            ("warm_nodes", Json.Int (nodes_of (seq, seq_t)));
+            ("cold_nodes", Json.Int (nodes_of (cold, cold_t)));
+          ] );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Fault tolerance: solve quality and overhead under injected faults   *)
@@ -306,6 +558,33 @@ let () =
     Experiments.print_ablation ~title:"Ablation: solver features (synthetic, WL=8)"
       (Experiments.ablation_solver ~quick ?seed ())
   end;
-  if o.micro then run_micro ();
-  if o.parallel then run_parallel_bnb ~quick ?seed ();
-  if o.faults then run_fault_tolerance ~quick ?seed ()
+  let micro_json = ref Json.Null in
+  let kernel_json = ref Json.Null in
+  let parallel_json = ref Json.Null in
+  if o.micro then begin
+    let estimates = run_micro () in
+    micro_json :=
+      Json.List
+        (List.map
+           (fun (name, ns) ->
+             Json.Obj
+               [ ("name", Json.Str name); ("ns_per_run", Json.Float ns) ])
+           estimates);
+    kernel_json := run_bound_kernel ~quick ?seed ()
+  end;
+  if o.parallel then parallel_json := run_parallel_bnb ~quick ?seed ();
+  if o.faults then run_fault_tolerance ~quick ?seed ();
+  if o.micro || o.parallel then begin
+    let path = "BENCH_solver.json" in
+    Json.save path
+      (Json.Obj
+         [
+           ("schema", Json.Str "ldafp-bench-solver/1");
+           ("mode", Json.Str (if quick then "quick" else "full"));
+           ("seed", Json.Int (Option.value seed ~default:42));
+           ("micro", !micro_json);
+           ("bound_kernel", !kernel_json);
+           ("parallel", !parallel_json);
+         ]);
+    Printf.printf "\nwrote %s\n%!" path
+  end

@@ -57,12 +57,23 @@ let domains_arg =
           "Worker domains for the branch-and-bound search (OCaml 5 \
            multicore); 1 = sequential.")
 
-let config_of_nodes ?(domains = 1) ?checkpoint nodes =
+let no_warm_start_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-warm-start" ]
+        ~doc:
+          "Disable warm-starting the per-node relaxation solves from the \
+           parent's optimum (cold phase-I on every node; slower, same \
+           certified bounds).")
+
+let config_of_nodes ?(domains = 1) ?(warm_start = true) ?checkpoint nodes =
   {
     Lda_fp.default_config with
     bnb_params =
       { Optim.Bnb.default_params with max_nodes = nodes; rel_gap = 1e-3;
         domains };
+    warm_start;
     checkpoint;
   }
 
@@ -173,7 +184,7 @@ let train_cmd =
              starting from scratch (no-op when the file does not exist \
              yet).")
   in
-  let run verbose data wl k method_ nodes domains rho checkpoint
+  let run verbose data wl k method_ nodes domains no_warm_start rho checkpoint
       checkpoint_every resume out =
     setup_logs verbose;
     let ds = Datasets.Dataset_io.load data in
@@ -195,7 +206,9 @@ let train_cmd =
           let interrupt = interrupt_on_signals () in
           let train () =
             Pipeline.train_ldafp
-              ~config:(config_of_nodes ~domains ?checkpoint nodes)
+              ~config:
+                (config_of_nodes ~domains ~warm_start:(not no_warm_start)
+                   ?checkpoint nodes)
               ~interrupt ~rho ~fmt ds
           in
           let outcome =
@@ -220,6 +233,12 @@ let train_cmd =
                 | Optim.Bnb.Time_budget -> "time budget"
                 | Optim.Bnb.Interrupted -> "interrupted");
               let s = d.Lda_fp.search in
+              if s.Optim.Bnb.warm_start_hits > 0 then
+                Fmt.pr
+                  "warm starts: %d hit(s), %d phase-I solve(s) skipped, \
+                   %.2fs in the bound oracle@."
+                  s.Optim.Bnb.warm_start_hits s.Optim.Bnb.phase1_skipped
+                  s.Optim.Bnb.oracle_seconds;
               if s.Optim.Bnb.oracle_failures > 0 then
                 Fmt.pr
                   "oracle faults: %d failure(s), %d retried, %d degraded \
@@ -247,7 +266,7 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Train a fixed-point classifier.")
     Term.(
       const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
-      $ nodes_arg $ domains_arg $ rho_arg $ checkpoint_arg
+      $ nodes_arg $ domains_arg $ no_warm_start_arg $ rho_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ out)
 
 (* ---------------- eval ---------------- *)

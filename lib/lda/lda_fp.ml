@@ -20,6 +20,7 @@ type config = {
   t_min_width : float;
   t_branch_bias : float;
   secant_prune : bool;
+  warm_start : bool;
   socp_params : Socp.params;
   bnb_params : Bnb.params;
   fault_policy : Fault.policy;
@@ -37,6 +38,7 @@ let default_config =
     t_min_width = 1e-4;
     t_branch_bias = 3.0;
     secant_prune = true;
+    warm_start = true;
     socp_params =
       { Socp.default_params with gap_tol = 1e-7;
         newton = { Newton.default_params with tol = 1e-9; max_iter = 60 } };
@@ -74,6 +76,11 @@ type node = {
   root_t_width : float;
   mutable relax_w : Vec.t option;
       (* relaxation optimum, cached by [bound] to guide [branch] *)
+  mutable warm : Vec.t option;
+      (* the parent's relaxation optimum, inherited at branch time: the
+         warm start for this node's bound solve.  Cleared by the fault
+         retry hook so a retried node never reuses a point associated
+         with a failed solve. *)
 }
 
 let src = Logs.Src.create "ldafp.solver" ~doc:"LDA-FP trainer"
@@ -115,7 +122,7 @@ let better a b =
    and denominator. *)
 (* [theta] is read from the shared incumbent mirror (an Atomic when the
    search runs on several domains); the test itself is pure. *)
-let secant_prunes cfg pb node theta =
+let secant_prunes cfg pb ?warm node theta =
   theta < Float.infinity
   && Interval.lo node.trange >= 0.0
   &&
@@ -123,14 +130,36 @@ let secant_prunes cfg pb node theta =
     Ldafp_problem.secant_relaxation pb ~wbox:node.wbox ~trange:node.trange
       ~theta
   in
-  let start = Array.map Fx_interval.mid node.wbox in
+  (* The secant program shares the relaxation's constraints, so a clipped
+     warm start short-circuits its phase-I too. *)
+  let start =
+    match warm with
+    | Some x -> x
+    | None -> Array.map Fx_interval.mid node.wbox
+  in
   match Socp.solve_auto ~params:cfg.socp_params problem ~start with
   | None -> false (* feasibility unclear; let the main bound decide *)
   | Some sol ->
       sol.Socp.objective +. constant -. (2.0 *. sol.Socp.gap_bound) > 1e-12
 
+(* Clip an inherited relaxation optimum into this node's box, nudged a
+   fraction of each width inside so clipped coordinates do not land
+   exactly on the boundary (the barrier needs a strict interior; a
+   singleton dimension yields a boundary point that the interiority test
+   rejects, falling back to the cold path). *)
+let clip_warm_into_box node x =
+  let m = Array.length node.wbox in
+  if Vec.dim x <> m then None
+  else
+    Some
+      (Vec.init m (fun i ->
+           let iv = node.wbox.(i) in
+           let lo = Fx_interval.lo iv and hi = Fx_interval.hi iv in
+           let margin = 1e-3 *. (hi -. lo) in
+           Float.max (lo +. margin) (Float.min (hi -. margin) x.(i))))
+
 (* Lower bound + candidate for one region (the paper's steps 3 and 5). *)
-let bound_node cfg pb incumbent node =
+let bound_node cfg pb incumbent counters node =
   (* Tighten the t-interval with interval arithmetic over the box; an
      empty intersection means no grid point of this box pairs with this
      t-slice (the complementary slice lives in a sibling node). *)
@@ -148,61 +177,106 @@ let bound_node cfg pb incumbent node =
             Some { Bnb.lower = c; candidate = Some (w, c) }
         | _ -> None
       end
-      else if
-        cfg.secant_prune && secant_prunes cfg pb node (Atomic.get incumbent)
-      then None
       else
-        let eta = Interval.sup_sq node.trange in
-        if eta <= 0.0 then None
+        let warm =
+          if cfg.warm_start then
+            Option.bind node.warm (clip_warm_into_box node)
+          else None
+        in
+        if
+          cfg.secant_prune
+          && secant_prunes cfg pb ?warm node (Atomic.get incumbent)
+        then None
         else
-          let relaxation =
-            Ldafp_problem.relaxation pb ~wbox:node.wbox ~trange:node.trange
-              ~eta
-          in
-          let start = Array.map Fx_interval.mid node.wbox in
-          match
-            Socp.find_strictly_feasible ~params:cfg.socp_params relaxation
-              ~start
-          with
-          | Socp.Infeasible _ -> None
-          | Socp.Unknown x ->
-              (* Cannot certify anything better than cost >= 0 here, but
-                 the box may still contain the optimum: keep exploring. *)
-              node.relax_w <- Some x;
-              let cand =
-                polish_candidate cfg pb (candidate_of_point pb node x)
-              in
-              Some { Bnb.lower = 0.0; candidate = cand }
-          | Socp.Strictly_feasible x0 ->
-              let sol = Socp.solve ~params:cfg.socp_params relaxation ~start:x0 in
+          let eta = Interval.sup_sq node.trange in
+          if eta <= 0.0 then None
+          else
+            let relaxation =
+              Ldafp_problem.relaxation pb ~wbox:node.wbox ~trange:node.trange
+                ~eta
+            in
+            (* Shared continuation for warm and cold solves. *)
+            let solved sol =
               node.relax_w <- Some sol.Socp.x;
               let lower =
-                Float.max 0.0 (sol.Socp.objective -. (2.0 *. sol.Socp.gap_bound))
+                Float.max 0.0
+                  (sol.Socp.objective -. (2.0 *. sol.Socp.gap_bound))
               in
               let cand = candidate_of_point pb node sol.Socp.x in
               let cand =
                 if cfg.upper_via_socp then begin
                   (* The paper's upper-bound estimation: re-solve with the
-                     denominator frozen at inf t² and round that optimum. *)
+                     denominator frozen at inf t² and round that optimum.
+                     Same constraints, only the objective scale changes —
+                     and the lower solve's optimum is a barrier iterate,
+                     strictly interior, so the re-solve starts from it
+                     with no phase-I. *)
                   let eta_inf = Interval.inf_sq node.trange in
                   if eta_inf > 0.0 then
                     let ub_problem =
-                      Ldafp_problem.relaxation pb ~wbox:node.wbox
-                        ~trange:node.trange ~eta:eta_inf
+                      Socp.with_objective_scale relaxation (1.0 /. eta_inf)
                     in
-                    match
-                      Socp.solve_auto ~params:cfg.socp_params ub_problem ~start
-                    with
-                    | Some ub_sol ->
-                        better cand
-                          (candidate_of_point pb node ub_sol.Socp.x)
-                    | None -> cand
+                    if Socp.is_strictly_interior ub_problem sol.Socp.x then begin
+                      Bnb.count_phase1_skipped counters;
+                      (* Same constraints, objective rescaled: the lower
+                         optimum already minimises it, so advance the
+                         barrier schedule. *)
+                      let ub_sol =
+                        Socp.solve
+                          ~params:(Socp.warm_start_params cfg.socp_params)
+                          ub_problem ~start:sol.Socp.x
+                      in
+                      better cand (candidate_of_point pb node ub_sol.Socp.x)
+                    end
+                    else
+                      let start = Array.map Fx_interval.mid node.wbox in
+                      match
+                        Socp.solve_auto ~params:cfg.socp_params ub_problem
+                          ~start
+                      with
+                      | Some ub_sol ->
+                          better cand (candidate_of_point pb node ub_sol.Socp.x)
+                      | None -> cand
                   else cand
                 end
                 else cand
               in
               let cand = polish_candidate cfg pb cand in
-              Some { Bnb.lower; candidate = cand })
+              Some { Bnb.lower; candidate = cand }
+            in
+            match warm with
+            | Some x0 when Socp.is_strictly_interior relaxation x0 ->
+                (* The clipped parent optimum is strictly interior for the
+                   child: skip phase-I entirely and advance the barrier
+                   schedule (the start is near the child optimum, so the
+                   early low-tau centerings are redundant — the final tau
+                   and the certified gap are unchanged). *)
+                Bnb.count_warm_start_hit counters;
+                Bnb.count_phase1_skipped counters;
+                solved
+                  (Socp.solve
+                     ~params:(Socp.warm_start_params cfg.socp_params)
+                     relaxation ~start:x0)
+            | _ -> (
+                let start = Array.map Fx_interval.mid node.wbox in
+                match
+                  Socp.find_strictly_feasible ~params:cfg.socp_params
+                    relaxation ~start
+                with
+                | Socp.Infeasible _ -> None
+                | Socp.Unknown x ->
+                    (* Cannot certify anything better than cost >= 0 here,
+                       but the box may still contain the optimum: keep
+                       exploring. *)
+                    node.relax_w <- Some x;
+                    let cand =
+                      polish_candidate cfg pb (candidate_of_point pb node x)
+                    in
+                    Some { Bnb.lower = 0.0; candidate = cand }
+                | Socp.Strictly_feasible x0 ->
+                    solved
+                      (Socp.solve ~params:cfg.socp_params relaxation ~start:x0)
+                ))
 
 (* Branching rule: most relative width among the splittable dimensions,
    cut at the cached relaxation optimum. *)
@@ -240,9 +314,13 @@ let branch_node cfg pb node =
     let margin = 0.15 *. (hi -. lo) in
     let at = Float.max (lo +. margin) (Float.min (hi -. margin) at) in
     let left, right = Interval.split ~at node.trange in
+    (* Children inherit the parent's relaxation optimum as their warm
+       start (clipped into the child box at bound time). *)
     [
-      { node with trange = left; wbox = copy_box (); relax_w = None };
-      { node with trange = right; wbox = copy_box (); relax_w = None };
+      { node with trange = left; wbox = copy_box (); relax_w = None;
+        warm = node.relax_w };
+      { node with trange = right; wbox = copy_box (); relax_w = None;
+        warm = node.relax_w };
     ]
   end
   else if !best_dim >= 0 then begin
@@ -255,8 +333,8 @@ let branch_node cfg pb node =
         left.(j) <- lo;
         right.(j) <- hi;
         [
-          { node with wbox = left; relax_w = None };
-          { node with wbox = right; relax_w = None };
+          { node with wbox = left; relax_w = None; warm = node.relax_w };
+          { node with wbox = right; relax_w = None; warm = node.relax_w };
         ]
   end
   else []
@@ -313,6 +391,7 @@ let solve ?(config = default_config) ?interrupt pb =
       trange = pb.Ldafp_problem.t_root;
       root_t_width = Interval.width pb.Ldafp_problem.t_root;
       relax_w = None;
+      warm = None;
     }
   in
   (* Wrap the seed into the oracle: the root's bound info carries it as a
@@ -358,10 +437,11 @@ let solve ?(config = default_config) ?interrupt pb =
         note_candidate info.Bnb.candidate;
         Some info
   in
+  let counters = Bnb.oracle_counters () in
   let oracle =
     {
       Bnb.bound =
-        (fun node -> with_seed (bound_node config pb incumbent node));
+        (fun node -> with_seed (bound_node config pb incumbent counters node));
       branch = (fun node -> branch_node config pb node);
     }
   in
@@ -376,7 +456,13 @@ let solve ?(config = default_config) ?interrupt pb =
       retry_bound =
         Some
           (fun ~attempt node ->
-            with_seed (bound_node (jittered_config config attempt) pb incumbent node));
+            (* The previous attempt failed mid-solve: any cached point on
+               the node is tainted — never warm-start a retry from it. *)
+            node.warm <- None;
+            node.relax_w <- None;
+            with_seed
+              (bound_node (jittered_config config attempt) pb incumbent
+                 counters node));
       fallback_bound =
         Some
           (fun node ->
@@ -394,10 +480,10 @@ let solve ?(config = default_config) ?interrupt pb =
     match restored with
     | Some state ->
         Bnb.resume ~params:config.bnb_params ~faults ?checkpointing ?interrupt
-          oracle state
+          ~counters oracle state
     | None ->
         Bnb.minimize ~params:config.bnb_params ~faults ?checkpointing
-          ?interrupt oracle root
+          ?interrupt ~counters oracle root
   in
   let train_seconds = Unix.gettimeofday () -. started in
   match result.Bnb.best with

@@ -54,6 +54,15 @@ type config = {
           the incumbent θ.  Unlike the η bound this couples numerator and
           denominator, and it is what lets the search close regions whose
           boxes still contain w = 0 (default true) *)
+  warm_start : bool;
+      (** start each child's relaxation from the parent's optimum,
+          clipped strictly inside the child box — when the clipped point
+          is strictly interior the phase-I feasibility solve is skipped
+          entirely, and the lower-bound optimum in turn warm-starts the
+          [η = inf t²] re-solve.  Bounds stay certified either way (the
+          barrier solve runs to the same tolerances from any interior
+          start); disable to reproduce cold-start behaviour exactly
+          (default true) *)
   socp_params : Optim.Socp.params;
   bnb_params : Optim.Bnb.params;
       (** includes [domains]: set it above 1 to explore the tree on

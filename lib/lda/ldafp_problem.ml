@@ -13,6 +13,15 @@ type t = {
   socs : Socp.soc array;
   t_root : Interval.t;
   restrict_t_positive : bool;
+  (* Relaxation template, shared by every branch-and-bound node: the
+     quadratic term, the zero linear term and all constraint direction
+     vectors are node-independent — only the half-space offsets (box and
+     t-range) and the objective scale (1/eta) change per node. *)
+  p_base : Mat.t;  (* 2 S_W *)
+  q_zero : Vec.t;
+  box_pos : Vec.t array;  (* e_i,  for w_i <= hi_i *)
+  box_neg : Vec.t array;  (* -e_i, for -w_i <= -lo_i *)
+  d_neg : Vec.t;  (* -d, for -dᵀw <= -t_lo *)
 }
 
 exception No_feasible_box of string
@@ -102,8 +111,15 @@ let build ?(rho = 0.99) ?(restrict_t_positive = true) ~fmt scatter =
       Interval.make ~lo:(Float.max 0.0 !t_lo) ~hi:(Float.max 0.0 !t_hi)
     else Interval.make ~lo:!t_lo ~hi:!t_hi
   in
-  { fmt; rho; beta; scatter; sw; d; elem_box; socs; t_root;
-    restrict_t_positive }
+  {
+    fmt; rho; beta; scatter; sw; d; elem_box; socs; t_root;
+    restrict_t_positive;
+    p_base = Mat.scale 2.0 sw;
+    q_zero = Vec.zeros m;
+    box_pos = Array.init m (Vec.basis m);
+    box_neg = Array.init m (fun i -> Vec.neg (Vec.basis m i));
+    d_neg = Vec.neg d;
+  }
 
 let dim t = Vec.dim t.d
 let elem_interval t j = t.elem_box.(j)
@@ -168,24 +184,29 @@ let trange_of_box t wbox =
     wbox;
   Interval.make ~lo:!lo ~hi:!hi
 
+(* Only the offsets [b] are node-specific; every direction vector is
+   shared from the template, so a node's half-spaces cost 2M+2 small
+   records, not O(M²) fresh floats. *)
 let box_and_t_lins t ~wbox ~trange =
-  let lo = Array.map Fx_interval.lo wbox in
-  let hi = Array.map Fx_interval.hi wbox in
-  let box = Socp.box_constraints lo hi in
-  (* l_t <= dᵀw <= u_t as two half-spaces. *)
-  box
-  @ [
-      { Socp.a = Vec.copy t.d; b = Interval.hi trange };
-      { Socp.a = Vec.neg t.d; b = -.Interval.lo trange };
-    ]
+  let m = dim t in
+  Array.init
+    ((2 * m) + 2)
+    (fun k ->
+      if k < m then { Socp.a = t.box_pos.(k); b = Fx_interval.hi wbox.(k) }
+      else if k < 2 * m then
+        let i = k - m in
+        { Socp.a = t.box_neg.(i); b = -.Fx_interval.lo wbox.(i) }
+      else if k = 2 * m then { Socp.a = t.d; b = Interval.hi trange }
+      else { Socp.a = t.d_neg; b = -.Interval.lo trange })
 
 let relaxation t ~wbox ~trange ~eta =
   if eta <= 0.0 then invalid_arg "Ldafp_problem.relaxation: eta must be > 0";
-  (* (1/2) wᵀ P w = wᵀ S_W w / eta  ⇒  P = 2 S_W / eta *)
-  Socp.problem
-    ~p:(Mat.scale (2.0 /. eta) t.sw)
+  (* wᵀ S_W w / eta = (1/eta) · (1/2) wᵀ (2 S_W) w: the eta-dependence
+     lives entirely in the objective scale, so the shared [p_base] and
+     cones serve every node (and eta_inf upper solves) unchanged. *)
+  Socp.of_parts ~obj_scale:(1.0 /. eta) ~p:t.p_base ~q:t.q_zero
     ~lins:(box_and_t_lins t ~wbox ~trange)
-    ~socs:(Array.to_list t.socs) (dim t)
+    ~socs:t.socs (dim t)
 
 let secant_relaxation t ~wbox ~trange ~theta =
   if theta < 0.0 then
@@ -196,11 +217,9 @@ let secant_relaxation t ~wbox ~trange ~theta =
   let m = dim t in
   let q = Vec.scale (-.theta *. (l +. u)) t.d in
   let problem =
-    Socp.problem
-      ~p:(Mat.scale 2.0 t.sw)
-      ~q
+    Socp.of_parts ~p:t.p_base ~q
       ~lins:(box_and_t_lins t ~wbox ~trange)
-      ~socs:(Array.to_list t.socs) m
+      ~socs:t.socs m
   in
   (problem, theta *. l *. u)
 

@@ -30,6 +30,13 @@ type t = private {
   restrict_t_positive : bool;
       (** heuristic H3: exploit the w ↦ −w symmetry of the cost by
           searching only t >= 0 *)
+  p_base : Linalg.Mat.t;
+      (** [2 S_W] — the node-independent quadratic term every relaxation
+          shares (the per-node [1/η] is an {!Optim.Socp} objective scale) *)
+  q_zero : Linalg.Vec.t;  (** shared zero linear term *)
+  box_pos : Linalg.Vec.t array;  (** shared [e_i] box directions *)
+  box_neg : Linalg.Vec.t array;  (** shared [−e_i] box directions *)
+  d_neg : Linalg.Vec.t;  (** shared [−d] t-range direction *)
 }
 
 exception No_feasible_box of string
@@ -72,7 +79,10 @@ val relaxation :
   eta:float ->
   Optim.Socp.problem
 (** The convex relaxation (eq. 25) over a box: objective
-    [wᵀ S_W w / eta], box + t-range half-spaces, the four cones. *)
+    [wᵀ S_W w / eta], box + t-range half-spaces, the four cones.
+    Allocation-lean: the quadratic term, cones and constraint directions
+    are shared from the problem template ([eta] is an objective scale,
+    not a rebuilt [P]); only the 2M+2 half-space offsets are fresh. *)
 
 val trange_of_box : t -> Fixedpoint.Fx_interval.t array -> Optim.Interval.t
 (** Interval-arithmetic range of [dᵀw] over a box (used to tighten and to

@@ -1,37 +1,53 @@
 exception Not_positive_definite of int
 
-let factor a =
+let factor_into ?(jitter = 0.0) a ~dst =
   if not (Mat.is_square a) then invalid_arg "Cholesky.factor: not square";
+  if Mat.dims a <> Mat.dims dst then
+    invalid_arg "Cholesky.factor_into: dst dimension mismatch";
   let n = Mat.rows a in
-  let l = Mat.zeros n n in
   for i = 0 to n - 1 do
     for j = 0 to i do
-      let s = ref a.(i).(j) in
+      let s = ref (a.(i).(j) +. if i = j then jitter else 0.0) in
       for k = 0 to j - 1 do
-        s := !s -. (l.(i).(k) *. l.(j).(k))
+        s := !s -. (dst.(i).(k) *. dst.(j).(k))
       done;
       if i = j then begin
         if !s <= 0.0 then raise (Not_positive_definite i);
-        l.(i).(i) <- sqrt !s
+        dst.(i).(i) <- sqrt !s
       end
-      else l.(i).(j) <- !s /. l.(j).(j)
+      else dst.(i).(j) <- !s /. dst.(j).(j)
+    done;
+    for j = i + 1 to n - 1 do
+      dst.(i).(j) <- 0.0
     done
-  done;
+  done
+
+let factor a =
+  let l = Mat.zeros (Mat.rows a) (Mat.cols a) in
+  factor_into a ~dst:l;
   l
 
-let factor_jittered ?(max_tries = 20) a =
+let factor_jittered_into ?(max_tries = 20) a ~dst =
   let scale = Float.max (Mat.max_abs a) 1e-300 in
   let rec go jitter tries =
     if tries > max_tries then raise (Not_positive_definite (-1))
     else
-      let a' = if jitter = 0.0 then a else Mat.add_scaled_identity jitter a in
-      match factor a' with
-      | l -> (l, jitter)
+      match factor_into ~jitter a ~dst with
+      | () -> jitter
       | exception Not_positive_definite _ ->
           let next = if jitter = 0.0 then 1e-12 *. scale else 10.0 *. jitter in
           go next (tries + 1)
   in
   go 0.0 0
+
+let factor_jittered ?max_tries a =
+  let l = Mat.zeros (Mat.rows a) (Mat.cols a) in
+  let jitter = factor_jittered_into ?max_tries a ~dst:l in
+  (l, jitter)
+
+let solve_factored_into l b ~dst =
+  Tri.solve_lower_into l b ~dst;
+  Tri.solve_lower_transpose_into l dst ~dst
 
 let solve_factored l b = Tri.solve_lower_transpose l (Tri.solve_lower l b)
 let solve a b = solve_factored (factor a) b

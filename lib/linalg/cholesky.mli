@@ -13,6 +13,14 @@ val factor : Mat.t -> Mat.t
     Only the lower triangle of [a] is read.
     @raise Not_positive_definite if a pivot is [<= 0]. *)
 
+val factor_into : ?jitter:float -> Mat.t -> dst:Mat.t -> unit
+(** In-place {!factor}: writes the factor of [a + jitter*I] (default
+    [jitter = 0]) into [dst] without allocating, zeroing [dst]'s upper
+    triangle.  [dst] may alias [a] (classical in-place Cholesky), but on
+    failure [dst] is left partially overwritten — aliasing callers lose
+    [a] when the factorisation raises.
+    @raise Not_positive_definite if a pivot is [<= 0]. *)
+
 val factor_jittered : ?max_tries:int -> Mat.t -> Mat.t * float
 (** [factor_jittered a] factors [a + jitter*I], growing [jitter] from 0 by
     powers of ten starting at [1e-12 * max_abs a] until the factorisation
@@ -20,11 +28,21 @@ val factor_jittered : ?max_tries:int -> Mat.t -> Mat.t * float
     rank-deficient covariances that arise from small training sets.
     @raise Not_positive_definite after [max_tries] (default 20). *)
 
+val factor_jittered_into : ?max_tries:int -> Mat.t -> dst:Mat.t -> float
+(** In-place {!factor_jittered}: writes the factor into [dst] and returns
+    the jitter used.  [dst] must {b not} alias [a] — failed attempts leave
+    partial factors in [dst] and retry from the pristine [a].
+    @raise Not_positive_definite after [max_tries] (default 20). *)
+
 val solve : Mat.t -> Vec.t -> Vec.t
 (** [solve a b] solves [a x = b] for s.p.d. [a] via factorisation. *)
 
 val solve_factored : Mat.t -> Vec.t -> Vec.t
 (** [solve_factored l b] solves [(l lᵀ) x = b] given the factor. *)
+
+val solve_factored_into : Mat.t -> Vec.t -> dst:Vec.t -> unit
+(** In-place {!solve_factored}: writes the solution into [dst] without
+    allocating.  [dst] may alias [b]. *)
 
 val inverse : Mat.t -> Mat.t
 (** Inverse of an s.p.d. matrix. *)

@@ -58,6 +58,15 @@ let sub a b =
 
 let scale c a = Array.map (Array.map (fun x -> c *. x)) a
 
+let scale_into c a ~dst =
+  check_same "scale_into" a dst;
+  for i = 0 to rows a - 1 do
+    let ai = a.(i) and di = dst.(i) in
+    for j = 0 to cols a - 1 do
+      di.(j) <- c *. ai.(j)
+    done
+  done
+
 let mul a b =
   if cols a <> rows b then
     invalid_arg
@@ -84,19 +93,36 @@ let mul_vec a x =
     invalid_arg "Mat.mul_vec: dimension mismatch";
   Array.map (fun r -> Vec.dot r x) a
 
-let tmul_vec a x =
+let mul_vec_into a x ~dst =
+  if cols a <> Array.length x then
+    invalid_arg "Mat.mul_vec_into: dimension mismatch";
+  if rows a <> Array.length dst then
+    invalid_arg "Mat.mul_vec_into: dst dimension mismatch";
+  for i = 0 to rows a - 1 do
+    dst.(i) <- Vec.dot a.(i) x
+  done
+
+let tmul_vec_into a x ~dst =
   if rows a <> Array.length x then
-    invalid_arg "Mat.tmul_vec: dimension mismatch";
+    invalid_arg "Mat.tmul_vec_into: dimension mismatch";
   let n = cols a in
-  let y = Array.make n 0.0 in
+  if Array.length dst <> n then
+    invalid_arg "Mat.tmul_vec_into: dst dimension mismatch";
+  Array.fill dst 0 n 0.0;
   for i = 0 to rows a - 1 do
     let xi = x.(i) in
     if xi <> 0.0 then
       let ai = a.(i) in
       for j = 0 to n - 1 do
-        y.(j) <- y.(j) +. (xi *. ai.(j))
+        dst.(j) <- dst.(j) +. (xi *. ai.(j))
       done
-  done;
+  done
+
+let tmul_vec a x =
+  if rows a <> Array.length x then
+    invalid_arg "Mat.tmul_vec: dimension mismatch";
+  let y = Array.make (cols a) 0.0 in
+  tmul_vec_into a x ~dst:y;
   y
 
 let outer u v = init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
@@ -138,6 +164,19 @@ let is_symmetric ?(tol = 1e-9) a =
 let symmetrize a =
   if not (is_square a) then invalid_arg "Mat.symmetrize: not square";
   init (rows a) (cols a) (fun i j -> 0.5 *. (a.(i).(j) +. a.(j).(i)))
+
+let symmetrize_into a ~dst =
+  if not (is_square a) then invalid_arg "Mat.symmetrize_into: not square";
+  check_same "symmetrize_into" a dst;
+  let n = rows a in
+  for i = 0 to n - 1 do
+    dst.(i).(i) <- a.(i).(i);
+    for j = i + 1 to n - 1 do
+      let m = 0.5 *. (a.(i).(j) +. a.(j).(i)) in
+      dst.(i).(j) <- m;
+      dst.(j).(i) <- m
+    done
+  done
 
 let max_abs a =
   Array.fold_left

@@ -31,14 +31,26 @@ val transpose : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : float -> t -> t
+val scale_into : float -> t -> dst:t -> unit
+(** [scale_into c a ~dst] writes [c a] into [dst] without allocating.
+    [dst] may alias [a]. *)
+
 val mul : t -> t -> t
 (** Matrix product. *)
 
 val mul_vec : t -> Vec.t -> Vec.t
 (** [mul_vec a x] is [a x]. *)
 
+val mul_vec_into : t -> Vec.t -> dst:Vec.t -> unit
+(** [mul_vec_into a x ~dst] writes [a x] into [dst] without allocating.
+    [dst] must not alias [x]. *)
+
 val tmul_vec : t -> Vec.t -> Vec.t
 (** [tmul_vec a x] is [aᵀ x]. *)
+
+val tmul_vec_into : t -> Vec.t -> dst:Vec.t -> unit
+(** [tmul_vec_into a x ~dst] writes [aᵀ x] into [dst] without
+    allocating.  [dst] must not alias [x]. *)
 
 val outer : Vec.t -> Vec.t -> t
 (** [outer u v] is [u vᵀ]. *)
@@ -55,6 +67,11 @@ val is_square : t -> bool
 val is_symmetric : ?tol:float -> t -> bool
 val symmetrize : t -> t
 (** [(a + aᵀ)/2]. *)
+
+val symmetrize_into : t -> dst:t -> unit
+(** [symmetrize_into a ~dst] writes [(a + aᵀ)/2] into [dst] without
+    allocating.  [dst] may alias [a] (each symmetric pair is read before
+    either half is written). *)
 
 val max_abs : t -> float
 val approx_equal : ?tol:float -> t -> t -> bool

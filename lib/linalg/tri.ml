@@ -5,19 +5,24 @@ let check_square_compatible name a b =
   if Mat.rows a <> Array.length b then
     invalid_arg (name ^ ": dimension mismatch")
 
-let solve_lower l b =
+let solve_lower_into l b ~dst =
   check_square_compatible "Tri.solve_lower" l b;
   let n = Array.length b in
-  let y = Array.make n 0.0 in
+  if Array.length dst <> n then
+    invalid_arg "Tri.solve_lower_into: dst dimension mismatch";
   for i = 0 to n - 1 do
     let s = ref b.(i) in
     for j = 0 to i - 1 do
-      s := !s -. (l.(i).(j) *. y.(j))
+      s := !s -. (l.(i).(j) *. dst.(j))
     done;
     let d = l.(i).(i) in
     if d = 0.0 then raise (Singular "Tri.solve_lower: zero diagonal");
-    y.(i) <- !s /. d
-  done;
+    dst.(i) <- !s /. d
+  done
+
+let solve_lower l b =
+  let y = Array.make (Array.length b) 0.0 in
+  solve_lower_into l b ~dst:y;
   y
 
 let solve_upper u b =
@@ -35,17 +40,22 @@ let solve_upper u b =
   done;
   x
 
-let solve_lower_transpose l b =
+let solve_lower_transpose_into l b ~dst =
   check_square_compatible "Tri.solve_lower_transpose" l b;
   let n = Array.length b in
-  let x = Array.make n 0.0 in
+  if Array.length dst <> n then
+    invalid_arg "Tri.solve_lower_transpose_into: dst dimension mismatch";
   for i = n - 1 downto 0 do
     let s = ref b.(i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (l.(j).(i) *. x.(j))
+      s := !s -. (l.(j).(i) *. dst.(j))
     done;
     let d = l.(i).(i) in
     if d = 0.0 then raise (Singular "Tri.solve_lower_transpose: zero diagonal");
-    x.(i) <- !s /. d
-  done;
+    dst.(i) <- !s /. d
+  done
+
+let solve_lower_transpose l b =
+  let x = Array.make (Array.length b) 0.0 in
+  solve_lower_transpose_into l b ~dst:x;
   x

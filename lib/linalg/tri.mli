@@ -7,9 +7,18 @@ val solve_lower : Mat.t -> Vec.t -> Vec.t
 (** [solve_lower l b] solves [L y = b] for lower-triangular [L] (entries
     above the diagonal are ignored). @raise Singular on a zero diagonal. *)
 
+val solve_lower_into : Mat.t -> Vec.t -> dst:Vec.t -> unit
+(** In-place {!solve_lower}: writes the solution into [dst] without
+    allocating.  [dst] may alias [b] (forward substitution reads [b.(i)]
+    before writing [dst.(i)]). *)
+
 val solve_upper : Mat.t -> Vec.t -> Vec.t
 (** [solve_upper u b] solves [U x = b] for upper-triangular [U]. *)
 
 val solve_lower_transpose : Mat.t -> Vec.t -> Vec.t
 (** [solve_lower_transpose l b] solves [Lᵀ x = b] using only the lower
     triangle of [l]. *)
+
+val solve_lower_transpose_into : Mat.t -> Vec.t -> dst:Vec.t -> unit
+(** In-place {!solve_lower_transpose}: writes the solution into [dst]
+    without allocating.  [dst] may alias [b]. *)

@@ -38,6 +38,13 @@ let axpy a x y =
   check_dims "axpy" x y;
   Array.mapi (fun i xi -> (a *. xi) +. y.(i)) x
 
+let axpy_into a x y ~dst =
+  check_dims "axpy_into" x y;
+  check_dims "axpy_into" x dst;
+  for i = 0 to Array.length x - 1 do
+    dst.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
 let dot a b =
   check_dims "dot" a b;
   let s = ref 0.0 in

@@ -23,6 +23,12 @@ val neg : t -> t
 val axpy : float -> t -> t -> t
 (** [axpy a x y] is [a*x + y] (pure). *)
 
+val axpy_into : float -> t -> t -> dst:t -> unit
+(** [axpy_into a x y ~dst] writes [a*x + y] into [dst] without
+    allocating.  [dst] may alias [x] or [y] (each element is read before
+    it is written).  The in-place counterpart of {!axpy} for hot loops
+    (the barrier line search). *)
+
 val dot : t -> t -> float
 val norm2 : t -> float
 (** Euclidean norm. *)

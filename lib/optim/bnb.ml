@@ -49,7 +49,26 @@ type stats = {
   retries : int;
   degraded_bounds : int;
   dropped_regions : int;
+  warm_start_hits : int;
+  phase1_skipped : int;
+  oracle_seconds : float;
 }
+
+type oracle_counters = {
+  warm_hits : int Atomic.t;
+  phase1_skips : int Atomic.t;
+  oracle_time_us : int Atomic.t;
+}
+
+let oracle_counters () =
+  {
+    warm_hits = Atomic.make 0;
+    phase1_skips = Atomic.make 0;
+    oracle_time_us = Atomic.make 0;
+  }
+
+let count_warm_start_hit oc = Atomic.incr oc.warm_hits
+let count_phase1_skipped oc = Atomic.incr oc.phase1_skips
 
 type 'sol result = {
   best : ('sol * float) option;
@@ -167,6 +186,16 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
   in
   attempt 0
 
+(* Cumulative oracle wall-time, accumulated in integer microseconds so
+   parallel workers can add without a lock (no atomic float add). *)
+let timed_guarded_bound ~faults ~fc ~(oc : oracle_counters) oracle region =
+  let t0 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dus = int_of_float ((now () -. t0) *. 1e6) in
+      ignore (Atomic.fetch_and_add oc.oracle_time_us dus))
+    (fun () -> guarded_bound ~faults ~fc oracle region)
+
 let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) oracle region =
   let policy = faults.policy in
   let rec attempt k =
@@ -203,7 +232,7 @@ type ('region, 'sol) source =
   | Restored of ('region, 'sol) Checkpoint.state
 
 let counters_alist ~infeasible ~pruned ~stale ~updates ~children
-    ~(fc : Fault.counters) =
+    ~(fc : Fault.counters) ~(oc : oracle_counters) =
   [
     ("infeasible_regions", infeasible);
     ("bound_pruned", pruned);
@@ -214,9 +243,14 @@ let counters_alist ~infeasible ~pruned ~stale ~updates ~children
     ("retries", Atomic.get fc.Fault.retries);
     ("degraded_bounds", Atomic.get fc.Fault.degraded);
     ("dropped_regions", Atomic.get fc.Fault.dropped);
+    ("warm_start_hits", Atomic.get oc.warm_hits);
+    ("phase1_skipped", Atomic.get oc.phase1_skips);
+    ("oracle_time_us", Atomic.get oc.oracle_time_us);
   ]
 
-let restore_counters (fc : Fault.counters) = function
+(* Old checkpoints lack the warm-start counters; [Checkpoint.counter]
+   returns 0 for missing keys, so resuming them is safe. *)
+let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
   | Root _ -> (0, 0, 0, 0, 0, 0.0)
   | Restored (s : _ Checkpoint.state) ->
       let c = Checkpoint.counter s in
@@ -224,6 +258,9 @@ let restore_counters (fc : Fault.counters) = function
       Atomic.set fc.Fault.retries (c "retries");
       Atomic.set fc.Fault.degraded (c "degraded_bounds");
       Atomic.set fc.Fault.dropped (c "dropped_regions");
+      Atomic.set oc.warm_hits (c "warm_start_hits");
+      Atomic.set oc.phase1_skips (c "phase1_skipped");
+      Atomic.set oc.oracle_time_us (c "oracle_time_us");
       ( c "infeasible_regions", c "bound_pruned", c "stale_pops",
         c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed )
 
@@ -247,14 +284,16 @@ let run_seq : type region sol.
     faults:(region, sol) faults ->
     checkpointing:checkpointing option ->
     interrupt:(unit -> bool) option ->
+    counters:oracle_counters option ->
     (region, sol) oracle ->
     (region, sol) source ->
     sol result =
- fun ~params ~faults ~checkpointing ~interrupt oracle source ->
+ fun ~params ~faults ~checkpointing ~interrupt ~counters oracle source ->
   let queue = Pqueue.create () in
   let fc = Fault.fresh_counters () in
+  let oc = match counters with Some c -> c | None -> oracle_counters () in
   let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
-    restore_counters fc source
+    restore_counters fc oc source
   in
   let incumbent =
     ref (match source with Root _ -> None | Restored s -> s.Checkpoint.incumbent)
@@ -283,7 +322,7 @@ let run_seq : type region sol.
     | _ -> ()
   in
   let enqueue region =
-    match guarded_bound ~faults ~fc oracle region with
+    match timed_guarded_bound ~faults ~fc ~oc oracle region with
     | Dropped_bound -> ()
     | Bounded None -> incr infeasible_regions
     | Bounded (Some { lower; candidate }) ->
@@ -306,7 +345,7 @@ let run_seq : type region sol.
       counters =
         counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
           ~stale:!stale_pops ~updates:!incumbent_updates
-          ~children:!children_generated ~fc;
+          ~children:!children_generated ~fc ~oc;
       elapsed = elapsed ();
     }
   in
@@ -386,6 +425,9 @@ let run_seq : type region sol.
         retries = Atomic.get fc.Fault.retries;
         degraded_bounds = Atomic.get fc.Fault.degraded;
         dropped_regions = Atomic.get fc.Fault.dropped;
+        warm_start_hits = Atomic.get oc.warm_hits;
+        phase1_skipped = Atomic.get oc.phase1_skips;
+        oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
       };
   }
 
@@ -412,15 +454,17 @@ let run_par : type region sol.
     faults:(region, sol) faults ->
     checkpointing:checkpointing option ->
     interrupt:(unit -> bool) option ->
+    counters:oracle_counters option ->
     (region, sol) oracle ->
     (region, sol) source ->
     sol result =
- fun ~params ~faults ~checkpointing ~interrupt oracle source ->
+ fun ~params ~faults ~checkpointing ~interrupt ~counters oracle source ->
   let workers = params.domains in
   let pool : region Work_pool.t = Work_pool.create ~workers in
   let fc = Fault.fresh_counters () in
+  let oc = match counters with Some c -> c | None -> oracle_counters () in
   let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
-    restore_counters fc source
+    restore_counters fc oc source
   in
   let incumbent =
     ref (match source with Root _ -> None | Restored s -> s.Checkpoint.incumbent)
@@ -465,7 +509,7 @@ let run_par : type region sol.
          starts, exactly as in the sequential driver (callers may rely on
          the root bound running first, e.g. to install a seeded
          incumbent). *)
-      let root_info = guarded_bound ~faults ~fc oracle root in
+      let root_info = timed_guarded_bound ~faults ~fc ~oc oracle root in
       Work_pool.locked pool (fun () ->
           match root_info with
           | Dropped_bound -> ()
@@ -487,7 +531,7 @@ let run_par : type region sol.
       counters =
         counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
           ~stale:!stale_pops ~updates:!incumbent_updates
-          ~children:!children_generated ~fc;
+          ~children:!children_generated ~fc ~oc;
       elapsed = elapsed ();
     }
   in
@@ -589,7 +633,7 @@ let run_par : type region sol.
                  siblings prune against fresh incumbents. *)
               List.iter
                 (fun child ->
-                  match guarded_bound ~faults ~fc oracle child with
+                  match timed_guarded_bound ~faults ~fc ~oc oracle child with
                   | Dropped_bound -> ()
                   | Bounded info ->
                       Work_pool.locked pool (fun () ->
@@ -649,21 +693,25 @@ let run_par : type region sol.
         retries = Atomic.get fc.Fault.retries;
         degraded_bounds = Atomic.get fc.Fault.degraded;
         dropped_regions = Atomic.get fc.Fault.dropped;
+        warm_start_hits = Atomic.get oc.warm_hits;
+        phase1_skipped = Atomic.get oc.phase1_skips;
+        oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
       };
   }
 
-let run ~params ~faults ~checkpointing ~interrupt oracle source =
+let run ~params ~faults ~checkpointing ~interrupt ~counters oracle source =
   if params.domains <= 1 then
-    run_seq ~params ~faults ~checkpointing ~interrupt oracle source
-  else run_par ~params ~faults ~checkpointing ~interrupt oracle source
+    run_seq ~params ~faults ~checkpointing ~interrupt ~counters oracle source
+  else run_par ~params ~faults ~checkpointing ~interrupt ~counters oracle source
 
 let minimize ?(params = default_params) ?(faults = default_faults)
-    ?checkpointing ?interrupt oracle root =
-  run ~params ~faults ~checkpointing ~interrupt oracle (Root root)
+    ?checkpointing ?interrupt ?counters oracle root =
+  run ~params ~faults ~checkpointing ~interrupt ~counters oracle (Root root)
 
 let resume ?(params = default_params) ?(faults = default_faults)
-    ?checkpointing ?interrupt oracle state =
-  run ~params ~faults ~checkpointing ~interrupt oracle (Restored state)
+    ?checkpointing ?interrupt ?counters oracle state =
+  run ~params ~faults ~checkpointing ~interrupt ~counters oracle
+    (Restored state)
 
 let minimize_parallel ?(params = default_params) ~domains oracle root =
   minimize ~params:{ params with domains } oracle root

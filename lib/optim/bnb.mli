@@ -119,8 +119,39 @@ type stats = {
       (** regions abandoned after the policy ran out of options — each
           one weakens the optimality claim, which is why they are
           counted rather than silent *)
+  warm_start_hits : int;
+      (** bound solves started from an inherited (parent) optimum — see
+          {!oracle_counters}; 0 unless the oracle reports them *)
+  phase1_skipped : int;
+      (** phase-I feasibility solves avoided because a warm start was
+          already strictly interior; 0 unless the oracle reports them *)
+  oracle_seconds : float;
+      (** cumulative wall-clock time spent inside [oracle.bound] calls
+          (including retries and fallbacks), summed across domains —
+          the denominator of any per-node speedup claim *)
 }
-(** Search statistics — the observability the ablation benches report. *)
+(** Search statistics — the observability the ablation benches report.
+    All fields survive a checkpoint/resume cycle; snapshots taken before
+    the warm-start fields existed restore them as 0. *)
+
+type oracle_counters
+(** Warm-start accounting shared between the driver and the bound
+    oracle.  The driver cannot see {e how} an oracle solved a node, so an
+    oracle that warm-starts reports it here; the driver merges the
+    counts (plus its own oracle wall-time measurement) into {!stats} and
+    persists them across checkpoints.  Counters are atomic — safe to
+    bump from any worker domain. *)
+
+val oracle_counters : unit -> oracle_counters
+(** Fresh zeroed counters.  Pass the same value to [?counters] and to
+    the oracle closure that increments it. *)
+
+val count_warm_start_hit : oracle_counters -> unit
+(** Record one bound solve started from an inherited optimum. *)
+
+val count_phase1_skipped : oracle_counters -> unit
+(** Record one phase-I solve skipped thanks to a strictly interior warm
+    start. *)
 
 type 'sol result = {
   best : ('sol * float) option;  (** incumbent and its cost *)
@@ -153,6 +184,7 @@ val minimize :
   ?faults:('region, 'sol) faults ->
   ?checkpointing:checkpointing ->
   ?interrupt:(unit -> bool) ->
+  ?counters:oracle_counters ->
   ('region, 'sol) oracle ->
   'region ->
   'sol result
@@ -170,6 +202,7 @@ val resume :
   ?faults:('region, 'sol) faults ->
   ?checkpointing:checkpointing ->
   ?interrupt:(unit -> bool) ->
+  ?counters:oracle_counters ->
   ('region, 'sol) oracle ->
   ('region, 'sol) Checkpoint.state ->
   'sol result

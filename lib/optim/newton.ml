@@ -16,30 +16,63 @@ type result = {
   status : status;
 }
 
-let solve_step hess grad =
-  (* Newton direction H d = -g, via jittered Cholesky: the barrier Hessian
-     is positive definite in the domain interior but may be numerically
-     semidefinite near the analytic center of a thin box. *)
-  let l, _ = Cholesky.factor_jittered (Mat.symmetrize hess) in
-  Cholesky.solve_factored l (Vec.neg grad)
+type oracle_into = Vec.t -> grad:Vec.t -> hess:Mat.t -> float option
 
-let minimize ?(params = default_params) oracle x0 =
-  let eval x = oracle x in
-  match eval x0 with
+type workspace = {
+  n : int;
+  grad : Vec.t;
+  hess : Mat.t;
+  sym : Mat.t;  (* symmetrized Hessian, input to the factorisation *)
+  chol : Mat.t;  (* Cholesky factor scratch *)
+  dir : Vec.t;  (* Newton direction *)
+  mutable xa : Vec.t;  (* current iterate *)
+  mutable xb : Vec.t;  (* line-search candidate; swapped on acceptance *)
+}
+
+let workspace n =
+  if n < 0 then invalid_arg "Newton.workspace: negative dimension";
+  {
+    n;
+    grad = Vec.zeros n;
+    hess = Mat.zeros n n;
+    sym = Mat.zeros n n;
+    chol = Mat.zeros n n;
+    dir = Vec.zeros n;
+    xa = Vec.zeros n;
+    xb = Vec.zeros n;
+  }
+
+let workspace_dim ws = ws.n
+
+let minimize_into ?(params = default_params) ws oracle x0 =
+  if Vec.dim x0 <> ws.n then
+    invalid_arg "Newton.minimize_into: dimension mismatch";
+  Array.blit x0 0 ws.xa 0 ws.n;
+  match oracle ws.xa ~grad:ws.grad ~hess:ws.hess with
   | None -> invalid_arg "Newton.minimize: start point outside domain"
-  | Some (f0, g0, h0) ->
-      let x = ref (Vec.copy x0) in
+  | Some f0 ->
       let fx = ref f0 in
-      let gx = ref g0 in
-      let hx = ref h0 in
       let iter = ref 0 in
       let dec = ref Float.infinity in
       let status = ref Iteration_limit in
       let continue = ref true in
       while !continue && !iter < params.max_iter do
         incr iter;
-        let d = solve_step !hx !gx in
-        let lambda_sq = -.Vec.dot !gx d in
+        (* Newton direction H d = -g, via jittered Cholesky into scratch:
+           the barrier Hessian is positive definite in the domain interior
+           but may be numerically semidefinite near the analytic center of
+           a thin box. *)
+        Mat.symmetrize_into ws.hess ~dst:ws.sym;
+        let (_ : float) = Cholesky.factor_jittered_into ws.sym ~dst:ws.chol in
+        for i = 0 to ws.n - 1 do
+          ws.dir.(i) <- -.ws.grad.(i)
+        done;
+        Cholesky.solve_factored_into ws.chol ws.dir ~dst:ws.dir;
+        (* gd = g·d must be taken now: candidate evaluations below clobber
+           the shared gradient buffer, and the line-search test needs the
+           current point's directional derivative on every try. *)
+        let gd = Vec.dot ws.grad ws.dir in
+        let lambda_sq = -.gd in
         dec := 0.5 *. lambda_sq;
         if Float.is_nan !dec then begin
           (* A NaN decrement (NaN gradient/Hessian entries, or a Newton
@@ -60,15 +93,15 @@ let minimize ?(params = default_params) oracle x0 =
           let tries = ref 0 in
           while (not !accepted) && !tries < 60 do
             incr tries;
-            let cand = Vec.axpy !t d !x in
-            (match eval cand with
-            | Some (fc, gc, hc)
-              when fc <= !fx +. (params.alpha *. !t *. Vec.dot !gx d)
+            Vec.axpy_into !t ws.dir ws.xa ~dst:ws.xb;
+            (match oracle ws.xb ~grad:ws.grad ~hess:ws.hess with
+            | Some fc
+              when fc <= !fx +. (params.alpha *. !t *. gd)
                    && not (Float.is_nan fc) ->
-                x := cand;
+                let tmp = ws.xa in
+                ws.xa <- ws.xb;
+                ws.xb <- tmp;
                 fx := fc;
-                gx := gc;
-                hx := hc;
                 accepted := true
             | _ -> t := params.beta *. !t)
           done;
@@ -78,5 +111,20 @@ let minimize ?(params = default_params) oracle x0 =
           end
         end
       done;
-      { x = !x; value = !fx; iterations = !iter; decrement = !dec;
+      { x = Vec.copy ws.xa; value = !fx; iterations = !iter; decrement = !dec;
         status = !status }
+
+let oracle_into_of_oracle n oracle : oracle_into =
+ fun x ~grad ~hess ->
+  match oracle x with
+  | None -> None
+  | Some (f, g, h) ->
+      Array.blit g 0 grad 0 n;
+      for i = 0 to n - 1 do
+        Array.blit h.(i) 0 hess.(i) 0 n
+      done;
+      Some f
+
+let minimize ?params oracle x0 =
+  let n = Vec.dim x0 in
+  minimize_into ?params (workspace n) (oracle_into_of_oracle n oracle) x0

@@ -35,3 +35,35 @@ type result = {
 
 val minimize : ?params:params -> oracle -> Linalg.Vec.t -> result
 (** @raise Invalid_argument if the starting point is outside the domain. *)
+
+(** {2 Allocation-lean interface}
+
+    The barrier method calls Newton once per outer iteration on problems
+    of a fixed dimension, so the iterate, direction, Hessian and
+    factorisation buffers can be reused across calls.  A {!workspace} is
+    {b not} thread-safe: share one per domain (e.g. via [Domain.DLS]),
+    never across domains. *)
+
+type oracle_into = Linalg.Vec.t -> grad:Linalg.Vec.t -> hess:Linalg.Mat.t -> float option
+(** Like {!oracle}, but writes the gradient and Hessian into the supplied
+    buffers and returns only the value ([None] outside the domain, in
+    which case the buffers' contents are unspecified).  The buffers are
+    owned by the solver and clobbered on every evaluation — oracles must
+    not retain them. *)
+
+type workspace
+(** Reusable scratch for {!minimize_into}: iterate double-buffer,
+    gradient, Hessian, symmetrisation and Cholesky scratch, direction. *)
+
+val workspace : int -> workspace
+(** [workspace n] allocates scratch for [n]-dimensional problems. *)
+
+val workspace_dim : workspace -> int
+
+val minimize_into : ?params:params -> workspace -> oracle_into -> Linalg.Vec.t -> result
+(** Same algorithm and same results as {!minimize}, but all inner-loop
+    temporaries live in the workspace, so each iteration allocates O(1)
+    words.  [x0] is not mutated; the returned iterate is freshly
+    allocated.
+    @raise Invalid_argument if the starting point is outside the domain
+    or its dimension does not match the workspace. *)

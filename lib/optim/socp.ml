@@ -9,7 +9,26 @@ type problem = {
   q : Vec.t;
   lins : lin array;
   socs : soc array;
+  obj_scale : float;
 }
+
+let of_parts ?(obj_scale = 1.0) ~p ~q ~lins ~socs n =
+  if n <= 0 then invalid_arg "Socp.of_parts: n must be positive";
+  if Mat.dims p <> (n, n) then invalid_arg "Socp.of_parts: P must be n x n";
+  if Vec.dim q <> n then invalid_arg "Socp.of_parts: q must have length n";
+  Array.iter
+    (fun { a; _ } ->
+      if Vec.dim a <> n then
+        invalid_arg "Socp.of_parts: linear constraint dimension mismatch")
+    lins;
+  Array.iter
+    (fun { l; g; c; _ } ->
+      if Mat.cols l <> n || Vec.dim c <> n || Vec.dim g <> Mat.rows l then
+        invalid_arg "Socp.of_parts: cone constraint dimension mismatch")
+    socs;
+  { n; p; q; lins; socs; obj_scale }
+
+let with_objective_scale pb obj_scale = { pb with obj_scale }
 
 let problem ?p ?q ?(lins = []) ?(socs = []) n =
   if n <= 0 then invalid_arg "Socp.problem: n must be positive";
@@ -18,19 +37,8 @@ let problem ?p ?q ?(lins = []) ?(socs = []) n =
   if Mat.dims p <> (n, n) then invalid_arg "Socp.problem: P must be n x n";
   if not (Mat.is_symmetric ~tol:1e-8 p) then
     invalid_arg "Socp.problem: P must be symmetric";
-  if Vec.dim q <> n then invalid_arg "Socp.problem: q must have length n";
-  List.iter
-    (fun { a; _ } ->
-      if Vec.dim a <> n then
-        invalid_arg "Socp.problem: linear constraint dimension mismatch")
-    lins;
-  List.iter
-    (fun { l; g; c; _ } ->
-      if Mat.cols l <> n || Vec.dim c <> n || Vec.dim g <> Mat.rows l then
-        invalid_arg "Socp.problem: cone constraint dimension mismatch")
-    socs;
-  { n; p = Mat.symmetrize p; q; lins = Array.of_list lins;
-    socs = Array.of_list socs }
+  of_parts ~p:(Mat.symmetrize p) ~q ~lins:(Array.of_list lins)
+    ~socs:(Array.of_list socs) n
 
 let box_constraints lo hi =
   if Vec.dim lo <> Vec.dim hi then
@@ -41,7 +49,8 @@ let box_constraints lo hi =
          [ { a = Vec.basis n i; b = hi.(i) };
            { a = Vec.neg (Vec.basis n i); b = -.lo.(i) } ]))
 
-let objective_value pb x = (0.5 *. Mat.quadratic_form pb.p x) +. Vec.dot pb.q x
+let objective_value pb x =
+  pb.obj_scale *. ((0.5 *. Mat.quadratic_form pb.p x) +. Vec.dot pb.q x)
 
 let soc_violation { l; g; c; d } x =
   let v = Vec.add (Mat.mul_vec l x) g in
@@ -69,6 +78,13 @@ let default_params =
     newton = { Newton.default_params with tol = 1e-10 }; max_outer = 60;
     start_margin = 1e-6 }
 
+(* Warm-start schedule advance: from a near-optimal start the early
+   low-tau centerings are redundant, and because the tau sequence is the
+   same geometric ladder, the final tau (hence the certified gap) is
+   unchanged — only the number of rungs climbed differs. *)
+let warm_start_params ?(levels = 5) params =
+  { params with tau0 = params.tau0 *. (params.mu ** float_of_int levels) }
+
 type status = Optimal | Suboptimal
 
 type solution = {
@@ -83,14 +99,60 @@ type solution = {
 (* Total barrier parameter: 1 per half-space, 2 per cone. *)
 let barrier_nu pb = Array.length pb.lins + (2 * Array.length pb.socs)
 
-(* Oracle for tau * f(x) + phi(x); None outside the barrier domain. *)
-let centering_oracle pb tau : Newton.oracle =
- fun x ->
+(* Per-domain scratch for the centering oracle and the Newton solver,
+   keyed by problem dimension.  Domain-local (Domain.DLS), so workers in a
+   Work_pool never share buffers; the phase-I augmented problem has
+   dimension n+1 and therefore its own entry, so phase-I and phase-II
+   never clobber each other either. *)
+type scratch = {
+  ws : Newton.workspace;
+  px : Vec.t;  (* P x *)
+  mutable v : Vec.t;  (* cone residual Lx + g; sized to the largest cone *)
+  ltv : Vec.t;  (* Lᵀ v *)
+  gh : Vec.t;  (* gradient of the cone slack h *)
+}
+
+let scratch_key : (int, scratch) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 7)
+
+let scratch_for pb =
+  let tbl = Domain.DLS.get scratch_key in
+  let max_rows =
+    Array.fold_left (fun m { l; _ } -> max m (Mat.rows l)) 0 pb.socs
+  in
+  let sc =
+    match Hashtbl.find_opt tbl pb.n with
+    | Some sc -> sc
+    | None ->
+        let sc =
+          {
+            ws = Newton.workspace pb.n;
+            px = Vec.zeros pb.n;
+            v = Vec.zeros max_rows;
+            ltv = Vec.zeros pb.n;
+            gh = Vec.zeros pb.n;
+          }
+        in
+        Hashtbl.replace tbl pb.n sc;
+        sc
+  in
+  if Vec.dim sc.v < max_rows then sc.v <- Vec.zeros max_rows;
+  sc
+
+(* In-place oracle for tau * f(x) + phi(x); None outside the barrier
+   domain.  All temporaries live in [sc]; [grad]/[hess] are the Newton
+   workspace buffers. *)
+let centering_into pb sc tau : Newton.oracle_into =
+ fun x ~grad ~hess ->
   let n = pb.n in
-  let fx = objective_value pb x in
-  let grad = Vec.axpy tau (Vec.add (Mat.mul_vec pb.p x) pb.q) (Vec.zeros n) in
-  let hess = Mat.scale tau pb.p in
-  let value = ref (tau *. fx) in
+  let s_obj = tau *. pb.obj_scale in
+  Mat.mul_vec_into pb.p x ~dst:sc.px;
+  let fx = (0.5 *. Vec.dot x sc.px) +. Vec.dot pb.q x in
+  for i = 0 to n - 1 do
+    grad.(i) <- s_obj *. (sc.px.(i) +. pb.q.(i))
+  done;
+  Mat.scale_into s_obj pb.p ~dst:hess;
+  let value = ref (s_obj *. fx) in
   let ok = ref true in
   Array.iter
     (fun { a; b } ->
@@ -114,20 +176,35 @@ let centering_oracle pb tau : Newton.oracle =
     (fun { l; g; c; d } ->
       if !ok then begin
         let u = Vec.dot c x +. d in
-        let v = Vec.add (Mat.mul_vec l x) g in
-        let h = (u *. u) -. Vec.dot v v in
+        let rows_l = Mat.rows l in
+        let vv = ref 0.0 in
+        for r = 0 to rows_l - 1 do
+          let vr = Vec.dot l.(r) x +. g.(r) in
+          sc.v.(r) <- vr;
+          vv := !vv +. (vr *. vr)
+        done;
+        let h = (u *. u) -. !vv in
         if u <= 0.0 || h <= 0.0 then ok := false
         else begin
           value := !value -. log h;
           (* grad h = 2u c - 2 Lᵀ v *)
-          let ltv = Mat.tmul_vec l v in
-          let gh = Vec.sub (Vec.scale (2.0 *. u) c) (Vec.scale 2.0 ltv) in
+          Array.fill sc.ltv 0 n 0.0;
+          for r = 0 to rows_l - 1 do
+            let vr = sc.v.(r) in
+            if vr <> 0.0 then
+              let lr = l.(r) in
+              for j = 0 to n - 1 do
+                sc.ltv.(j) <- sc.ltv.(j) +. (vr *. lr.(j))
+              done
+          done;
+          for i = 0 to n - 1 do
+            sc.gh.(i) <- (2.0 *. u *. c.(i)) -. (2.0 *. sc.ltv.(i))
+          done;
           let inv_h = 1.0 /. h in
           for i = 0 to n - 1 do
-            grad.(i) <- grad.(i) -. (gh.(i) *. inv_h)
+            grad.(i) <- grad.(i) -. (sc.gh.(i) *. inv_h)
           done;
           (* hess(-log h) = (gh ghᵀ)/h² − (2ccᵀ − 2LᵀL)/h *)
-          let rows_l = Mat.rows l in
           for i = 0 to n - 1 do
             for j = 0 to n - 1 do
               let ltl = ref 0.0 in
@@ -136,17 +213,44 @@ let centering_oracle pb tau : Newton.oracle =
               done;
               hess.(i).(j) <-
                 hess.(i).(j)
-                +. (gh.(i) *. gh.(j) *. inv_h *. inv_h)
+                +. (sc.gh.(i) *. sc.gh.(j) *. inv_h *. inv_h)
                 -. (((2.0 *. c.(i) *. c.(j)) -. (2.0 *. !ltl)) *. inv_h)
             done
           done
         end
       end)
     pb.socs;
-  if !ok && not (Float.is_nan !value) then Some (!value, grad, hess) else None
+  if !ok && not (Float.is_nan !value) then Some !value else None
 
-let strictly_feasible_for_barrier pb x =
-  match centering_oracle pb 0.0 x with Some _ -> true | None -> false
+(* Allocating wrapper, kept for the derivative tests. *)
+let centering_oracle pb tau : Newton.oracle =
+ fun x ->
+  let sc = scratch_for pb in
+  let grad = Vec.zeros pb.n in
+  let hess = Mat.zeros pb.n pb.n in
+  match centering_into pb sc tau x ~grad ~hess with
+  | Some value -> Some (value, grad, hess)
+  | None -> None
+
+(* Strict interiority without derivatives: every half-space slack and
+   every cone slack strictly positive.  O(constraints · n) — cheap enough
+   to test warm starts on the bound-oracle hot path (the full oracle
+   evaluation it replaces builds an n×n Hessian). *)
+let is_strictly_interior pb x =
+  Vec.dim x = pb.n
+  && Array.for_all (fun { a; b } -> b -. Vec.dot a x > 0.0) pb.lins
+  && Array.for_all
+       (fun { l; g; c; d } ->
+         let u = Vec.dot c x +. d in
+         u > 0.0
+         &&
+         let vv = ref 0.0 in
+         for r = 0 to Mat.rows l - 1 do
+           let vr = Vec.dot l.(r) x +. g.(r) in
+           vv := !vv +. (vr *. vr)
+         done;
+         (u *. u) -. !vv > 0.0)
+       pb.socs
 
 type feasibility =
   | Strictly_feasible of Vec.t
@@ -184,6 +288,7 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
     let aug = phase1_problem pb in
     let s0 = (Float.max v0 0.0) +. 1.0 +. (0.1 *. Float.abs v0) in
     let z = ref (Array.append start [| s0 |]) in
+    let sc = scratch_for aug in
     (* Custom outer loop so we can stop as soon as s goes negative. *)
     let nu = float_of_int (barrier_nu aug) in
     let tau = ref params.tau0 in
@@ -191,7 +296,10 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
     let outer = ref 0 in
     while !result = None && !outer < params.max_outer do
       incr outer;
-      let r = Newton.minimize ~params:params.newton (centering_oracle aug !tau) !z in
+      let r =
+        Newton.minimize_into ~params:params.newton sc.ws
+          (centering_into aug sc !tau) !z
+      in
       z := r.x;
       let s = !z.(aug.n - 1) in
       let x = Array.sub !z 0 pb.n in
@@ -216,25 +324,55 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
     | None -> Unknown (Array.sub !z 0 pb.n)
   end
 
-let solve ?(params = default_params) pb ~start =
+let solve ?(params = default_params) ?certificate pb ~start =
   if Vec.dim start <> pb.n then invalid_arg "Socp.solve: start dimension";
   let start =
-    if strictly_feasible_for_barrier pb start then Vec.copy start
-    else if max_violation pb start <= params.start_margin then
+    if is_strictly_interior pb start then start
+    else begin
       (* The start sits on (or within roundoff of) the constraint
-         boundary — common when a caller clips a warm start to the box.
-         Nudge it into the interior with a phase-I solve rather than
-         rejecting it. *)
-      match find_strictly_feasible ~params pb ~start with
-      | Strictly_feasible x -> x
-      | Infeasible _ | Unknown _ ->
-          invalid_arg "Socp.solve: start point not strictly feasible"
-    else invalid_arg "Socp.solve: start point not strictly feasible"
+         boundary — common when a caller clips a warm start to the box. *)
+      let blended =
+        match certificate with
+        | Some cert when Vec.dim cert = pb.n && is_strictly_interior pb cert
+          ->
+            (* Pull the start toward a point the caller certifies as
+               strictly interior (a phase-I output or a previous barrier
+               iterate): by convexity some blend is interior, so no
+               phase-I solve is needed.  Small alphas first to stay close
+               to the warm start; alpha = 1 recovers the certificate. *)
+            let rec go = function
+              | [] -> None
+              | alpha :: rest ->
+                  let cand =
+                    Vec.init pb.n (fun i ->
+                        start.(i) +. (alpha *. (cert.(i) -. start.(i))))
+                  in
+                  if is_strictly_interior pb cand then Some cand else go rest
+            in
+            go [ 0.01; 0.1; 0.5; 1.0 ]
+        | _ -> None
+      in
+      match blended with
+      | Some x -> x
+      | None ->
+          if max_violation pb start <= params.start_margin then
+            (* No certificate: nudge into the interior with a phase-I
+               solve rather than rejecting. *)
+            match find_strictly_feasible ~params pb ~start with
+            | Strictly_feasible x -> x
+            | Infeasible _ | Unknown _ ->
+                invalid_arg "Socp.solve: start point not strictly feasible"
+          else invalid_arg "Socp.solve: start point not strictly feasible"
+    end
   in
+  let sc = scratch_for pb in
   let nu = float_of_int (barrier_nu pb) in
   if nu = 0.0 then begin
     (* Unconstrained QP: single Newton solve. *)
-    let r = Newton.minimize ~params:params.newton (centering_oracle pb 1.0) start in
+    let r =
+      Newton.minimize_into ~params:params.newton sc.ws
+        (centering_into pb sc 1.0) start
+    in
     let diverged = r.status = Newton.Diverged in
     { x = r.x; objective = objective_value pb r.x;
       gap_bound = (if diverged then Float.infinity else 0.0);
@@ -250,7 +388,10 @@ let solve ?(params = default_params) pb ~start =
     while nu /. !tau > params.gap_tol && !outer < params.max_outer
           && not !stalled do
       incr outer;
-      let r = Newton.minimize ~params:params.newton (centering_oracle pb !tau) !x in
+      let r =
+        Newton.minimize_into ~params:params.newton sc.ws
+          (centering_into pb sc !tau) !x
+      in
       newton_total := !newton_total + r.iterations;
       x := r.x;
       (match r.status with
@@ -263,7 +404,9 @@ let solve ?(params = default_params) pb ~start =
       if nu /. !tau <= params.gap_tol || gap <= params.gap_tol then Optimal
       else Suboptimal
     in
-    { x = !x; objective = objective_value pb !x; gap_bound = gap;
+    (* If the loop never ran, !x still aliases the caller's start. *)
+    let x = if !x == start then Vec.copy start else !x in
+    { x; objective = objective_value pb x; gap_bound = gap;
       outer_iterations = !outer; newton_iterations = !newton_total; status }
   end
 

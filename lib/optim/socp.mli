@@ -28,6 +28,10 @@ type problem = private {
   q : Linalg.Vec.t;
   lins : lin array;
   socs : soc array;
+  obj_scale : float;
+      (** the objective is [obj_scale · ((1/2)xᵀPx + qᵀx)]; lets callers
+          share one [P] across a family of problems that differ only by a
+          positive scalar (the per-node [1/η] of paper eq. 26) *)
 }
 
 val problem :
@@ -37,8 +41,28 @@ val problem :
   ?socs:soc list ->
   int ->
   problem
-(** [problem n] with omitted pieces defaulting to zero.
+(** [problem n] with omitted pieces defaulting to zero and
+    [obj_scale = 1].  Copies and symmetrises [P].
     @raise Invalid_argument on any dimension mismatch. *)
+
+val of_parts :
+  ?obj_scale:float ->
+  p:Linalg.Mat.t ->
+  q:Linalg.Vec.t ->
+  lins:lin array ->
+  socs:soc array ->
+  int ->
+  problem
+(** Allocation-lean constructor for callers assembling many problems from
+    shared pieces (the branch-and-bound bound oracle): dimension-checks
+    only, {b shares} the given arrays instead of copying, and trusts [p]
+    to be symmetric.  Callers must not mutate the parts afterwards.
+    @raise Invalid_argument on any dimension mismatch. *)
+
+val with_objective_scale : problem -> float -> problem
+(** O(1) copy with a different {!field-obj_scale}; constraints and [P]
+    are shared.  This is how one relaxation template serves both the
+    lower bound ([1/η]) and the upper estimate ([1/η_inf]). *)
 
 val box_constraints : Linalg.Vec.t -> Linalg.Vec.t -> lin list
 (** [box_constraints lo hi] is the [2n] half-spaces of [lo <= x <= hi]. *)
@@ -52,6 +76,12 @@ val max_violation : problem -> Linalg.Vec.t -> float
 val is_feasible : ?tol:float -> problem -> Linalg.Vec.t -> bool
 (** [max_violation <= tol] (default [1e-9]). *)
 
+val is_strictly_interior : problem -> Linalg.Vec.t -> bool
+(** Every half-space slack and every cone slack strictly positive (the
+    barrier's domain), or [false] on a dimension mismatch.  Cheap —
+    O(constraints · n), no derivatives — so warm starts can be tested on
+    the hot path. *)
+
 type params = {
   tau0 : float;  (** initial barrier weight on the objective *)
   mu : float;  (** barrier growth factor per outer iteration *)
@@ -64,6 +94,17 @@ type params = {
 }
 
 val default_params : params
+
+val warm_start_params : ?levels:int -> params -> params
+(** [tau0 ← tau0 · mu^levels] (default 5): the interior-point warm-start
+    schedule advance.  Starting {!solve} from a point near the optimum —
+    a parent node's relaxation optimum, a previous solve over the same
+    constraints — makes the early low-[τ] centering steps redundant;
+    skipping them changes neither the final [τ] the schedule reaches nor
+    the certified [ν/τ] gap bound, only how many Newton iterations the
+    path spends getting there.  From a badly-centered start the boosted
+    solve is merely slower (damped Newton still converges), never less
+    certified. *)
 
 type status = Optimal | Suboptimal
 (** [Suboptimal]: an outer-iteration limit, a stalled centering step, or
@@ -79,11 +120,26 @@ type solution = {
   status : status;
 }
 
-val solve : ?params:params -> problem -> start:Linalg.Vec.t -> solution
+val solve :
+  ?params:params ->
+  ?certificate:Linalg.Vec.t ->
+  problem ->
+  start:Linalg.Vec.t ->
+  solution
 (** Path-following from a strictly feasible [start].  A start that is
     feasible only up to roundoff — violating no constraint by more than
-    [params.start_margin] — is first nudged into the strict interior via
-    {!find_strictly_feasible} rather than rejected.
+    [params.start_margin] — is repaired before the barrier loop runs:
+
+    - with [?certificate] (a point the caller knows to be strictly
+      interior, e.g. a phase-I output or a previous barrier solution for
+      the same constraints), the start is blended toward the certificate
+      until strictly interior — no phase-I solve, so warm starts clipped
+      to a box boundary do not silently pay the cold cost;
+    - otherwise it is nudged into the interior via
+      {!find_strictly_feasible} (a full phase-I solve).
+
+    An invalid certificate (wrong dimension or not interior) is ignored.
+    [start] is never mutated and no longer copied up front.
     @raise Invalid_argument if [start] violates a constraint by more
     than [params.start_margin], or the phase-I nudge fails. *)
 

@@ -484,6 +484,89 @@ let test_ldafp_resume_rejects_other_problem () =
         | exception Optim.Checkpoint.Corrupt _ -> true
         | _ -> false))
 
+(* Warm starts under contained faults.  The retry hook invalidates any
+   point cached on a node whose solve failed, so a retried bound is a
+   deterministic cold solve — with the same injection seed, a warm and
+   a cold search must therefore still coincide exactly.  If a stale
+   warm start leaked into a retry, the two searches would diverge. *)
+let test_ldafp_faults_invalidate_warm_starts () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let solve warm_start =
+    let config =
+      {
+        (exact_lda_config 400) with
+        Lda_fp.warm_start;
+        inject_faults =
+          Some
+            (Fault_inject.config ~seed:11 ~bound_exn_prob:0.10
+               ~bound_nan_prob:0.10 ());
+      }
+    in
+    Lda_fp.solve ~config pb
+  in
+  match (solve true, solve false) with
+  | Some warm, Some cold ->
+      let ws = warm.Lda_fp.diagnostics.Lda_fp.search in
+      let cs = cold.Lda_fp.diagnostics.Lda_fp.search in
+      checkb "faults actually injected" true (ws.Bnb.oracle_failures > 0);
+      checkb "warm starts actually used" true (ws.Bnb.warm_start_hits > 0);
+      checkf 1e-12 "same incumbent under identical injection"
+        cold.Lda_fp.cost warm.Lda_fp.cost;
+      checki "same node count under identical injection"
+        cold.Lda_fp.diagnostics.Lda_fp.nodes
+        warm.Lda_fp.diagnostics.Lda_fp.nodes;
+      checki "same failure count" cs.Bnb.oracle_failures
+        ws.Bnb.oracle_failures;
+      checkb "solution feasible" true (Ldafp_problem.feasible pb warm.Lda_fp.w)
+  | _ -> Alcotest.fail "a faulty solve found nothing"
+
+(* Warm-start counters are part of the search statistics and must
+   survive a checkpoint/resume chain (old snapshots without the fields
+   restore them as zero; new ones carry them forward). *)
+let test_ldafp_warm_counters_survive_resume () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let full =
+    match Lda_fp.solve ~config:(exact_lda_config 4000) pb with
+    | Some o -> o
+    | None -> Alcotest.fail "uninterrupted run found no solution"
+  in
+  let full_hits =
+    full.Lda_fp.diagnostics.Lda_fp.search.Bnb.warm_start_hits
+  in
+  checkb "reference run warm-starts" true (full_hits > 0);
+  let path = temp_checkpoint () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let sliced_config budget =
+        { (exact_lda_config budget) with
+          Lda_fp.checkpoint = Some (Lda_fp.checkpoint_spec ~resume:true path) }
+      in
+      let rec train_in_slices budget guard =
+        if guard = 0 then Alcotest.fail "resume loop did not converge"
+        else
+          match Lda_fp.solve ~config:(sliced_config budget) pb with
+          | None -> Alcotest.fail "killed run lost the incumbent"
+          | Some o
+            when o.Lda_fp.diagnostics.Lda_fp.stop_reason = Bnb.Node_budget ->
+              train_in_slices (budget + 6) (guard - 1)
+          | Some o -> o
+      in
+      let resumed = train_in_slices 6 2000 in
+      checkf 1e-12 "same incumbent cost" full.Lda_fp.cost resumed.Lda_fp.cost;
+      (* The chain explores the same tree, so the cumulative counters
+         must match the uninterrupted run's. *)
+      checki "warm hits survive the chain" full_hits
+        resumed.Lda_fp.diagnostics.Lda_fp.search.Bnb.warm_start_hits;
+      checki "phase-I skips survive the chain"
+        full.Lda_fp.diagnostics.Lda_fp.search.Bnb.phase1_skipped
+        resumed.Lda_fp.diagnostics.Lda_fp.search.Bnb.phase1_skipped)
+
 let test_ldafp_interval_fallback_is_conservative () =
   let open Ldafp_core in
   let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
@@ -689,6 +772,10 @@ let () =
             test_ldafp_resume_rejects_other_problem;
           Alcotest.test_case "interval fallback conservative" `Quick
             test_ldafp_interval_fallback_is_conservative;
+          Alcotest.test_case "faults invalidate warm starts" `Quick
+            test_ldafp_faults_invalidate_warm_starts;
+          Alcotest.test_case "warm counters survive resume" `Quick
+            test_ldafp_warm_counters_survive_resume;
         ] );
       ("properties", qcheck_tests);
     ]

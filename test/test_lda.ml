@@ -470,6 +470,60 @@ let test_solver_respects_node_budget () =
       checkb "stopped by budget or exhaustion" true
         (o.Lda_fp.diagnostics.Lda_fp.nodes <= 6)
 
+(* Warm starting is a pure acceleration: on the same problem and seed,
+   warm and cold searches must reach the same incumbent after the same
+   node count (bounds are solved to identical certified tolerances, so
+   pruning and branching decisions coincide). *)
+let warm_cold_pair pb ~max_nodes =
+  let config warm_start =
+    {
+      Lda_fp.default_config with
+      warm_start;
+      bnb_params =
+        { Optim.Bnb.default_params with max_nodes; rel_gap = 1e-6 };
+    }
+  in
+  (Lda_fp.solve ~config:(config true) pb, Lda_fp.solve ~config:(config false) pb)
+
+let test_solver_warm_matches_cold () =
+  let fmt = Qformat.make ~k:2 ~f:4 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  match warm_cold_pair pb ~max_nodes:400 with
+  | Some warm, Some cold ->
+      checkf 1e-12 "same incumbent cost" cold.Lda_fp.cost warm.Lda_fp.cost;
+      checki "same node count" cold.Lda_fp.diagnostics.Lda_fp.nodes
+        warm.Lda_fp.diagnostics.Lda_fp.nodes;
+      let ws = warm.Lda_fp.diagnostics.Lda_fp.search in
+      let cs = cold.Lda_fp.diagnostics.Lda_fp.search in
+      checkb "warm run hit warm starts" true
+        (ws.Optim.Bnb.warm_start_hits > 0);
+      checkb "phase-I skips >= warm hits" true
+        (ws.Optim.Bnb.phase1_skipped >= ws.Optim.Bnb.warm_start_hits);
+      checki "cold run never warm-starts" 0 cs.Optim.Bnb.warm_start_hits;
+      checkb "oracle time measured" true (ws.Optim.Bnb.oracle_seconds >= 0.0)
+  | _ -> Alcotest.fail "a solve failed"
+
+let prop_warm_cold_same_search =
+  QCheck.Test.make ~name:"warm and cold searches coincide on fixed seeds"
+    ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Stats.Rng.create seed in
+      let ds = Datasets.Synthetic.generate ~n_per_class:60 rng in
+      let a, b = Datasets.Dataset.class_split ds in
+      let scatter = Stats.Scatter.of_data a b in
+      let fmt = Qformat.make ~k:2 ~f:3 in
+      match Ldafp_problem.build ~fmt scatter with
+      | exception Ldafp_problem.No_feasible_box _ -> true
+      | pb -> (
+          match warm_cold_pair pb ~max_nodes:120 with
+          | None, None -> true
+          | Some warm, Some cold ->
+              warm.Lda_fp.cost = cold.Lda_fp.cost
+              && warm.Lda_fp.diagnostics.Lda_fp.nodes
+                 = cold.Lda_fp.diagnostics.Lda_fp.nodes
+          | _ -> false))
+
 (* ------------------------------------------------------------------ *)
 (* Fixed_classifier                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -777,6 +831,7 @@ let qcheck_tests =
       prop_solver_cost_matches_reported;
       prop_seed_feasible;
       prop_parallel_solver_matches_sequential;
+      prop_warm_cold_same_search;
     ]
 
 let () =
@@ -839,6 +894,8 @@ let () =
           Alcotest.test_case "H3 symmetry" `Slow
             test_problem_without_t_restriction;
           Alcotest.test_case "time budget" `Quick test_solver_time_budget;
+          Alcotest.test_case "warm matches cold" `Quick
+            test_solver_warm_matches_cold;
         ] );
       ( "classifier",
         [

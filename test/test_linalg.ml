@@ -164,6 +164,122 @@ let test_tri_solves () =
     | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* In-place kernels (_into): each must match its allocating            *)
+(* counterpart exactly, including under the documented aliasing        *)
+(* ------------------------------------------------------------------ *)
+
+let random_vec rng n = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)
+
+let test_axpy_into () =
+  let rng = Stats.Rng.create 11 in
+  for n = 1 to 6 do
+    let x = random_vec rng n and y = random_vec rng n in
+    let expect = Vec.axpy 1.7 x y in
+    let dst = Array.make n Float.nan in
+    Vec.axpy_into 1.7 x y ~dst;
+    checkfa "fresh dst" expect dst;
+    let x' = Array.copy x in
+    Vec.axpy_into 1.7 x' y ~dst:x';
+    checkfa "dst aliases x" expect x';
+    let y' = Array.copy y in
+    Vec.axpy_into 1.7 x y' ~dst:y';
+    checkfa "dst aliases y" expect y'
+  done
+
+let test_mat_vec_into () =
+  let rng = Stats.Rng.create 12 in
+  List.iter
+    (fun (m, n) ->
+      let a = Mat.init m n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0) in
+      let x = random_vec rng n and xt = random_vec rng m in
+      let dst = Array.make m Float.nan in
+      Mat.mul_vec_into a x ~dst;
+      checkfa "mul_vec_into" (Mat.mul_vec a x) dst;
+      let dstt = Array.make n Float.nan in
+      Mat.tmul_vec_into a xt ~dst:dstt;
+      checkfa "tmul_vec_into" (Mat.tmul_vec a xt) dstt;
+      (* the zero-skip in tmul_vec_into must not change results *)
+      let sparse = Array.mapi (fun i v -> if i mod 2 = 0 then 0.0 else v) xt in
+      Mat.tmul_vec_into a sparse ~dst:dstt;
+      checkfa "tmul_vec_into sparse" (Mat.tmul_vec a sparse) dstt)
+    [ (1, 1); (3, 2); (2, 5); (4, 4) ]
+
+let test_mat_scale_symmetrize_into () =
+  let rng = Stats.Rng.create 13 in
+  let a = Mat.init 4 4 (fun _ _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:2.0) in
+  let expect = Mat.scale 0.25 a in
+  let dst = Mat.init 4 4 (fun _ _ -> Float.nan) in
+  Mat.scale_into 0.25 a ~dst;
+  checkb "scale_into" true (Mat.approx_equal expect dst);
+  let a' = Mat.copy a in
+  Mat.scale_into 0.25 a' ~dst:a';
+  checkb "scale_into aliased" true (Mat.approx_equal expect a');
+  let expect = Mat.symmetrize a in
+  Mat.symmetrize_into a ~dst;
+  checkb "symmetrize_into" true (Mat.approx_equal expect dst);
+  let a' = Mat.copy a in
+  Mat.symmetrize_into a' ~dst:a';
+  checkb "symmetrize_into aliased" true (Mat.approx_equal expect a')
+
+let test_tri_into () =
+  let rng = Stats.Rng.create 14 in
+  for n = 1 to 6 do
+    let l = Cholesky.factor (random_spd rng n) in
+    let b = random_vec rng n in
+    let dst = Array.make n Float.nan in
+    Tri.solve_lower_into l b ~dst;
+    checkfa "solve_lower_into" (Tri.solve_lower l b) dst;
+    let b' = Array.copy b in
+    Tri.solve_lower_into l b' ~dst:b';
+    checkfa "solve_lower_into aliased" (Tri.solve_lower l b) b';
+    Tri.solve_lower_transpose_into l b ~dst;
+    checkfa "solve_lower_transpose_into" (Tri.solve_lower_transpose l b) dst;
+    let b' = Array.copy b in
+    Tri.solve_lower_transpose_into l b' ~dst:b';
+    checkfa "solve_lower_transpose_into aliased"
+      (Tri.solve_lower_transpose l b) b'
+  done
+
+let test_cholesky_into () =
+  let rng = Stats.Rng.create 15 in
+  for n = 1 to 6 do
+    let a = random_spd rng n in
+    let expect = Cholesky.factor a in
+    let dst = Mat.init n n (fun _ _ -> Float.nan) in
+    Cholesky.factor_into a ~dst;
+    checkb "factor_into" true (Mat.approx_equal ~tol:1e-12 expect dst);
+    (* aliased: classical in-place factorisation overwrites a *)
+    let a' = Mat.copy a in
+    Cholesky.factor_into a' ~dst:a';
+    checkb "factor_into aliased" true (Mat.approx_equal ~tol:1e-12 expect a');
+    let expect_l, expect_j = Cholesky.factor_jittered a in
+    let j = Cholesky.factor_jittered_into a ~dst in
+    checkf "factor_jittered_into jitter" expect_j j;
+    checkb "factor_jittered_into factor" true
+      (Mat.approx_equal ~tol:1e-12 expect_l dst);
+    let b = random_vec rng n in
+    let xdst = Array.make n Float.nan in
+    Cholesky.solve_factored_into expect b ~dst:xdst;
+    checkfa "solve_factored_into" (Cholesky.solve_factored expect b) xdst;
+    let b' = Array.copy b in
+    Cholesky.solve_factored_into expect b' ~dst:b';
+    checkfa "solve_factored_into aliased" (Cholesky.solve_factored expect b) b'
+  done
+
+let test_factor_jittered_into_rank_deficient () =
+  (* A rank-1 matrix forces the retry loop: failed attempts must leave
+     the pristine input intact and still land on factor_jittered's
+     answer. *)
+  let a = Mat.outer [| 1.0; 2.0 |] [| 1.0; 2.0 |] in
+  let keep = Mat.copy a in
+  let expect_l, expect_j = Cholesky.factor_jittered a in
+  let dst = Mat.init 2 2 (fun _ _ -> Float.nan) in
+  let j = Cholesky.factor_jittered_into a ~dst in
+  checkf "jitter agrees" expect_j j;
+  checkb "factor agrees" true (Mat.approx_equal ~tol:1e-12 expect_l dst);
+  checkb "input untouched" true (Mat.approx_equal ~tol:0.0 keep a)
+
+(* ------------------------------------------------------------------ *)
 (* LU                                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -437,6 +553,17 @@ let () =
           Alcotest.test_case "inverse/logdet" `Quick
             test_cholesky_inverse_logdet;
           Alcotest.test_case "triangular solves" `Quick test_tri_solves;
+        ] );
+      ( "into kernels",
+        [
+          Alcotest.test_case "axpy_into" `Quick test_axpy_into;
+          Alcotest.test_case "mat-vec into" `Quick test_mat_vec_into;
+          Alcotest.test_case "scale/symmetrize into" `Quick
+            test_mat_scale_symmetrize_into;
+          Alcotest.test_case "triangular into" `Quick test_tri_into;
+          Alcotest.test_case "cholesky into" `Quick test_cholesky_into;
+          Alcotest.test_case "jittered retry pristine" `Quick
+            test_factor_jittered_into_rank_deficient;
         ] );
       ( "lu",
         [

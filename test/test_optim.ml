@@ -546,7 +546,10 @@ let test_bnb_domains_one_identity () =
   checkb "same best" true (a.Bnb.best = b.Bnb.best);
   checki "same nodes" a.Bnb.nodes_explored b.Bnb.nodes_explored;
   checkb "same stop reason" true (a.Bnb.stop_reason = b.Bnb.stop_reason);
-  checkb "same stats" true (a.Bnb.stats = b.Bnb.stats);
+  (* oracle_seconds is wall-clock and differs run to run; every counting
+     field must still be identical. *)
+  let scrub s = { s with Bnb.oracle_seconds = 0.0 } in
+  checkb "same stats" true (scrub a.Bnb.stats = scrub b.Bnb.stats);
   checki "one domain reported" 1 a.Bnb.stats.Bnb.domains_used;
   checkf 1e-12 "same bound" a.Bnb.bound b.Bnb.bound
 
@@ -689,12 +692,64 @@ let prop_admm_agrees_with_barrier =
       Float.abs (admm.Admm_qp.objective -. socp.Socp.objective)
       <= 1e-4 *. (1.0 +. Float.abs socp.Socp.objective))
 
+(* Warm-started barrier solves (schedule advance from a near-optimal
+   start) must return the same certified answer as a cold solve: random
+   box QPs with a cone, solved cold from scratch and then warm from the
+   cold optimum with [warm_start_params]. *)
+let prop_warm_start_agrees_with_cold =
+  QCheck.Test.make ~name:"warm-started barrier agrees with cold solve"
+    ~count:40
+    QCheck.(pair (int_range 1 6) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      let base =
+        Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      in
+      let p =
+        Mat.add_scaled_identity (0.5 *. float_of_int n)
+          (Mat.mul base (Mat.transpose base))
+      in
+      let q = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-3.0) ~hi:3.0) in
+      let lo = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:(-0.1)) in
+      let hi = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:0.1 ~hi:2.0) in
+      let radius = Stats.Rng.uniform rng ~lo:1.0 ~hi:4.0 in
+      let cone =
+        { Socp.l = Mat.identity n; g = Vec.zeros n; c = Vec.zeros n;
+          d = radius }
+      in
+      let pb =
+        Socp.problem ~p ~q ~lins:(Socp.box_constraints lo hi) ~socs:[ cone ] n
+      in
+      match Socp.solve_auto pb ~start:(Vec.zeros n) with
+      | None -> false (* origin is always feasible here *)
+      | Some cold ->
+          QCheck.assume (Socp.is_strictly_interior pb cold.Socp.x);
+          let warm =
+            Socp.solve
+              ~params:(Socp.warm_start_params Socp.default_params)
+              pb ~start:cold.Socp.x
+          in
+          Socp.is_feasible ~tol:1e-7 pb warm.Socp.x
+          && Float.abs (warm.Socp.objective -. cold.Socp.objective)
+             <= cold.Socp.gap_bound +. warm.Socp.gap_bound
+                +. (1e-7 *. (1.0 +. Float.abs cold.Socp.objective)))
+
+let test_warm_start_params () =
+  let p = Socp.default_params in
+  let w = Socp.warm_start_params p in
+  checkf 1e-9 "tau0 advanced 5 levels" (p.Socp.tau0 *. (p.Socp.mu ** 5.0))
+    w.Socp.tau0;
+  let w2 = Socp.warm_start_params ~levels:2 p in
+  checkf 1e-9 "custom levels" (p.Socp.tau0 *. (p.Socp.mu ** 2.0)) w2.Socp.tau0;
+  checkf 1e-12 "gap_tol unchanged" p.Socp.gap_tol w2.Socp.gap_tol
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_pqueue_sorted;
       prop_pqueue_filter_heap;
       prop_admm_agrees_with_barrier;
+      prop_warm_start_agrees_with_cold;
       prop_bnb_parallel_incumbent;
     ]
 
@@ -745,6 +800,7 @@ let () =
           Alcotest.test_case "phase1 infeasible" `Quick
             test_phase1_detects_infeasible;
           Alcotest.test_case "solve_auto" `Quick test_solve_auto_pipeline;
+          Alcotest.test_case "warm-start params" `Quick test_warm_start_params;
           Alcotest.test_case "dimension checks" `Quick
             test_socp_dimension_checks;
         ] );
