@@ -10,7 +10,7 @@ open Report
 let usage =
   "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
   \                [--baselines] [--ecg] [--ablations] [--micro] [--parallel]\n\
-  \                [--faults] [--quick|--full] [--seed N]\n\
+  \                [--scaling] [--faults] [--quick|--full] [--seed N]\n\
    With no experiment flag, everything runs."
 
 type options = {
@@ -24,6 +24,7 @@ type options = {
   mutable ablations : bool;
   mutable micro : bool;
   mutable parallel : bool;
+  mutable scaling : bool;
   mutable faults : bool;
   mutable quick : bool;
   mutable seed : int option;
@@ -34,7 +35,7 @@ let parse_args () =
     {
       table1 = false; table2 = false; figure2 = false; figure4 = false;
       power = false; baselines = false; ecg = false; ablations = false;
-      micro = false; parallel = false; faults = false;
+      micro = false; parallel = false; scaling = false; faults = false;
       quick = true; seed = None;
     }
   in
@@ -52,6 +53,7 @@ let parse_args () =
     | "--ablations" :: rest -> any := true; o.ablations <- true; go rest
     | "--micro" :: rest -> any := true; o.micro <- true; go rest
     | "--parallel" :: rest -> any := true; o.parallel <- true; go rest
+    | "--scaling" :: rest -> any := true; o.scaling <- true; go rest
     | "--faults" :: rest -> any := true; o.faults <- true; go rest
     | "--quick" :: rest -> o.quick <- true; go rest
     | "--full" :: rest -> o.quick <- false; go rest
@@ -71,7 +73,8 @@ let parse_args () =
     o.baselines <- true;
     o.ecg <- true;
     o.micro <- true;
-    o.parallel <- true
+    o.parallel <- true;
+    o.scaling <- true
   end;
   o
 
@@ -409,12 +412,28 @@ let run_parallel_bnb ~quick ?seed () =
     | Some o ->
         let d = o.Lda_fp.diagnostics in
         let s = d.Lda_fp.search in
+        let per_domain = s.Optim.Bnb.domain_oracle_seconds in
+        (* Per-domain oracle utilization: each entry is that worker's
+           oracle time over the run's wall-clock, so every entry is in
+           [0, 1] regardless of domain count — unlike the old summed
+           oracle_seconds, which reported 0.27s "inside" a 0.09s run. *)
+        let utilization =
+          Array.map (fun os -> os /. Float.max t 1e-9) per_domain
+        in
+        let misses =
+          s.Optim.Bnb.warm_miss_no_parent + s.Optim.Bnb.warm_miss_not_interior
+          + s.Optim.Bnb.warm_miss_fault_cleared
+        in
         Json.Obj
           [
             ("label", Json.Str label);
             ("domains", Json.Int domains);
             ("feasible", Json.Bool true);
             ("seconds", Json.Float t);
+            (* T1 / (d * Td): 1.0 = perfect linear scaling. *)
+            ( "scaling_efficiency",
+              Json.Float (seq_t /. (float_of_int domains *. Float.max t 1e-9))
+            );
             ("cost", Json.Float o.Lda_fp.cost);
             ("nodes", Json.Int d.Lda_fp.nodes);
             ("warm_start_hits", Json.Int s.Optim.Bnb.warm_start_hits);
@@ -422,8 +441,24 @@ let run_parallel_bnb ~quick ?seed () =
             ( "warm_hit_rate",
               Json.Float
                 (float_of_int s.Optim.Bnb.warm_start_hits
-                /. float_of_int (max 1 d.Lda_fp.nodes)) );
-            ("oracle_seconds", Json.Float s.Optim.Bnb.oracle_seconds);
+                /. float_of_int (max 1 (s.Optim.Bnb.warm_start_hits + misses)))
+            );
+            ("warm_miss_no_parent", Json.Int s.Optim.Bnb.warm_miss_no_parent);
+            ( "warm_miss_not_interior",
+              Json.Int s.Optim.Bnb.warm_miss_not_interior );
+            ( "warm_miss_fault_cleared",
+              Json.Int s.Optim.Bnb.warm_miss_fault_cleared );
+            ( "oracle_seconds_per_domain",
+              Json.List
+                (Array.to_list (Array.map (fun x -> Json.Float x) per_domain))
+            );
+            ( "oracle_utilization",
+              Json.List
+                (Array.to_list (Array.map (fun x -> Json.Float x) utilization))
+            );
+            ("steals", Json.Int s.Optim.Bnb.steals);
+            ("stolen_nodes", Json.Int s.Optim.Bnb.stolen_nodes);
+            ("idle_wakeups", Json.Int s.Optim.Bnb.idle_wakeups);
           ]
   in
   report "domains=1" (seq, seq_t);
@@ -467,6 +502,145 @@ let run_parallel_bnb ~quick ?seed () =
             ("warm_nodes", Json.Int (nodes_of (seq, seq_t)));
             ("cold_nodes", Json.Int (nodes_of (cold, cold_t)));
           ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing scaling on a >= 10^3-node search (E10)                *)
+(* ------------------------------------------------------------------ *)
+
+(* The E7 comparison runs a 150-node budgeted search — far too small to
+   amortize domain spawns, so its timings are startup noise.  This one
+   is an exact search (rel_gap = 1e-9, the same tolerance the
+   brute-force closure tests use; abs_gap = 0; node budget only as a
+   runaway stop) on a problem sized to take >= 10^3 nodes to close
+   (Q2.3: ~8.6k nodes).  Run-to-completion is also what makes the
+   cross-domain correctness gate sharp: every domain count must prove
+   the same optimum, bit for bit, no matter how nodes were stolen.  CI
+   gates on that agreement and on the certified gap — never on the
+   timings, which depend on the runner's core count (reported here as
+   context: on a single hardware core, multi-domain runs can only be
+   slower — time-slicing plus cross-domain GC barriers — and the
+   efficiency field records exactly that instead of pretending
+   otherwise). *)
+let run_scaling_bnb ~quick ?seed () =
+  let open Ldafp_core in
+  let seed = Option.value seed ~default:42 in
+  print_newline ();
+  print_endline "Work-stealing scaling: exact search, >= 10^3 nodes (E10)";
+  print_endline "========================================================";
+  let rng = Stats.Rng.create seed in
+  let ds =
+    Datasets.Synthetic.generate ~n_per_class:(if quick then 200 else 600) rng
+  in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let prep = Pipeline.prepare ~fmt ds in
+  let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
+  let solve domains =
+    let config =
+      {
+        Lda_fp.default_config with
+        bnb_params =
+          {
+            Optim.Bnb.default_params with
+            max_nodes = 200_000;
+            rel_gap = 1e-9;
+            abs_gap = 0.0;
+            domains;
+          };
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Lda_fp.solve ~config pb in
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "synthetic %s problem, exact search, %d core(s) detected\n%!"
+    (Fixedpoint.Qformat.to_string fmt)
+    cores;
+  let seq, seq_t = solve 1 in
+  let seq_cost = match seq with Some o -> o.Lda_fp.cost | None -> Float.nan in
+  let seq_nodes =
+    match seq with
+    | Some o -> o.Lda_fp.diagnostics.Lda_fp.nodes
+    | None -> -1
+  in
+  let stop_name = function
+    | Optim.Bnb.Proved_optimal -> "proved_optimal"
+    | Optim.Bnb.Gap_reached -> "gap_reached"
+    | Optim.Bnb.Node_budget -> "node_budget"
+    | Optim.Bnb.Time_budget -> "time_budget"
+    | Optim.Bnb.Interrupted -> "interrupted"
+  in
+  let one domains (outcome, t) =
+    match outcome with
+    | None ->
+        Printf.printf "  domains=%d  no feasible solution (%.2fs)\n%!" domains
+          t;
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("feasible", Json.Bool false);
+            ("cost_agrees", Json.Bool false);
+            ("seconds", Json.Float t);
+          ]
+    | Some o ->
+        let d = o.Lda_fp.diagnostics in
+        let s = d.Lda_fp.search in
+        let efficiency = seq_t /. (float_of_int domains *. Float.max t 1e-9) in
+        (* Exact searches must land on the same optimum regardless of
+           how nodes migrated; the incumbent is a grid point evaluated
+           by the same float expression everywhere, so exact equality
+           is the right test. *)
+        let cost_agrees = o.Lda_fp.cost = seq_cost in
+        Printf.printf
+          "  domains=%d  cost %.6g  nodes %6d  steals %4d (%5d nodes)  \
+           %6.2fs  speedup %.2fx  efficiency %.2f  %s\n\
+           %!"
+          domains o.Lda_fp.cost d.Lda_fp.nodes s.Optim.Bnb.steals
+          s.Optim.Bnb.stolen_nodes t
+          (seq_t /. Float.max t 1e-9)
+          efficiency
+          (stop_name d.Lda_fp.stop_reason);
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("feasible", Json.Bool true);
+            ("cost", Json.Float o.Lda_fp.cost);
+            ("cost_agrees", Json.Bool cost_agrees);
+            ("certified_gap", Json.Float d.Lda_fp.gap);
+            ("nodes", Json.Int d.Lda_fp.nodes);
+            ("stop_reason", Json.Str (stop_name d.Lda_fp.stop_reason));
+            ("seconds", Json.Float t);
+            ("scaling_efficiency", Json.Float efficiency);
+            ("steals", Json.Int s.Optim.Bnb.steals);
+            ("stolen_nodes", Json.Int s.Optim.Bnb.stolen_nodes);
+            ("idle_wakeups", Json.Int s.Optim.Bnb.idle_wakeups);
+            ( "oracle_utilization",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun os -> Json.Float (os /. Float.max t 1e-9))
+                      s.Optim.Bnb.domain_oracle_seconds)) );
+          ]
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        if domains = 1 then one 1 (seq, seq_t) else one domains (solve domains))
+      [ 1; 2; 4 ]
+  in
+  if seq_nodes >= 0 && seq_nodes < 1000 then
+    Printf.printf
+      "  note: sequential search closed in %d nodes (< 1000) — problem \
+       smaller than intended for scaling\n\
+       %!"
+      seq_nodes;
+  Json.Obj
+    [
+      ("problem", Json.Str (Fixedpoint.Qformat.to_string fmt));
+      ("cores_detected", Json.Int cores);
+      ("sequential_nodes", Json.Int seq_nodes);
+      ("runs", Json.List runs);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -561,6 +735,7 @@ let () =
   let micro_json = ref Json.Null in
   let kernel_json = ref Json.Null in
   let parallel_json = ref Json.Null in
+  let scaling_json = ref Json.Null in
   if o.micro then begin
     let estimates = run_micro () in
     micro_json :=
@@ -573,8 +748,9 @@ let () =
     kernel_json := run_bound_kernel ~quick ?seed ()
   end;
   if o.parallel then parallel_json := run_parallel_bnb ~quick ?seed ();
+  if o.scaling then scaling_json := run_scaling_bnb ~quick ?seed ();
   if o.faults then run_fault_tolerance ~quick ?seed ();
-  if o.micro || o.parallel then begin
+  if o.micro || o.parallel || o.scaling then begin
     let path = "BENCH_solver.json" in
     Json.save path
       (Json.Obj
@@ -585,6 +761,7 @@ let () =
            ("micro", !micro_json);
            ("bound_kernel", !kernel_json);
            ("parallel", !parallel_json);
+           ("scaling", !scaling_json);
          ]);
     Printf.printf "\nwrote %s\n%!" path
   end

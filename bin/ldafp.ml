@@ -233,12 +233,30 @@ let train_cmd =
                 | Optim.Bnb.Time_budget -> "time budget"
                 | Optim.Bnb.Interrupted -> "interrupted");
               let s = d.Lda_fp.search in
-              if s.Optim.Bnb.warm_start_hits > 0 then
+              let misses =
+                s.Optim.Bnb.warm_miss_no_parent
+                + s.Optim.Bnb.warm_miss_not_interior
+                + s.Optim.Bnb.warm_miss_fault_cleared
+              in
+              if s.Optim.Bnb.warm_start_hits > 0 || misses > 0 then begin
                 Fmt.pr
                   "warm starts: %d hit(s), %d phase-I solve(s) skipped, \
                    %.2fs in the bound oracle@."
                   s.Optim.Bnb.warm_start_hits s.Optim.Bnb.phase1_skipped
                   s.Optim.Bnb.oracle_seconds;
+                Fmt.pr
+                  "warm misses: %d (no parent point %d, clip not strictly \
+                   interior %d, cleared after fault %d)@."
+                  misses s.Optim.Bnb.warm_miss_no_parent
+                  s.Optim.Bnb.warm_miss_not_interior
+                  s.Optim.Bnb.warm_miss_fault_cleared
+              end;
+              if s.Optim.Bnb.domains_used > 1 then
+                Fmt.pr
+                  "scheduler: %d steal(s) moved %d node(s), %d idle \
+                   wakeup(s)@."
+                  s.Optim.Bnb.steals s.Optim.Bnb.stolen_nodes
+                  s.Optim.Bnb.idle_wakeups;
               if s.Optim.Bnb.oracle_failures > 0 then
                 Fmt.pr
                   "oracle faults: %d failure(s), %d retried, %d degraded \

@@ -81,6 +81,10 @@ type node = {
          warm start for this node's bound solve.  Cleared by the fault
          retry hook so a retried node never reuses a point associated
          with a failed solve. *)
+  mutable warm_tainted : bool;
+      (* true iff [warm] was deliberately cleared by the fault retry
+         hook — distinguishes "never had a parent point" from "had one
+         and discarded it" in the warm-miss accounting *)
 }
 
 let src = Logs.Src.create "ldafp.solver" ~doc:"LDA-FP trainer"
@@ -258,6 +262,19 @@ let bound_node cfg pb incumbent counters node =
                      ~params:(Socp.warm_start_params cfg.socp_params)
                      relaxation ~start:x0)
             | _ -> (
+                (* Cold solve.  Attribute the miss (only when warm starts
+                   are enabled at all — with [warm_start = false] every
+                   solve is cold by choice, not a miss): the hit and miss
+                   counters together partition the relaxation solves that
+                   actually ran, so warm_hit_rate = hits/(hits + misses)
+                   diagnoses exactly the solves that paid for phase-I. *)
+                if cfg.warm_start then
+                  (match node.warm with
+                  | None ->
+                      if node.warm_tainted then
+                        Bnb.count_warm_miss_fault_cleared counters
+                      else Bnb.count_warm_miss_no_parent counters
+                  | Some _ -> Bnb.count_warm_miss_not_interior counters);
                 let start = Array.map Fx_interval.mid node.wbox in
                 match
                   Socp.find_strictly_feasible ~params:cfg.socp_params
@@ -318,9 +335,9 @@ let branch_node cfg pb node =
        start (clipped into the child box at bound time). *)
     [
       { node with trange = left; wbox = copy_box (); relax_w = None;
-        warm = node.relax_w };
+        warm = node.relax_w; warm_tainted = false };
       { node with trange = right; wbox = copy_box (); relax_w = None;
-        warm = node.relax_w };
+        warm = node.relax_w; warm_tainted = false };
     ]
   end
   else if !best_dim >= 0 then begin
@@ -333,8 +350,10 @@ let branch_node cfg pb node =
         left.(j) <- lo;
         right.(j) <- hi;
         [
-          { node with wbox = left; relax_w = None; warm = node.relax_w };
-          { node with wbox = right; relax_w = None; warm = node.relax_w };
+          { node with wbox = left; relax_w = None; warm = node.relax_w;
+            warm_tainted = false };
+          { node with wbox = right; relax_w = None; warm = node.relax_w;
+            warm_tainted = false };
         ]
   end
   else []
@@ -392,6 +411,7 @@ let solve ?(config = default_config) ?interrupt pb =
       root_t_width = Interval.width pb.Ldafp_problem.t_root;
       relax_w = None;
       warm = None;
+      warm_tainted = false;
     }
   in
   (* Wrap the seed into the oracle: the root's bound info carries it as a
@@ -458,6 +478,7 @@ let solve ?(config = default_config) ?interrupt pb =
           (fun ~attempt node ->
             (* The previous attempt failed mid-solve: any cached point on
                the node is tainted — never warm-start a retry from it. *)
+            if node.warm <> None then node.warm_tainted <- true;
             node.warm <- None;
             node.relax_w <- None;
             with_seed

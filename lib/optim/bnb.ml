@@ -45,18 +45,27 @@ type stats = {
   children_generated : int;
   domains_used : int;
   idle_wakeups : int;
+  steals : int;
+  stolen_nodes : int;
   oracle_failures : int;
   retries : int;
   degraded_bounds : int;
   dropped_regions : int;
   warm_start_hits : int;
   phase1_skipped : int;
+  warm_miss_no_parent : int;
+  warm_miss_not_interior : int;
+  warm_miss_fault_cleared : int;
   oracle_seconds : float;
+  domain_oracle_seconds : float array;
 }
 
 type oracle_counters = {
   warm_hits : int Atomic.t;
   phase1_skips : int Atomic.t;
+  miss_no_parent : int Atomic.t;
+  miss_not_interior : int Atomic.t;
+  miss_fault_cleared : int Atomic.t;
   oracle_time_us : int Atomic.t;
 }
 
@@ -64,11 +73,17 @@ let oracle_counters () =
   {
     warm_hits = Atomic.make 0;
     phase1_skips = Atomic.make 0;
+    miss_no_parent = Atomic.make 0;
+    miss_not_interior = Atomic.make 0;
+    miss_fault_cleared = Atomic.make 0;
     oracle_time_us = Atomic.make 0;
   }
 
 let count_warm_start_hit oc = Atomic.incr oc.warm_hits
 let count_phase1_skipped oc = Atomic.incr oc.phase1_skips
+let count_warm_miss_no_parent oc = Atomic.incr oc.miss_no_parent
+let count_warm_miss_not_interior oc = Atomic.incr oc.miss_not_interior
+let count_warm_miss_fault_cleared oc = Atomic.incr oc.miss_fault_cleared
 
 type 'sol result = {
   best : ('sol * float) option;
@@ -187,13 +202,17 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
   attempt 0
 
 (* Cumulative oracle wall-time, accumulated in integer microseconds so
-   parallel workers can add without a lock (no atomic float add). *)
-let timed_guarded_bound ~faults ~fc ~(oc : oracle_counters) oracle region =
+   parallel workers can add without a lock (no atomic float add).
+   [?cell] additionally attributes the time to the calling worker's
+   private accumulator — the per-domain utilization numbers. *)
+let timed_guarded_bound ?cell ~faults ~fc ~(oc : oracle_counters) oracle region
+    =
   let t0 = now () in
   Fun.protect
     ~finally:(fun () ->
       let dus = int_of_float ((now () -. t0) *. 1e6) in
-      ignore (Atomic.fetch_and_add oc.oracle_time_us dus))
+      ignore (Atomic.fetch_and_add oc.oracle_time_us dus);
+      match cell with Some c -> c := !c + dus | None -> ())
     (fun () -> guarded_bound ~faults ~fc oracle region)
 
 let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) oracle region =
@@ -245,6 +264,9 @@ let counters_alist ~infeasible ~pruned ~stale ~updates ~children
     ("dropped_regions", Atomic.get fc.Fault.dropped);
     ("warm_start_hits", Atomic.get oc.warm_hits);
     ("phase1_skipped", Atomic.get oc.phase1_skips);
+    ("warm_miss_no_parent", Atomic.get oc.miss_no_parent);
+    ("warm_miss_not_interior", Atomic.get oc.miss_not_interior);
+    ("warm_miss_fault_cleared", Atomic.get oc.miss_fault_cleared);
     ("oracle_time_us", Atomic.get oc.oracle_time_us);
   ]
 
@@ -260,6 +282,9 @@ let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
       Atomic.set fc.Fault.dropped (c "dropped_regions");
       Atomic.set oc.warm_hits (c "warm_start_hits");
       Atomic.set oc.phase1_skips (c "phase1_skipped");
+      Atomic.set oc.miss_no_parent (c "warm_miss_no_parent");
+      Atomic.set oc.miss_not_interior (c "warm_miss_not_interior");
+      Atomic.set oc.miss_fault_cleared (c "warm_miss_fault_cleared");
       Atomic.set oc.oracle_time_us (c "oracle_time_us");
       ( c "infeasible_regions", c "bound_pruned", c "stale_pops",
         c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed )
@@ -312,6 +337,9 @@ let run_seq : type region sol.
   let stale_pops = ref stale0 in
   let incumbent_updates = ref updates0 in
   let children_generated = ref children0 in
+  (* Current-run oracle microseconds (oc.oracle_time_us also carries the
+     pre-resume total): the [domain_oracle_seconds] attribution. *)
+  let oracle_cell = ref 0 in
   let consider_candidate = function
     | Some (sol, cost) when cost < !incumbent_cost ->
         incumbent := Some (sol, cost);
@@ -322,7 +350,8 @@ let run_seq : type region sol.
     | _ -> ()
   in
   let enqueue region =
-    match timed_guarded_bound ~faults ~fc ~oc oracle region with
+    match timed_guarded_bound ~cell:oracle_cell ~faults ~fc ~oc oracle region
+    with
     | Dropped_bound -> ()
     | Bounded None -> incr infeasible_regions
     | Bounded (Some { lower; candidate }) ->
@@ -421,13 +450,19 @@ let run_seq : type region sol.
         children_generated = !children_generated;
         domains_used = 1;
         idle_wakeups = 0;
+        steals = 0;
+        stolen_nodes = 0;
         oracle_failures = Atomic.get fc.Fault.failures;
         retries = Atomic.get fc.Fault.retries;
         degraded_bounds = Atomic.get fc.Fault.degraded;
         dropped_regions = Atomic.get fc.Fault.dropped;
         warm_start_hits = Atomic.get oc.warm_hits;
         phase1_skipped = Atomic.get oc.phase1_skips;
+        warm_miss_no_parent = Atomic.get oc.miss_no_parent;
+        warm_miss_not_interior = Atomic.get oc.miss_not_interior;
+        warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
+        domain_oracle_seconds = [| float_of_int !oracle_cell *. 1e-6 |];
       };
   }
 
@@ -436,19 +471,32 @@ let run_seq : type region sol.
 (* ------------------------------------------------------------------ *)
 
 (* The calling domain plus [params.domains - 1] spawned domains run the
-   same worker loop over a shared Work_pool.  Expensive oracle calls
-   (bound/branch) run outside the pool lock; every queue or counter
-   mutation happens under it.  The incumbent cost is mirrored in an
-   Atomic so workers prune against the freshest bound without locking.
-   Termination mirrors the sequential checks, with the global bound
-   taken over queued *and* in-flight regions so a gap can never be
-   declared while a better region is still being processed.
+   same worker loop over a sharded work-stealing Work_deque: each worker
+   pushes its own expansions to its own shard and pops locally, stealing
+   the best half of a victim's shard only when dry, so in steady state no
+   lock or cache line is shared between workers.  Search-wide state is
+   synchronized through atomics: the incumbent cost mirror (CAS-checked
+   under a dedicated incumbent mutex on update, read lock-free for
+   pruning), the per-shard frontier-bound mirrors feeding the gap test
+   (conservative at every instant — see Work_deque), the explored-node
+   counter, and a write-once stop reason.  Per-worker statistics live in
+   single-writer records merged after the joins, so hot-path counter
+   bumps are plain stores.
 
-   Fault containment is what makes the pool robust: oracle calls are
-   policy-guarded, and the in-flight slot of an expanding worker is
-   released in a [Fun.protect] finaliser, so even a non-containable
-   exception re-broadcasts before propagating — one poisoned region can
-   never leave siblings blocked in [wait]. *)
+   Termination mirrors the sequential checks.  [drained] is exact
+   (children are pushed before their parent's in-flight slot is
+   released) and is tested before the gap so an exhausted search reports
+   Proved_optimal, not Gap_reached against an infinite frontier bound.
+   The node budget is checked before claiming a node; workers already
+   mid-expansion finish, so the budget can overshoot by at most
+   [domains - 1] nodes — the price of not serializing the hot path.
+
+   Fault containment: oracle calls are policy-guarded, and the in-flight
+   slot of an expanding worker is released in a [Fun.protect] finaliser,
+   so even a non-containable exception keeps the live count exact; the
+   worker then closes the deque (waking parked siblings) before the
+   exception propagates — one poisoned region can never hang the
+   search. *)
 let run_par : type region sol.
     params:params ->
     faults:(region, sol) faults ->
@@ -460,193 +508,256 @@ let run_par : type region sol.
     sol result =
  fun ~params ~faults ~checkpointing ~interrupt ~counters oracle source ->
   let workers = params.domains in
-  let pool : region Work_pool.t = Work_pool.create ~workers in
+  let deque : region Work_deque.t = Work_deque.create ~workers in
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
   let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
     restore_counters fc oc source
   in
+  (* The incumbent solution is guarded by its own mutex; its cost is
+     mirrored in an Atomic read lock-free on every stale check, push
+     decision and gap test. *)
+  let inc_lock = Mutex.create () in
   let incumbent =
     ref (match source with Root _ -> None | Restored s -> s.Checkpoint.incumbent)
-    (* under the pool lock *)
   in
   let incumbent_cost =
     Atomic.make
       (match !incumbent with Some (_, c) -> c | None -> Float.infinity)
   in
   let nodes =
-    ref (match source with Root _ -> 0 | Restored s -> s.Checkpoint.nodes_explored)
+    Atomic.make
+      (match source with Root _ -> 0 | Restored s -> s.Checkpoint.nodes_explored)
   in
   let start_time = now () in
   let elapsed () = elapsed0 +. (now () -. start_time) in
-  let stop = ref None in
-  (* Counters below are mutated under the pool lock only. *)
-  let infeasible_regions = ref infeasible0 in
-  let bound_pruned = ref pruned0 in
-  let stale_pops = ref stale0 in
-  let incumbent_updates = ref updates0 in
-  let children_generated = ref children0 in
-  let last_saved_nodes = ref !nodes in
-  let consider_candidate_locked = function
+  let stop : stop_reason option Atomic.t = Atomic.make None in
+  (* Per-worker single-writer statistics; merged after the joins.
+     Records (not an int array) so counters of one worker share no cache
+     line with another's. *)
+  let module W = struct
+    type t = {
+      mutable infeasible : int;
+      mutable pruned : int;
+      mutable stale : int;
+      mutable updates : int;
+      mutable children : int;
+      oracle_cell : int ref;
+    }
+  end in
+  let ws =
+    Array.init workers (fun _ ->
+        {
+          W.infeasible = 0;
+          pruned = 0;
+          stale = 0;
+          updates = 0;
+          children = 0;
+          oracle_cell = ref 0;
+        })
+  in
+  (* Reads of siblings' plain counter fields (periodic checkpoints, the
+     final merge before the last join is not one — it runs after joins)
+     may be stale by a few increments; fine for diagnostics.  The node
+     counter, fault counters and oracle counters are atomics and exact. *)
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 ws in
+  let merged_counters () =
+    counters_alist
+      ~infeasible:(infeasible0 + sum (fun w -> w.W.infeasible))
+      ~pruned:(pruned0 + sum (fun w -> w.W.pruned))
+      ~stale:(stale0 + sum (fun w -> w.W.stale))
+      ~updates:(updates0 + sum (fun w -> w.W.updates))
+      ~children:(children0 + sum (fun w -> w.W.children))
+      ~fc ~oc
+  in
+  let consider_candidate (w : W.t) = function
     | Some (sol, cost) when cost < Atomic.get incumbent_cost ->
-        incumbent := Some (sol, cost);
-        Atomic.set incumbent_cost cost;
-        incr incumbent_updates;
-        Work_pool.prune pool (fun lb _ -> lb < cost)
+        let improved =
+          Mutex.lock inc_lock;
+          (* Re-check under the lock: a sibling may have won the race. *)
+          let better = cost < Atomic.get incumbent_cost in
+          if better then begin
+            incumbent := Some (sol, cost);
+            Atomic.set incumbent_cost cost;
+            w.W.updates <- w.W.updates + 1
+          end;
+          Mutex.unlock inc_lock;
+          better
+        in
+        (* Prune outside inc_lock: shard locks are leaves, but keeping
+           inc_lock out of any nesting makes the no-deadlock argument
+           one-line.  Concurrent pruning passes compose (both only
+           remove dominated entries). *)
+        if improved then Work_deque.prune deque (fun lb _ -> lb < cost)
     | _ -> ()
   in
-  let record_bounded_locked region = function
-    | None -> incr infeasible_regions
+  let record_bounded ~worker (w : W.t) region = function
+    | None -> w.W.infeasible <- w.W.infeasible + 1
     | Some { lower; candidate } ->
-        consider_candidate_locked candidate;
+        consider_candidate w candidate;
         if lower < Atomic.get incumbent_cost then
-          Work_pool.push pool lower region
-        else incr bound_pruned
+          Work_deque.push deque ~worker lower region
+        else w.W.pruned <- w.W.pruned + 1
   in
   (match source with
   | Root root ->
       (* The root is bounded on the calling domain before any worker
-         starts, exactly as in the sequential driver (callers may rely on
-         the root bound running first, e.g. to install a seeded
+         starts, exactly as in the sequential driver (callers may rely
+         on the root bound running first, e.g. to install a seeded
          incumbent). *)
-      let root_info = timed_guarded_bound ~faults ~fc ~oc oracle root in
-      Work_pool.locked pool (fun () ->
-          match root_info with
-          | Dropped_bound -> ()
-          | Bounded info -> record_bounded_locked root info)
+      let root_info =
+        timed_guarded_bound ~cell:ws.(0).W.oracle_cell ~faults ~fc ~oc oracle
+          root
+      in
+      (match root_info with
+      | Dropped_bound -> ()
+      | Bounded info -> record_bounded ~worker:0 ws.(0) root info)
   | Restored s ->
-      Work_pool.locked pool (fun () ->
-          Array.iter (fun (lb, region) -> Work_pool.push pool lb region)
-            s.Checkpoint.frontier));
-  (* Snapshot under the lock: queued and in-flight regions are never
-     mutated once visible to the pool (see Work_pool.snapshot), so
-     marshalling them here is race-free.  Siblings pause on the lock for
-     the duration of the write — the price of a consistent frontier. *)
-  let snapshot_state_locked ck =
+      (* Scatter the restored frontier round-robin so every worker
+         starts with local work instead of stealing from shard 0. *)
+      Array.iteri
+        (fun idx (lb, region) ->
+          Work_deque.push deque ~worker:(idx mod workers) lb region)
+        s.Checkpoint.frontier);
+  (* Checkpoint snapshot ordering: frontier FIRST, then incumbent.  The
+     frontier snapshot holds all shard locks, so it is internally
+     consistent; reading the incumbent afterwards guarantees it is at
+     least as good as whatever incumbent pruned that frontier — so no
+     region dominated only by an unsaved incumbent can be missing its
+     dominator on resume.  The reverse order can lose the optimum:
+     incumbent read, sibling improves it and prunes, frontier saved
+     without the pruned region or the new incumbent. *)
+  let snapshot_state ck =
+    let frontier = Array.of_list (Work_deque.snapshot deque) in
+    let inc =
+      Mutex.lock inc_lock;
+      let i = !incumbent in
+      Mutex.unlock inc_lock;
+      i
+    in
     {
       Checkpoint.fingerprint = ck.fingerprint;
-      frontier = Array.of_list (Work_pool.snapshot pool);
-      incumbent = !incumbent;
-      nodes_explored = !nodes;
-      counters =
-        counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
-          ~stale:!stale_pops ~updates:!incumbent_updates
-          ~children:!children_generated ~fc ~oc;
+      frontier;
+      incumbent = inc;
+      nodes_explored = Atomic.get nodes;
+      counters = merged_counters ();
       elapsed = elapsed ();
     }
   in
-  let maybe_periodic_save_locked () =
+  (* Periodic saves race against each other only through [save_lock]:
+     whoever gets it checks the cadence; everyone else skips (try_lock)
+     rather than queueing up behind a disk write. *)
+  let save_lock = Mutex.create () in
+  let last_saved_nodes = ref (Atomic.get nodes) in
+  let maybe_periodic_save () =
     match checkpointing with
-    | Some ck
-      when ck.every_nodes > 0 && !nodes - !last_saved_nodes >= ck.every_nodes
-      ->
-        last_saved_nodes := !nodes;
-        try_save ck (snapshot_state_locked ck)
+    | Some ck when ck.every_nodes > 0 ->
+        if Mutex.try_lock save_lock then
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock save_lock)
+            (fun () ->
+              if Atomic.get nodes - !last_saved_nodes >= ck.every_nodes then begin
+                last_saved_nodes := Atomic.get nodes;
+                try_save ck (snapshot_state ck)
+              end)
     | _ -> ()
   in
-  let gap_ok_locked () =
+  (* The frontier bound read from the shard mirrors is conservative
+     (never above the true minimum over live work — Work_deque), so this
+     can only under-report progress, never declare a gap early. *)
+  let gap_ok () =
     let inc = Atomic.get incumbent_cost in
     inc < Float.infinity
     &&
-    let bound = Work_pool.frontier_bound pool in
+    let bound = Work_deque.frontier_bound deque in
     let gap = inc -. bound in
     gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs inc
   in
   let interrupted () = match interrupt with Some f -> f () | None -> false in
-  let halt_locked reason =
-    if !stop = None then stop := Some reason;
-    Work_pool.close pool
+  (* First halt wins the stop reason; close is idempotent and wakes any
+     parked sibling. *)
+  let halt reason =
+    ignore (Atomic.compare_and_set stop None (Some reason));
+    Work_deque.close deque
   in
   let worker i () =
-    let rec loop () =
-      let action =
-        Work_pool.locked pool (fun () ->
-            let rec decide () =
-              if Work_pool.is_closed pool then `Exit
-              else if Work_pool.drained pool then begin
-                halt_locked Proved_optimal;
-                `Exit
-              end
-              else if gap_ok_locked () then begin
-                halt_locked Gap_reached;
-                `Exit
-              end
-              else if !nodes >= params.max_nodes then begin
-                halt_locked Node_budget;
-                `Exit
-              end
-              else if
-                match params.time_limit with
-                | Some limit -> elapsed () > limit
-                | None -> false
-              then begin
-                halt_locked Time_budget;
-                `Exit
-              end
-              else if interrupted () then begin
-                halt_locked Interrupted;
-                `Exit
-              end
-              else
-                match Work_pool.take pool ~worker:i with
-                | None ->
-                    (* Empty queue but siblings still expanding: their
-                       children may refill it. *)
-                    Work_pool.wait pool;
-                    decide ()
-                | Some (lb, region) ->
-                    if lb >= Atomic.get incumbent_cost then begin
-                      incr stale_pops;
-                      Work_pool.release pool ~worker:i;
-                      decide ()
-                    end
-                    else begin
-                      incr nodes;
-                      if params.log_every > 0 && !nodes mod params.log_every = 0
-                      then
-                        Log.debug (fun m ->
-                            m "node %d [w%d]: bound %.6g incumbent %.6g queue %d"
-                              !nodes i lb
-                              (Atomic.get incumbent_cost)
-                              (Work_pool.queue_length pool));
-                      `Expand region
-                    end
-            in
-            decide ())
-      in
-      match action with
-      | `Exit -> ()
-      | `Expand region ->
-          (* The in-flight slot is released in a finaliser: even if an
-             exception escapes the guards (non-containable, or a
-             [reraise] policy), siblings blocked in [wait] are woken
-             before it propagates. *)
-          Fun.protect
-            ~finally:(fun () ->
-              Work_pool.locked pool (fun () -> Work_pool.release pool ~worker:i))
-            (fun () ->
-              let children = guarded_branch ~faults ~fc oracle region in
-              Work_pool.locked pool (fun () ->
-                  children_generated :=
-                    !children_generated + List.length children);
-              (* Bound each child outside the lock; publish immediately so
-                 siblings prune against fresh incumbents. *)
-              List.iter
-                (fun child ->
-                  match timed_guarded_bound ~faults ~fc ~oc oracle child with
-                  | Dropped_bound -> ()
-                  | Bounded info ->
-                      Work_pool.locked pool (fun () ->
-                          record_bounded_locked child info))
-                children);
-          Work_pool.locked pool (fun () -> maybe_periodic_save_locked ());
-          loop ()
+    let w = ws.(i) in
+    let expand lb region =
+      if lb >= Atomic.get incumbent_cost then begin
+        (* Stale entry dominated by a newer incumbent. *)
+        w.W.stale <- w.W.stale + 1;
+        Work_deque.release deque ~worker:i
+      end
+      else begin
+        let n = 1 + Atomic.fetch_and_add nodes 1 in
+        if params.log_every > 0 && n mod params.log_every = 0 then
+          Log.debug (fun m ->
+              m "node %d [w%d]: bound %.6g incumbent %.6g queued %d" n i lb
+                (Atomic.get incumbent_cost)
+                (Work_deque.queue_length deque));
+        (* The in-flight slot is released in a finaliser: even if an
+           exception escapes the guards (non-containable, or a [reraise]
+           policy), the live count stays exact and the region's children
+           — pushed before this finaliser runs — are never lost. *)
+        Fun.protect
+          ~finally:(fun () -> Work_deque.release deque ~worker:i)
+          (fun () ->
+            let children = guarded_branch ~faults ~fc oracle region in
+            w.W.children <- w.W.children + List.length children;
+            (* Bound each child outside any lock; push to our own shard
+               immediately so siblings can steal fresh work and prune
+               against fresh incumbents.  Warm-start state lives inside
+               the region values, so it migrates with steals for
+               free. *)
+            List.iter
+              (fun child ->
+                match
+                  timed_guarded_bound ~cell:w.W.oracle_cell ~faults ~fc ~oc
+                    oracle child
+                with
+                | Dropped_bound -> ()
+                | Bounded info -> record_bounded ~worker:i w child info)
+              children);
+        maybe_periodic_save ()
+      end
     in
-    (* An oracle exception must not leave sibling domains blocked on the
-       pool: close it, then re-raise (Domain.join propagates). *)
+    let rec loop () =
+      if Work_deque.is_closed deque then ()
+      else if Work_deque.drained deque then halt Proved_optimal
+        (* drained before gap: an exhausted search is Proved_optimal,
+           not a Gap_reached against an infinite frontier bound. *)
+      else if gap_ok () then halt Gap_reached
+      else if Atomic.get nodes >= params.max_nodes then halt Node_budget
+      else if
+        match params.time_limit with
+        | Some limit -> elapsed () > limit
+        | None -> false
+      then halt Time_budget
+      else if interrupted () then halt Interrupted
+      else begin
+        let item =
+          match Work_deque.take deque ~worker:i with
+          | Some _ as it -> it
+          | None -> Work_deque.try_steal deque ~thief:i
+        in
+        match item with
+        | Some (lb, region) ->
+            expand lb region;
+            loop ()
+        | None -> (
+            (* Nothing local, nothing to steal: park until a sibling
+               pushes, the search drains, or someone halts. *)
+            match Work_deque.park deque with
+            | `Drained -> halt Proved_optimal
+            | `Closed -> ()
+            | `Work -> loop ())
+      end
+    in
+    (* An oracle exception must not leave sibling domains parked: close
+       the deque, then re-raise (Domain.join propagates). *)
     try loop ()
     with e ->
-      Work_pool.locked pool (fun () -> Work_pool.close pool);
+      Work_deque.close deque;
       raise e
   in
   let spawned =
@@ -654,22 +765,23 @@ let run_par : type region sol.
   in
   worker 0 ();
   Array.iter Domain.join spawned;
-  let stop_reason = match !stop with Some r -> r | None -> Proved_optimal in
+  let stop_reason =
+    match Atomic.get stop with Some r -> r | None -> Proved_optimal
+  in
   (match checkpointing with
   | Some ck when ck.save_on_stop && stop_wants_save stop_reason ->
-      (* All workers have joined: nothing is in flight, the pool queue is
-         the complete frontier. *)
-      Work_pool.locked pool (fun () -> try_save ck (snapshot_state_locked ck))
+      (* All workers have joined: nothing is in flight, the shard queues
+         are the complete frontier, and the merge is single-threaded and
+         exact. *)
+      try_save ck (snapshot_state ck)
   | _ -> ());
-  let bound, idle_wakeups =
-    Work_pool.locked pool (fun () ->
-        let inc = Atomic.get incumbent_cost in
-        let b =
-          if Work_pool.queue_is_empty pool then
-            Float.min inc (Work_pool.min_queue_key pool)
-          else Work_pool.min_queue_key pool
-        in
-        (b, Work_pool.idle_wakeups pool))
+  (* After the joins all mirrors are quiescent and exact. *)
+  let bound =
+    let fb = Work_deque.frontier_bound deque in
+    if Work_deque.drained deque then
+      (* Everything explored or pruned: the incumbent is optimal. *)
+      Float.min (Atomic.get incumbent_cost) fb
+    else fb
   in
   let incumbent_cost = Atomic.get incumbent_cost in
   {
@@ -678,24 +790,31 @@ let run_par : type region sol.
     gap =
       (if incumbent_cost = Float.infinity then Float.infinity
        else incumbent_cost -. bound);
-    nodes_explored = !nodes;
+    nodes_explored = Atomic.get nodes;
     stop_reason;
     stats =
       {
-        infeasible_regions = !infeasible_regions;
-        bound_pruned = !bound_pruned;
-        stale_pops = !stale_pops;
-        incumbent_updates = !incumbent_updates;
-        children_generated = !children_generated;
+        infeasible_regions = infeasible0 + sum (fun w -> w.W.infeasible);
+        bound_pruned = pruned0 + sum (fun w -> w.W.pruned);
+        stale_pops = stale0 + sum (fun w -> w.W.stale);
+        incumbent_updates = updates0 + sum (fun w -> w.W.updates);
+        children_generated = children0 + sum (fun w -> w.W.children);
         domains_used = workers;
-        idle_wakeups;
+        idle_wakeups = Work_deque.idle_wakeups deque;
+        steals = Work_deque.steals deque;
+        stolen_nodes = Work_deque.stolen_nodes deque;
         oracle_failures = Atomic.get fc.Fault.failures;
         retries = Atomic.get fc.Fault.retries;
         degraded_bounds = Atomic.get fc.Fault.degraded;
         dropped_regions = Atomic.get fc.Fault.dropped;
         warm_start_hits = Atomic.get oc.warm_hits;
         phase1_skipped = Atomic.get oc.phase1_skips;
+        warm_miss_no_parent = Atomic.get oc.miss_no_parent;
+        warm_miss_not_interior = Atomic.get oc.miss_not_interior;
+        warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
+        domain_oracle_seconds =
+          Array.map (fun w -> float_of_int !(w.W.oracle_cell) *. 1e-6) ws;
       };
   }
 

@@ -9,13 +9,18 @@
     and stops on proof of optimality, a gap tolerance, or a budget.
 
     With [params.domains > 1] the driver runs the same search across
-    that many OCaml 5 domains sharing one work pool (see
-    {!Work_pool}): the oracle must then be safe to call concurrently
-    from several domains on {e distinct} regions (pure per-node
-    functions of the shared read-only problem qualify; region-local
-    mutation is fine because each region is processed by exactly one
-    domain).  With [domains = 1] (the default) the code path is the
-    sequential driver, unchanged.
+    that many OCaml 5 domains over a sharded work-stealing scheduler
+    (see {!Work_deque}): each domain expands nodes from its own
+    best-first shard and steals the best half of a sibling's shard when
+    dry.  The oracle must be safe to call concurrently from several
+    domains on {e distinct} regions (pure per-node functions of the
+    shared read-only problem qualify; region-local mutation is fine
+    because each region is processed by exactly one domain, even after
+    being stolen).  The incumbent cost and feasibility are identical to
+    the sequential search on a run-to-completion; the explored node
+    {e count} and ordering are scheduling-dependent under stealing.
+    With [domains = 1] (the default) the code path is the sequential
+    driver, unchanged.
 
     {2 Fault containment}
 
@@ -24,10 +29,11 @@
     classified (see {!Fault}) and handled by the configured policy —
     retried, degraded to the caller's cheap conservative fallback bound,
     or, as a recorded last resort, dropped.  A worker domain always
-    releases its in-flight slot and re-broadcasts, so one poisoned
-    region can neither hang nor kill the pool; with
+    releases its in-flight slot in a finaliser and closes the scheduler
+    before an exception escapes, so one poisoned region can neither
+    hang parked siblings nor corrupt the live-work count; with
     {!Fault.propagate} the pre-containment fail-fast behaviour is
-    restored (the pool is still closed before the exception escapes).
+    restored.
 
     {2 Checkpointing}
 
@@ -107,8 +113,13 @@ type stats = {
   children_generated : int;
   domains_used : int;  (** 1 for the sequential driver *)
   idle_wakeups : int;
-      (** times a worker domain found the queue empty and had to wait
-          for siblings' children; 0 for the sequential driver *)
+      (** times a worker domain ran out of local work, found nothing to
+          steal, and actually parked; 0 for the sequential driver *)
+  steals : int;
+      (** successful steal-half transfers between shards; 0 for the
+          sequential driver *)
+  stolen_nodes : int;
+      (** total queued regions moved by steals *)
   oracle_failures : int;
       (** failing oracle invocations (exceptions and non-finite bounds),
           including failing retry attempts *)
@@ -125,14 +136,32 @@ type stats = {
   phase1_skipped : int;
       (** phase-I feasibility solves avoided because a warm start was
           already strictly interior; 0 unless the oracle reports them *)
+  warm_miss_no_parent : int;
+      (** bound solves that went cold because the region carried no
+          parent optimum (root, restored frontier, or never solved) *)
+  warm_miss_not_interior : int;
+      (** bound solves that went cold because the clipped parent optimum
+          was not strictly interior to the child's cones *)
+  warm_miss_fault_cleared : int;
+      (** bound solves that went cold because a fault retry had
+          deliberately discarded a tainted warm point *)
   oracle_seconds : float;
       (** cumulative wall-clock time spent inside [oracle.bound] calls
-          (including retries and fallbacks), summed across domains —
-          the denominator of any per-node speedup claim *)
+          (including retries and fallbacks), summed across domains and
+          across a resume chain — {e not} comparable to wall-clock when
+          [domains > 1]; see [domain_oracle_seconds] *)
+  domain_oracle_seconds : float array;
+      (** current-run oracle wall-time attributed to each worker domain
+          (length [domains_used]); each entry is bounded by the run's
+          wall-clock, so per-domain utilization is
+          [domain_oracle_seconds.(i) / wall].  Not persisted across
+          checkpoints. *)
 }
 (** Search statistics — the observability the ablation benches report.
-    All fields survive a checkpoint/resume cycle; snapshots taken before
-    the warm-start fields existed restore them as 0. *)
+    All fields except [domain_oracle_seconds] and the scheduler
+    diagnostics ([idle_wakeups], [steals], [stolen_nodes]) survive a
+    checkpoint/resume cycle; snapshots taken before the warm-start or
+    warm-miss fields existed restore them as 0. *)
 
 type oracle_counters
 (** Warm-start accounting shared between the driver and the bound
@@ -152,6 +181,17 @@ val count_warm_start_hit : oracle_counters -> unit
 val count_phase1_skipped : oracle_counters -> unit
 (** Record one phase-I solve skipped thanks to a strictly interior warm
     start. *)
+
+val count_warm_miss_no_parent : oracle_counters -> unit
+(** Record one cold bound solve on a region with no inherited optimum. *)
+
+val count_warm_miss_not_interior : oracle_counters -> unit
+(** Record one cold bound solve whose inherited optimum failed the
+    strict-interior test after clipping. *)
+
+val count_warm_miss_fault_cleared : oracle_counters -> unit
+(** Record one cold bound solve whose inherited optimum had been
+    discarded by a fault retry. *)
 
 type 'sol result = {
   best : ('sol * float) option;  (** incumbent and its cost *)
@@ -192,10 +232,13 @@ val minimize :
     root is always bounded on the calling domain before workers start.
     Termination semantics (gap, node budget, wall-clock limit) are
     identical across domain counts; in parallel the gap test uses the
-    minimum bound over queued {e and} in-flight regions, so it is never
-    optimistic.  [?interrupt] is polled between nodes (cheap, called
-    under the pool lock in parallel mode); returning [true] stops the
-    search with {!Interrupted} — the hook for signal handlers. *)
+    minimum bound over queued {e and} in-flight regions across all
+    shards (read from conservative atomic mirrors), so it is never
+    optimistic, and the node budget may overshoot by at most
+    [domains - 1] nodes already claimed when the budget trips.
+    [?interrupt] is polled between nodes by every worker, without any
+    lock held; returning [true] stops the search with {!Interrupted} —
+    the hook for signal handlers. *)
 
 val resume :
   ?params:params ->

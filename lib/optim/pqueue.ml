@@ -94,6 +94,21 @@ let filter_in_place t pred =
     heapify t
   end
 
+(* Move the ceil(n/2) smallest-key entries of [src] into [dst] — the
+   work-stealing transfer.  Best keys first: the thief inherits the most
+   promising half of the victim's frontier, which keeps the global
+   exploration order close to best-first even while nodes migrate.
+   O(k log n) pops + pushes; steals are rare enough that this never
+   shows up in profiles. *)
+let steal_half src dst =
+  let k = (src.size + 1) / 2 in
+  for _ = 1 to k do
+    match pop src with
+    | Some (key, value) -> push dst key value
+    | None -> assert false (* k <= src.size by construction *)
+  done;
+  k
+
 let fold f acc t =
   let acc = ref acc in
   for i = 0 to t.size - 1 do

@@ -19,6 +19,12 @@ val filter_in_place : 'a t -> (float -> 'a -> bool) -> unit
     O(n): compacts survivors in place and re-heapifies bottom-up; dead
     slots are cleared so dropped values do not stay pinned in memory. *)
 
+val steal_half : 'a t -> 'a t -> int
+(** [steal_half src dst] moves the ⌈n/2⌉ {e smallest}-key entries of
+    [src] into [dst] (best keys first) and returns how many moved; 0
+    when [src] is empty.  Heap order is restored on both sides.  The
+    work-stealing batch transfer of {!Work_deque}. *)
+
 val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val min_key : 'a t -> float
 (** [infinity] when empty. *)

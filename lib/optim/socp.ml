@@ -100,8 +100,9 @@ type solution = {
 let barrier_nu pb = Array.length pb.lins + (2 * Array.length pb.socs)
 
 (* Per-domain scratch for the centering oracle and the Newton solver,
-   keyed by problem dimension.  Domain-local (Domain.DLS), so workers in a
-   Work_pool never share buffers; the phase-I augmented problem has
+   keyed by problem dimension.  Domain-local (Domain.DLS), so workers of
+   the parallel B&B driver never share buffers even when regions migrate
+   between shards (Work_deque); the phase-I augmented problem has
    dimension n+1 and therefore its own entry, so phase-I and phase-II
    never clobber each other either. *)
 type scratch = {

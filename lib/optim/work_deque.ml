@@ -1,0 +1,260 @@
+(* Sharded work-stealing scheduler for the parallel branch-and-bound
+   driver.  Each worker owns a shard: a private best-first heap plus a
+   single in-flight slot, both guarded by a per-shard lock.  A worker
+   whose own heap runs dry steals the best half of a victim's heap
+   instead of blocking on a central queue, so in steady state queue
+   operations touch only worker-local state and no lock is contended.
+
+   Lock ordering (deadlock-freedom): whenever two shard locks are held
+   at once — stealing and whole-frontier snapshots — they are taken in
+   ascending shard-index order.  The park lock is never held while
+   acquiring a shard lock, and shard locks are never held while
+   acquiring the park lock beyond the leaf signal in [push] (which takes
+   the park lock *after* releasing the shard lock, see below).
+
+   Mirrors: each shard keeps its minimum live key and queue length in
+   [Atomic.t] mirrors refreshed on every mutation under the shard lock.
+   Readers (the gap test, victim selection, the park re-check) read the
+   mirrors without locks.  A mirror can be stale, but staleness is
+   one-sided where it matters: the steal protocol refreshes the thief's
+   mirror (which can only lower the global minimum) before the victim's
+   (which may raise it), so the frontier bound computed from mirrors
+   never overshoots the true minimum over live work — stale-low is
+   conservative, stale-high would be unsound. *)
+
+type 'a shard = {
+  lock : Mutex.t;
+  queue : 'a Pqueue.t;
+  mutable busy : (float * 'a) option;
+      (* The owner's in-flight item and its key; None when idle.  The
+         item itself is kept (not just the key) so checkpoints can
+         snapshot the full live frontier. *)
+  bound_mirror : float Atomic.t;
+      (* min(queue min key, busy key); +infinity when the shard holds no
+         live work. *)
+  len_mirror : int Atomic.t;  (* queue length, for victim selection *)
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  live : int Atomic.t;
+      (* Queued + in-flight items across all shards.  Children are
+         pushed (incrementing) before their parent is released
+         (decrementing), so [live] can only reach 0 when the search
+         space is genuinely exhausted. *)
+  closed : bool Atomic.t;
+  idlers : int Atomic.t;  (* workers inside [park], under park_lock *)
+  park_lock : Mutex.t;
+  park_cond : Condition.t;
+  idle_wakeups : int Atomic.t;
+  steals : int Atomic.t;
+  stolen : int Atomic.t;
+}
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Work_deque.create: workers < 1";
+  {
+    shards =
+      Array.init workers (fun _ ->
+          {
+            lock = Mutex.create ();
+            queue = Pqueue.create ();
+            busy = None;
+            bound_mirror = Atomic.make Float.infinity;
+            len_mirror = Atomic.make 0;
+          });
+    live = Atomic.make 0;
+    closed = Atomic.make false;
+    idlers = Atomic.make 0;
+    park_lock = Mutex.create ();
+    park_cond = Condition.create ();
+    idle_wakeups = Atomic.make 0;
+    steals = Atomic.make 0;
+    stolen = Atomic.make 0;
+  }
+
+let workers t = Array.length t.shards
+
+(* Must hold [s.lock]. *)
+let refresh_mirrors s =
+  let b =
+    match s.busy with
+    | Some (k, _) -> Float.min k (Pqueue.min_key s.queue)
+    | None -> Pqueue.min_key s.queue
+  in
+  Atomic.set s.bound_mirror b;
+  Atomic.set s.len_mirror (Pqueue.length s.queue)
+
+(* Wake one parked worker iff anyone is parked.  [idlers] is only
+   incremented under the park lock, and a parker re-checks the length
+   mirrors after incrementing it (before waiting), so this read-then-
+   signal cannot lose a wakeup: either the pusher sees idlers > 0 and
+   signals, or the parker's re-check sees the pusher's len_mirror update
+   (both are SC atomics) and never waits. *)
+let signal_work t =
+  if Atomic.get t.idlers > 0 then begin
+    Mutex.lock t.park_lock;
+    Condition.signal t.park_cond;
+    Mutex.unlock t.park_lock
+  end
+
+let push t ~worker key value =
+  let s = t.shards.(worker) in
+  Mutex.lock s.lock;
+  Pqueue.push s.queue key value;
+  Atomic.incr t.live;
+  refresh_mirrors s;
+  Mutex.unlock s.lock;
+  signal_work t
+
+let take t ~worker =
+  let s = t.shards.(worker) in
+  Mutex.lock s.lock;
+  let r =
+    match Pqueue.pop s.queue with
+    | None -> None
+    | Some (key, value) ->
+        (* Queue -> busy slot: the item stays live, [t.live] unchanged. *)
+        s.busy <- Some (key, value);
+        refresh_mirrors s;
+        Some (key, value)
+  in
+  Mutex.unlock s.lock;
+  r
+
+let release t ~worker =
+  let s = t.shards.(worker) in
+  Mutex.lock s.lock;
+  s.busy <- None;
+  Atomic.decr t.live;
+  refresh_mirrors s;
+  Mutex.unlock s.lock
+(* No signal here: the releasing worker is awake and will either find
+   work (its children were pushed before this release, each signalling
+   if needed) or detect the drain itself in [park]. *)
+
+(* Lock [a] and [b] in ascending shard-index order.  [a] != [b]. *)
+let lock_pair t ia ib =
+  let lo, hi = if ia < ib then (ia, ib) else (ib, ia) in
+  Mutex.lock t.shards.(lo).lock;
+  Mutex.lock t.shards.(hi).lock
+
+let unlock_pair t ia ib =
+  Mutex.unlock t.shards.(ia).lock;
+  Mutex.unlock t.shards.(ib).lock
+
+let try_steal t ~thief =
+  let n = Array.length t.shards in
+  let mine = t.shards.(thief) in
+  let rec scan k =
+    if k >= n - 1 then None
+    else begin
+      let v = (thief + 1 + k) mod n in
+      if Atomic.get t.shards.(v).len_mirror = 0 then scan (k + 1)
+      else begin
+        let victim = t.shards.(v) in
+        lock_pair t thief v;
+        let moved = Pqueue.steal_half victim.queue mine.queue in
+        let taken =
+          if moved = 0 then None
+          else begin
+            Atomic.incr t.steals;
+            ignore (Atomic.fetch_and_add t.stolen moved);
+            (* The thief immediately claims its best stolen node, so a
+               successful steal always yields work. *)
+            match Pqueue.pop mine.queue with
+            | Some (key, value) ->
+                mine.busy <- Some (key, value);
+                Some (key, value)
+            | None -> assert false (* moved > 0 entries just arrived *)
+          end
+        in
+        (* Refresh the thief's mirror (can only lower the global min
+           seen by readers) before the victim's (which raises it): at
+           every instant the mirror-derived frontier bound stays <= the
+           true minimum over live work. *)
+        refresh_mirrors mine;
+        refresh_mirrors victim;
+        unlock_pair t thief v;
+        match taken with None -> scan (k + 1) | some -> some
+      end
+    end
+  in
+  scan 0
+
+let prune t pred =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      let before = Pqueue.length s.queue in
+      Pqueue.filter_in_place s.queue pred;
+      let dropped = before - Pqueue.length s.queue in
+      if dropped > 0 then ignore (Atomic.fetch_and_add t.live (-dropped));
+      refresh_mirrors s;
+      Mutex.unlock s.lock)
+    t.shards
+
+(* Whole-frontier snapshot: hold *all* shard locks (ascending index, so
+   this composes with the thieves' ordered pair-locking) while
+   collecting queued and in-flight items.  With every lock held no item
+   can be mid-transfer, so the snapshot is lossless — an in-transit
+   region dropped from a checkpoint would silently discard its whole
+   unexplored subtree on resume. *)
+let snapshot t =
+  Array.iter (fun s -> Mutex.lock s.lock) t.shards;
+  let acc =
+    Array.fold_left
+      (fun acc s ->
+        let acc =
+          match s.busy with Some item -> item :: acc | None -> acc
+        in
+        Pqueue.fold (fun acc key v -> (key, v) :: acc) acc s.queue)
+      [] t.shards
+  in
+  Array.iter (fun s -> Mutex.unlock s.lock) t.shards;
+  acc
+
+let frontier_bound t =
+  Array.fold_left
+    (fun acc s -> Float.min acc (Atomic.get s.bound_mirror))
+    Float.infinity t.shards
+
+let live t = Atomic.get t.live
+let drained t = Atomic.get t.live = 0
+
+let queue_length t =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.len_mirror) 0 t.shards
+
+let close t =
+  Atomic.set t.closed true;
+  Mutex.lock t.park_lock;
+  Condition.broadcast t.park_cond;
+  Mutex.unlock t.park_lock
+
+let is_closed t = Atomic.get t.closed
+
+let park t =
+  Mutex.lock t.park_lock;
+  Atomic.incr t.idlers;
+  let rec wait_loop () =
+    if Atomic.get t.closed then `Closed
+    else if Atomic.get t.live = 0 then `Drained
+    else if
+      (* Re-check under park_lock with idlers already published: any
+         push after this scan sees idlers > 0 and signals. *)
+      Array.exists (fun s -> Atomic.get s.len_mirror > 0) t.shards
+    then `Work
+    else begin
+      Atomic.incr t.idle_wakeups;
+      Condition.wait t.park_cond t.park_lock;
+      wait_loop ()
+    end
+  in
+  let outcome = wait_loop () in
+  Atomic.decr t.idlers;
+  Mutex.unlock t.park_lock;
+  outcome
+
+let idle_wakeups t = Atomic.get t.idle_wakeups
+let steals t = Atomic.get t.steals
+let stolen_nodes t = Atomic.get t.stolen

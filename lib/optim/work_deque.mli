@@ -1,0 +1,108 @@
+(** Sharded work-stealing scheduler for the parallel branch-and-bound
+    driver.
+
+    Each worker owns a {e shard}: a private best-first min-heap plus a
+    single in-flight slot, guarded by a per-shard lock.  Workers push
+    their own expansions to their own shard and pop locally; a worker
+    whose heap runs dry steals the best half of a victim's heap
+    ({!Pqueue.steal_half}) instead of contending on a central queue.
+    Cross-shard reads (the frontier-bound gap test, victim selection,
+    termination detection) go through per-shard atomic mirrors, so in
+    steady state no lock is shared between workers.
+
+    Concurrency contract:
+    - [push]/[take]/[release] with a given [~worker] index must only be
+      called by that worker (shard ownership); [try_steal ~thief]
+      likewise.
+    - Items must never be mutated after being pushed (the B&B contract),
+      which is what makes {!snapshot} and node migration race-free.
+    - [frontier_bound] is conservative: at every instant it is [<=] the
+      true minimum key over live (queued + in-flight) work, even while
+      steals are mid-transfer.
+    - [drained] is exact: it flips true only when the search space is
+      genuinely exhausted (children are pushed before their parent is
+      released).
+
+    Termination protocol: a worker with no local work and nothing to
+    steal calls {!park}, which blocks on a condition variable signalled
+    only when work appears ({!push} with idlers present) or the deque is
+    {!close}d — no busy-spin, no per-push broadcast. *)
+
+type 'a t
+
+val create : workers:int -> 'a t
+(** A deque with one shard per worker (ids [0 .. workers-1]).
+    @raise Invalid_argument if [workers < 1]. *)
+
+val workers : 'a t -> int
+
+val push : 'a t -> worker:int -> float -> 'a -> unit
+(** Queue an item on [worker]'s own shard and wake one parked worker if
+    any are parked. *)
+
+val take : 'a t -> worker:int -> (float * 'a) option
+(** Pop the minimum-key item of [worker]'s own shard and mark it in
+    flight there; [None] when the local shard is empty (work may exist
+    on other shards — try {!try_steal}).  Each worker holds at most one
+    in-flight item at a time. *)
+
+val release : 'a t -> worker:int -> unit
+(** Mark [worker]'s in-flight item finished.  Its children, if any, must
+    have been {!push}ed first, so the live count can only reach zero
+    when the search space is exhausted. *)
+
+val try_steal : 'a t -> thief:int -> (float * 'a) option
+(** Scan other shards round-robin (starting after [thief]) for one with
+    queued work; transfer the best half of the first victim found into
+    [thief]'s shard (both shard locks held, in ascending index order)
+    and return the best stolen item, already marked in flight on
+    [thief].  [None] when every other shard looks empty.  The thief's
+    bound mirror is refreshed before the victim's so the global frontier
+    bound never overshoots mid-transfer. *)
+
+val prune : 'a t -> (float -> 'a -> bool) -> unit
+(** Drop queued items not satisfying the predicate on every shard
+    (in-flight items are unaffected).  Shards are pruned one at a time;
+    callable by any worker. *)
+
+val snapshot : 'a t -> (float * 'a) list
+(** Every live item with its key: queued {e and} in-flight, across all
+    shards.  Holds all shard locks (ascending order) for the duration,
+    so no item can be lost mid-steal — this is the full frontier a
+    checkpoint must persist. *)
+
+val frontier_bound : 'a t -> float
+(** Minimum key over queued and in-flight items, read from the atomic
+    mirrors: conservative (never above the true minimum) at every
+    instant, exact at quiescence.  [infinity] when drained. *)
+
+val live : 'a t -> int
+(** Queued + in-flight items across all shards. *)
+
+val drained : 'a t -> bool
+(** [live t = 0]: the search space is exhausted. *)
+
+val queue_length : 'a t -> int
+(** Total queued (not in-flight) items, from the length mirrors —
+    approximate while workers are active. *)
+
+val close : 'a t -> unit
+(** Initiate shutdown and wake every parked worker. *)
+
+val is_closed : 'a t -> bool
+
+val park : 'a t -> [ `Work | `Drained | `Closed ]
+(** Block until work appears somewhere ([`Work] — go steal or take),
+    the deque drains ([`Drained]) or is closed ([`Closed]).  Returns
+    without blocking if any of these already holds.  Each pass through
+    the wait counts one idle wake-up. *)
+
+val idle_wakeups : 'a t -> int
+(** Times a worker actually blocked waiting for work — the
+    starvation observability counter. *)
+
+val steals : 'a t -> int
+(** Successful steal-half transfers. *)
+
+val stolen_nodes : 'a t -> int
+(** Total items moved by steals. *)

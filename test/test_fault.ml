@@ -710,6 +710,106 @@ let prop_resume_reaches_same_incumbent =
           | None, None -> true
           | _ -> false))
 
+(* ------------------------------------------------------------------ *)
+(* Work-stealing agreement properties                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Retries consult the clean oracle, so every injected bound fault is
+   recoverable: no region is ever degraded or dropped, and the search —
+   sequential or stolen across any number of domains — must land on the
+   fault-free incumbent.  Branch faults are deliberately excluded here:
+   a failed branch is treated as atomic (its children are
+   unrecoverable), which legitimately changes the reachable tree. *)
+let recovering_faults (clean : (int * int, int) Bnb.oracle) =
+  {
+    Bnb.default_faults with
+    retry_bound = Some (fun ~attempt:_ region -> clean.Bnb.bound region);
+    fallback_bound = Some weak_fallback;
+  }
+
+let prop_stealing_agrees_with_sequential =
+  QCheck.Test.make
+    ~name:"work-stealing matches the sequential incumbent under injection"
+    ~count:(qcheck_count 20) arb_fault_run
+    (fun (rate, seed, domains, target) ->
+      let clean = integer_quadratic_oracle target in
+      let seq = Bnb.minimize clean (-25, 25) in
+      let cfg =
+        Fault_inject.config ~seed ~bound_exn_prob:(rate /. 2.0)
+          ~bound_nan_prob:(rate /. 2.0) ()
+      in
+      let oracle, injected = Fault_inject.wrap cfg clean in
+      match
+        run_with_timeout ~seconds:60.0 (fun () ->
+            Bnb.minimize
+              ~params:{ Bnb.default_params with domains }
+              ~faults:(recovering_faults clean) oracle (-25, 25))
+      with
+      | None -> QCheck.Test.fail_report "stealing search did not terminate"
+      | Some par -> (
+          if par.Bnb.stats.Bnb.dropped_regions <> 0 then
+            QCheck.Test.fail_report "recoverable fault dropped a region"
+          else
+            match (seq.Bnb.best, par.Bnb.best) with
+            | Some (xs, cs), Some (xp, cp) ->
+                if xp < -25 || xp > 25 then
+                  QCheck.Test.fail_report "incumbent outside the root region"
+                else if Float.abs (cp -. cost_of target xp) > 1e-12 then
+                  QCheck.Test.fail_report "incumbent cost is not exact"
+                else if Float.abs (cs -. cp) > 1e-9 *. (1.0 +. Float.abs cs)
+                then
+                  QCheck.Test.fail_reportf
+                    "sequential %.17g (at %d) <> stolen %.17g (at %d) with %d \
+                     injected faults"
+                    cs xs cp xp (injected ())
+                else true
+            | _ -> QCheck.Test.fail_report "missing incumbent"))
+
+let prop_parallel_resume_matches_sequential =
+  QCheck.Test.make
+    ~name:"parallel kill/resume reproduces the sequential incumbent"
+    ~count:(qcheck_count 15)
+    QCheck.(
+      triple (float_range (-20.0) 20.0) (int_range 1 40) (oneofl [ 2; 4 ]))
+    (fun (target, kill_after, domains) ->
+      let exact = { Bnb.default_params with rel_gap = 0.0; abs_gap = 0.0 } in
+      let full =
+        Bnb.minimize ~params:exact (integer_quadratic_oracle target) (-100, 100)
+      in
+      let path = temp_checkpoint () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Sys.remove path;
+          let par = { exact with Bnb.domains } in
+          match
+            run_with_timeout ~seconds:60.0 (fun () ->
+                let killed =
+                  Bnb.minimize
+                    ~params:{ par with Bnb.max_nodes = kill_after }
+                    ~checkpointing:
+                      (Bnb.checkpointing ~fingerprint:"steal-resume" path)
+                    (integer_quadratic_oracle target)
+                    (-100, 100)
+                in
+                if killed.Bnb.stop_reason = Bnb.Node_budget then begin
+                  (* The snapshot was taken across all shards mid-steal;
+                     resuming it — still on several domains — must
+                     complete to the uninterrupted incumbent. *)
+                  let state : ((int * int), int) Checkpoint.state =
+                    Checkpoint.load ~expect_fingerprint:"steal-resume" ~path ()
+                  in
+                  Bnb.resume ~params:par (integer_quadratic_oracle target)
+                    state
+                end
+                else killed)
+          with
+          | None -> QCheck.Test.fail_report "parallel kill/resume chain hung"
+          | Some final -> (
+              match (full.Bnb.best, final.Bnb.best) with
+              | Some (_, cf), Some (_, cr) -> Float.abs (cf -. cr) <= 1e-12
+              | _ -> QCheck.Test.fail_report "missing incumbent")))
+
 let qcheck_tests =
   List.map
     (QCheck_alcotest.to_alcotest ~long:false)
@@ -717,6 +817,8 @@ let qcheck_tests =
       prop_faulty_search_terminates;
       prop_fault_free_wrap_is_identity;
       prop_resume_reaches_same_incumbent;
+      prop_stealing_agrees_with_sequential;
+      prop_parallel_resume_matches_sequential;
     ]
 
 let () =

@@ -129,6 +129,52 @@ let test_pqueue_filter_releases_dropped () =
     [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0 ]
     (List.rev !popped)
 
+let drain_keys q =
+  let rec go acc =
+    match Pqueue.pop q with
+    | Some (k, _) -> go (k :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_pqueue_steal_half () =
+  let src = Pqueue.create () and dst = Pqueue.create () in
+  List.iter
+    (fun k -> Pqueue.push src k (int_of_float k))
+    [ 7.0; 3.0; 9.0; 1.0; 5.0; 8.0; 2.0 ];
+  let moved = Pqueue.steal_half src dst in
+  checki "moves ceil(n/2)" 4 moved;
+  checki "dst length" 4 (Pqueue.length dst);
+  checki "src length" 3 (Pqueue.length src);
+  (* The transfer must take exactly the smallest keys — a thief that
+     walks away with the worst half defeats best-first search — and
+     both heaps must still pop in ascending order afterwards. *)
+  Alcotest.(check (list (float 0.0)))
+    "dst got the smallest keys" [ 1.0; 2.0; 3.0; 5.0 ] (drain_keys dst);
+  Alcotest.(check (list (float 0.0)))
+    "src kept the rest in order" [ 7.0; 8.0; 9.0 ] (drain_keys src)
+
+let test_pqueue_steal_half_edges () =
+  let src = Pqueue.create () and dst = Pqueue.create () in
+  checki "empty source steals nothing" 0 (Pqueue.steal_half src dst);
+  checkb "dst untouched" true (Pqueue.is_empty dst);
+  Pqueue.push src 4.2 0;
+  checki "a single entry moves" 1 (Pqueue.steal_half src dst);
+  checkb "source drained" true (Pqueue.is_empty src);
+  checkf 1e-12 "entry arrived" 4.2 (Pqueue.min_key dst)
+
+let prop_pqueue_steal_half =
+  QCheck.Test.make ~name:"steal_half takes exactly the smallest half"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (float_range (-50.0) 50.0))
+    (fun keys ->
+      let src = Pqueue.create () and dst = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push src k k) keys;
+      let moved = Pqueue.steal_half src dst in
+      let stolen = drain_keys dst and kept = drain_keys src in
+      moved = (List.length keys + 1) / 2
+      && stolen @ kept = List.sort compare keys)
+
 let prop_pqueue_filter_heap =
   QCheck.Test.make ~name:"filter_in_place preserves heap order" ~count:200
     QCheck.(
@@ -548,10 +594,169 @@ let test_bnb_domains_one_identity () =
   checkb "same stop reason" true (a.Bnb.stop_reason = b.Bnb.stop_reason);
   (* oracle_seconds is wall-clock and differs run to run; every counting
      field must still be identical. *)
-  let scrub s = { s with Bnb.oracle_seconds = 0.0 } in
+  let scrub s =
+    { s with Bnb.oracle_seconds = 0.0; domain_oracle_seconds = [||] }
+  in
   checkb "same stats" true (scrub a.Bnb.stats = scrub b.Bnb.stats);
   checki "one domain reported" 1 a.Bnb.stats.Bnb.domains_used;
   checkf 1e-12 "same bound" a.Bnb.bound b.Bnb.bound
+
+(* ------------------------------------------------------------------ *)
+(* Work_deque                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Shard ownership in the scheduler is a calling convention, not thread
+   identity, so one thread can play every worker role in turn and
+   exercise the whole protocol deterministically. *)
+
+let test_work_deque_basic () =
+  let d = Work_deque.create ~workers:2 in
+  checki "workers" 2 (Work_deque.workers d);
+  checkb "fresh deque is drained" true (Work_deque.drained d);
+  checkf 1e-12 "empty frontier bound" Float.infinity
+    (Work_deque.frontier_bound d);
+  Work_deque.push d ~worker:0 3.0 "b";
+  Work_deque.push d ~worker:0 1.0 "a";
+  checki "live counts queued work" 2 (Work_deque.live d);
+  checkf 1e-12 "frontier bound is the min key" 1.0
+    (Work_deque.frontier_bound d);
+  (match Work_deque.take d ~worker:0 with
+  | Some (k, v) ->
+      checkf 1e-12 "takes the best key" 1.0 k;
+      Alcotest.(check string) "takes the best value" "a" v
+  | None -> Alcotest.fail "expected work");
+  checki "in-flight work is still live" 2 (Work_deque.live d);
+  checkf 1e-12 "bound covers the in-flight node" 1.0
+    (Work_deque.frontier_bound d);
+  Work_deque.release d ~worker:0;
+  checki "release retires one node" 1 (Work_deque.live d);
+  checkf 1e-12 "bound advances on release" 3.0 (Work_deque.frontier_bound d);
+  checkb "invalid worker count rejected" true
+    (match Work_deque.create ~workers:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_work_deque_steal_ordering () =
+  let d = Work_deque.create ~workers:2 in
+  List.iter
+    (fun k -> Work_deque.push d ~worker:0 k (int_of_float k))
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  (match Work_deque.try_steal d ~thief:1 with
+  | Some (k, _) -> checkf 1e-12 "thief gets the global minimum" 1.0 k
+  | None -> Alcotest.fail "steal should find worker 0's shard");
+  checki "one steal recorded" 1 (Work_deque.steals d);
+  checki "ceil(5/2) nodes moved" 3 (Work_deque.stolen_nodes d);
+  checki "nothing lost in transit" 5 (Work_deque.live d);
+  Work_deque.release d ~worker:1;
+  let drain worker =
+    let rec go acc =
+      match Work_deque.take d ~worker with
+      | Some (k, _) ->
+          Work_deque.release d ~worker;
+          go (k :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  Alcotest.(check (list (float 0.0)))
+    "surplus of the stolen half queued on the thief" [ 2.0; 3.0 ] (drain 1);
+  Alcotest.(check (list (float 0.0)))
+    "victim kept the larger half" [ 4.0; 5.0 ] (drain 0);
+  checkb "exhausted after the drain" true (Work_deque.drained d);
+  checkb "nothing left to steal" true (Work_deque.try_steal d ~thief:1 = None)
+
+let test_work_deque_last_node_stolen () =
+  (* The termination race the live count exists for: worker 1 steals
+     worker 0's only node, so every shard heap is empty while the search
+     space is not exhausted.  Declaring the drain here would abandon the
+     stolen node's whole subtree. *)
+  let d = Work_deque.create ~workers:2 in
+  Work_deque.push d ~worker:0 1.0 ();
+  (match Work_deque.try_steal d ~thief:1 with
+  | Some (k, ()) -> checkf 1e-12 "stole the last node" 1.0 k
+  | None -> Alcotest.fail "expected to steal the only node");
+  checkb "owner's shard is empty" true (Work_deque.take d ~worker:0 = None);
+  checkb "not drained: the node is in flight on the thief" false
+    (Work_deque.drained d);
+  checki "snapshot still sees the in-flight node" 1
+    (List.length (Work_deque.snapshot d));
+  (* The thief expands it: the child must be pushed before the parent is
+     released, so live never dips to zero mid-expansion. *)
+  Work_deque.push d ~worker:1 2.0 ();
+  Work_deque.release d ~worker:1;
+  checkb "child keeps the search alive" false (Work_deque.drained d);
+  (match Work_deque.take d ~worker:1 with
+  | Some (k, ()) -> checkf 1e-12 "child is takeable" 2.0 k
+  | None -> Alcotest.fail "child should be queued on the thief");
+  Work_deque.release d ~worker:1;
+  checkb "drained once the leaf retires" true (Work_deque.drained d);
+  checkb "park reports the drain instead of blocking" true
+    (Work_deque.park d = `Drained);
+  Work_deque.close d;
+  checkb "park after close" true (Work_deque.park d = `Closed);
+  checkb "closed flag" true (Work_deque.is_closed d)
+
+(* Watchdog: run the search on a helper domain and poll, so a
+   termination bug fails the test instead of hanging the suite (same
+   scheme as test_fault.ml). *)
+let bnb_with_timeout ~seconds f =
+  let result = Atomic.make None in
+  let _watched : unit Domain.t =
+    Domain.spawn (fun () -> Atomic.set result (Some (f ())))
+  in
+  let t0 = Unix.gettimeofday () in
+  let rec wait () =
+    match Atomic.get result with
+    | Some r -> Some r
+    | None ->
+        if Unix.gettimeofday () -. t0 > seconds then None
+        else begin
+          Unix.sleepf 0.02;
+          wait ()
+        end
+  in
+  wait ()
+
+let test_bnb_chain_termination () =
+  (* A degenerate tree with exactly one live node at every instant: a
+     chain of single-child nodes.  Four workers fight over that node —
+     maximal park/steal/drain churn — and the search must still
+     terminate with the deepest node as incumbent.  This is the stress
+     test for the last-node-stolen-mid-drain race at the driver level. *)
+  let depth = 2000 in
+  let fdepth = float_of_int depth in
+  let oracle =
+    {
+      Bnb.bound =
+        (fun d ->
+          let fd = float_of_int d /. fdepth in
+          Some { Bnb.lower = fd; candidate = Some (d, 2.0 -. fd) });
+      branch = (fun d -> if d < depth then [ d + 1 ] else []);
+    }
+  in
+  let params =
+    {
+      Bnb.default_params with
+      max_nodes = 10 * depth;
+      rel_gap = 0.0;
+      abs_gap = 0.0;
+      domains = 4;
+    }
+  in
+  match
+    bnb_with_timeout ~seconds:60.0 (fun () -> Bnb.minimize ~params oracle 0)
+  with
+  | None -> Alcotest.fail "parallel chain search hung (termination bug)"
+  | Some r ->
+      checkb "terminated by proof, not budget" true
+        (match r.Bnb.stop_reason with
+        | Bnb.Proved_optimal | Bnb.Gap_reached -> true
+        | _ -> false);
+      (match r.Bnb.best with
+      | Some (d, c) ->
+          checki "deepest node wins" depth d;
+          checkf 1e-12 "its cost" 1.0 c
+      | None -> Alcotest.fail "no incumbent")
 
 let prop_bnb_parallel_incumbent =
   QCheck.Test.make ~name:"parallel B&B matches sequential incumbent"
@@ -748,6 +953,7 @@ let qcheck_tests =
     [
       prop_pqueue_sorted;
       prop_pqueue_filter_heap;
+      prop_pqueue_steal_half;
       prop_admm_agrees_with_barrier;
       prop_warm_start_agrees_with_cold;
       prop_bnb_parallel_incumbent;
@@ -772,6 +978,17 @@ let () =
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
           Alcotest.test_case "filter releases dropped values" `Quick
             test_pqueue_filter_releases_dropped;
+          Alcotest.test_case "steal half" `Quick test_pqueue_steal_half;
+          Alcotest.test_case "steal half edge cases" `Quick
+            test_pqueue_steal_half_edges;
+        ] );
+      ( "work_deque",
+        [
+          Alcotest.test_case "push/take/release" `Quick test_work_deque_basic;
+          Alcotest.test_case "steal-half ordering" `Quick
+            test_work_deque_steal_ordering;
+          Alcotest.test_case "last node stolen mid-drain" `Quick
+            test_work_deque_last_node_stolen;
         ] );
       ( "newton",
         [
@@ -834,6 +1051,8 @@ let () =
             test_bnb_parallel_matches_sequential;
           Alcotest.test_case "domains=1 identity" `Quick
             test_bnb_domains_one_identity;
+          Alcotest.test_case "single-chain termination on 4 domains" `Quick
+            test_bnb_chain_termination;
         ] );
       ("properties", qcheck_tests);
     ]
