@@ -11,7 +11,11 @@ let usage =
   "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
   \                [--baselines] [--ecg] [--ablations] [--micro] [--parallel]\n\
   \                [--scaling] [--faults] [--quick|--full] [--seed N]\n\
-   With no experiment flag, everything runs."
+  \                [--trace FILE] [--metrics FILE]\n\
+   With no experiment flag, everything runs.\n\
+   --trace records a Chrome trace-event timeline of the solver runs\n\
+   (load in Perfetto); --metrics exports solver counters/histograms\n\
+   (JSON when FILE ends in .json, Prometheus text otherwise)."
 
 type options = {
   mutable table1 : bool;
@@ -28,6 +32,8 @@ type options = {
   mutable faults : bool;
   mutable quick : bool;
   mutable seed : int option;
+  mutable trace : string option;
+  mutable metrics : string option;
 }
 
 let parse_args () =
@@ -36,7 +42,7 @@ let parse_args () =
       table1 = false; table2 = false; figure2 = false; figure4 = false;
       power = false; baselines = false; ecg = false; ablations = false;
       micro = false; parallel = false; scaling = false; faults = false;
-      quick = true; seed = None;
+      quick = true; seed = None; trace = None; metrics = None;
     }
   in
   let any = ref false in
@@ -58,6 +64,8 @@ let parse_args () =
     | "--quick" :: rest -> o.quick <- true; go rest
     | "--full" :: rest -> o.quick <- false; go rest
     | "--seed" :: n :: rest -> o.seed <- Some (int_of_string n); go rest
+    | "--trace" :: path :: rest -> o.trace <- Some path; go rest
+    | "--metrics" :: path :: rest -> o.metrics <- Some path; go rest
     | "--help" :: _ | "-h" :: _ -> print_endline usage; exit 0
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n%s\n" arg usage;
@@ -82,73 +90,27 @@ let parse_args () =
 (* Machine-readable results (BENCH_solver.json)                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Minimal JSON emitter — enough for flat records of numbers, strings
-   and booleans; keeps the bench free of external dependencies. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
+(* The bench used to carry its own minimal JSON emitter; [Obs.Json] has
+   the same constructors and [save] signature, plus a parser the
+   observability tests use, so the local copy is gone. *)
+module Json = Obs.Json
 
-  let escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
+(* Total branch-and-bound nodes explored by the solves below, counted
+   explicitly per solve (the BENCH_solver.json tree also contains
+   [warm_nodes]/[cold_nodes] duplicates of the same runs, so a recursive
+   sum over the JSON would double-count).  CI gates
+   [metrics.ldafp_bnb_node_seconds.count == obs.nodes_total]: every
+   explored node records exactly one node-seconds observation, so the
+   two totals must agree whenever metrics were enabled for the whole
+   run. *)
+let obs_nodes = ref 0
 
-  let rec write buf = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-        (* JSON has no inf/nan literals *)
-        if Float.is_finite f then
-          Buffer.add_string buf (Printf.sprintf "%.17g" f)
-        else Buffer.add_string buf "null"
-    | Str s ->
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape s);
-        Buffer.add_char buf '"'
-    | List xs ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_char buf ',';
-            write buf x)
-          xs;
-        Buffer.add_char buf ']'
-    | Obj kvs ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char buf ',';
-            write buf (Str k);
-            Buffer.add_char buf ':';
-            write buf v)
-          kvs;
-        Buffer.add_char buf '}'
-
-  let save path t =
-    let buf = Buffer.create 4096 in
-    write buf t;
-    Buffer.add_char buf '\n';
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc (Buffer.contents buf))
-end
+let count_nodes outcome =
+  match outcome with
+  | Some o ->
+      obs_nodes :=
+        !obs_nodes + o.Ldafp_core.Lda_fp.diagnostics.Ldafp_core.Lda_fp.nodes
+  | None -> ()
 
 let median xs =
   let a = Array.copy xs in
@@ -374,6 +336,7 @@ let run_parallel_bnb ~quick ?seed () =
     in
     let t0 = Unix.gettimeofday () in
     let outcome = Lda_fp.solve ~config pb in
+    count_nodes outcome;
     (outcome, Unix.gettimeofday () -. t0)
   in
   let cores = Domain.recommended_domain_count () in
@@ -551,6 +514,7 @@ let run_scaling_bnb ~quick ?seed () =
     in
     let t0 = Unix.gettimeofday () in
     let outcome = Lda_fp.solve ~config pb in
+    count_nodes outcome;
     (outcome, Unix.gettimeofday () -. t0)
   in
   let cores = Domain.recommended_domain_count () in
@@ -704,6 +668,15 @@ let () =
   let quick = o.quick in
   Printf.printf "LDA-FP reproduction harness (%s mode)\n"
     (if quick then "quick" else "full");
+  let collector =
+    Option.map
+      (fun _ ->
+        let c = Obs.Trace.create () in
+        Obs.Trace.install c;
+        c)
+      o.trace
+  in
+  if o.metrics <> None then Obs.Metrics.set_enabled true;
   if o.table1 then begin
     let t0 = Sys.time () in
     let rows = Experiments.table1 ~quick ?seed () in
@@ -750,6 +723,24 @@ let () =
   if o.parallel then parallel_json := run_parallel_bnb ~quick ?seed ();
   if o.scaling then scaling_json := run_scaling_bnb ~quick ?seed ();
   if o.faults then run_fault_tolerance ~quick ?seed ();
+  (* Observability export comes first: all solver domains are joined by
+     now, so ring/shard state is quiescent and safe to read. *)
+  (match (o.trace, collector) with
+  | Some path, Some c ->
+      Obs.Trace.uninstall ();
+      Obs.Trace.save c path;
+      Printf.printf "\nwrote %s (%d events, %d dropped)\n%!" path
+        (List.length (Obs.Trace.events c))
+        (Obs.Trace.dropped c)
+  | _ -> ());
+  (match o.metrics with
+  | Some path ->
+      Obs.Metrics.set_enabled false;
+      if Filename.check_suffix path ".json" then
+        Obs.Metrics.save_json Obs.Metrics.default path
+      else Obs.Metrics.save_prometheus Obs.Metrics.default path;
+      Printf.printf "wrote %s\n%!" path
+  | None -> ());
   if o.micro || o.parallel || o.scaling then begin
     let path = "BENCH_solver.json" in
     Json.save path
@@ -762,6 +753,9 @@ let () =
            ("bound_kernel", !kernel_json);
            ("parallel", !parallel_json);
            ("scaling", !scaling_json);
+           (* Explicit per-solve node total — the denominator of the CI
+              metrics gate (see obs_nodes above). *)
+           ("obs", Json.Obj [ ("nodes_total", Json.Int !obs_nodes) ]);
          ]);
     Printf.printf "\nwrote %s\n%!" path
   end

@@ -67,7 +67,8 @@ let no_warm_start_arg =
            parent's optimum (cold phase-I on every node; slower, same \
            certified bounds).")
 
-let config_of_nodes ?(domains = 1) ?(warm_start = true) ?checkpoint nodes =
+let config_of_nodes ?(domains = 1) ?(warm_start = true) ?checkpoint ?progress
+    nodes =
   {
     Lda_fp.default_config with
     bnb_params =
@@ -75,6 +76,7 @@ let config_of_nodes ?(domains = 1) ?(warm_start = true) ?checkpoint nodes =
         domains };
     warm_start;
     checkpoint;
+    progress;
   }
 
 (* SIGINT/SIGTERM flip an atomic flag the search polls between nodes, so
@@ -184,8 +186,39 @@ let train_cmd =
              starting from scratch (no-op when the file does not exist \
              yet).")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a Chrome trace-event timeline of the search \
+             (branch-and-bound nodes, relaxation solves, steals, \
+             checkpoints) and write it to $(docv) — load it in \
+             $(b,https://ui.perfetto.dev) or $(b,chrome://tracing).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Export solver metrics (counters and latency histograms) to \
+             $(docv) after training: JSON when the name ends in \
+             $(b,.json), Prometheus text exposition otherwise.")
+  in
+  let progress_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print a throttled (at most one line per second) progress \
+             line to stderr: incumbent, certified bound, gap, node \
+             rate, steals and oracle utilisation.")
+  in
   let run verbose data wl k method_ nodes domains no_warm_start rho checkpoint
-      checkpoint_every resume out =
+      checkpoint_every resume trace metrics progress out =
     setup_logs verbose;
     let ds = Datasets.Dataset_io.load data in
     let fmt = fmt_of ~wl ~k in
@@ -199,6 +232,36 @@ let train_cmd =
           Lda_fp.checkpoint_spec ~every_nodes:checkpoint_every ~resume path)
         checkpoint
     in
+    let collector =
+      Option.map
+        (fun _ ->
+          let c = Obs.Trace.create () in
+          Obs.Trace.install c;
+          c)
+        trace
+    in
+    if metrics <> None then Obs.Metrics.set_enabled true;
+    let progress = if progress then Some (Obs.Progress.create ()) else None in
+    (* Export sinks once the search is done (worker domains joined, so
+       reading ring/shard state without synchronisation is sound). *)
+    let export_observability () =
+      (match (trace, collector) with
+      | Some path, Some c ->
+          Obs.Trace.uninstall ();
+          Obs.Trace.save c path;
+          Fmt.pr "wrote trace to %s (%d events, %d dropped)@." path
+            (List.length (Obs.Trace.events c))
+            (Obs.Trace.dropped c)
+      | _ -> ());
+      match metrics with
+      | Some path ->
+          Obs.Metrics.set_enabled false;
+          if Filename.check_suffix path ".json" then
+            Obs.Metrics.save_json Obs.Metrics.default path
+          else Obs.Metrics.save_prometheus Obs.Metrics.default path;
+          Fmt.pr "wrote metrics to %s@." path
+      | None -> ()
+    in
     let clf =
       match method_ with
       | `Lda -> Some (Pipeline.train_conventional ~fmt ds)
@@ -208,7 +271,7 @@ let train_cmd =
             Pipeline.train_ldafp
               ~config:
                 (config_of_nodes ~domains ~warm_start:(not no_warm_start)
-                   ?checkpoint nodes)
+                   ?checkpoint ?progress nodes)
               ~interrupt ~rho ~fmt ds
           in
           let outcome =
@@ -266,6 +329,7 @@ let train_cmd =
               r.Pipeline.classifier)
             outcome
     in
+    export_observability ();
     match clf with
     | None ->
         Fmt.epr "no feasible fixed-point classifier found@.";
@@ -285,7 +349,8 @@ let train_cmd =
     Term.(
       const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
       $ nodes_arg $ domains_arg $ no_warm_start_arg $ rho_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ out)
+      $ checkpoint_every_arg $ resume_arg $ trace_arg $ metrics_arg
+      $ progress_arg $ out)
 
 (* ---------------- eval ---------------- *)
 

@@ -26,6 +26,7 @@ type config = {
   fault_policy : Fault.policy;
   checkpoint : checkpoint_spec option;
   inject_faults : Fault_inject.config option;
+  progress : Obs.Progress.t option;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     fault_policy = Fault.default_policy;
     checkpoint = None;
     inject_faults = None;
+    progress = None;
   }
 
 let quick_config =
@@ -380,7 +382,8 @@ let jittered_config cfg k =
   }
 
 let solve ?(config = default_config) ?interrupt pb =
-  let started = Unix.gettimeofday () in
+  (* Monotonic: [train_seconds] must be immune to NTP steps mid-run. *)
+  let started = Obs.Clock.now () in
   let fingerprint = Ldafp_problem.fingerprint pb in
   (* A requested resume with no file on disk degrades to a fresh run (the
      natural first iteration of a kill/resume loop); an existing file
@@ -501,12 +504,12 @@ let solve ?(config = default_config) ?interrupt pb =
     match restored with
     | Some state ->
         Bnb.resume ~params:config.bnb_params ~faults ?checkpointing ?interrupt
-          ~counters oracle state
+          ~counters ?progress:config.progress oracle state
     | None ->
         Bnb.minimize ~params:config.bnb_params ~faults ?checkpointing
-          ?interrupt ~counters oracle root
+          ?interrupt ~counters ?progress:config.progress oracle root
   in
-  let train_seconds = Unix.gettimeofday () -. started in
+  let train_seconds = Obs.Clock.now () -. started in
   match result.Bnb.best with
   | None -> None
   | Some (w, cost) ->

@@ -79,6 +79,10 @@ type config = {
   inject_faults : Optim.Fault_inject.config option;
       (** deterministic fault injection on the oracle — test/bench
           harness, [None] in production *)
+  progress : Obs.Progress.t option;
+      (** throttled live progress reporter (incumbent / bound / gap /
+          node rate), forwarded to {!Optim.Bnb.minimize}; [None]
+          (default) emits nothing *)
 }
 
 val default_config : config
@@ -92,7 +96,9 @@ type diagnostics = {
   gap : float;
   stop_reason : Optim.Bnb.stop_reason;
   seed_cost : float option;  (** incumbent cost after H1/H2 only *)
-  train_seconds : float;  (** wall-clock, consistent with [time_limit] *)
+  train_seconds : float;
+      (** wall-clock on the monotonic {!Obs.Clock} (immune to NTP
+          steps), consistent with [time_limit] *)
   search : Optim.Bnb.stats;  (** pruning/incumbent statistics *)
 }
 

@@ -1,0 +1,10 @@
+external monotonic_ns : unit -> int = "ldafp_clock_monotonic_ns" [@@noalloc]
+
+let source : (unit -> int) option Atomic.t = Atomic.make None
+
+let now_ns () =
+  match Atomic.get source with None -> monotonic_ns () | Some f -> f ()
+
+let now () = float_of_int (now_ns ()) *. 1e-9
+let set_source f = Atomic.set source (Some f)
+let use_monotonic () = Atomic.set source None

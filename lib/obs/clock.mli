@@ -1,0 +1,23 @@
+(** Monotonic time source.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] via a C stub that returns
+    untagged [int] nanoseconds, so reading the clock never allocates —
+    safe to call on the solver's per-node hot path even with every sink
+    disabled.  Monotonic time is immune to NTP steps and leap-second
+    smearing, unlike [Unix.gettimeofday]; its epoch is arbitrary, so
+    timestamps are only meaningful as differences within one process.
+
+    Tests can substitute a deterministic source with {!set_source}. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary (per-process) epoch. *)
+
+val now : unit -> float
+(** Seconds since the same arbitrary epoch ([now_ns] scaled). *)
+
+val set_source : (unit -> int) -> unit
+(** Route {!now_ns}/{!now} through a mock nanosecond source (tests).
+    Mock sources should be monotone non-decreasing like the real one. *)
+
+val use_monotonic : unit -> unit
+(** Restore the real [CLOCK_MONOTONIC] source. *)

@@ -1,0 +1,18 @@
+/* Monotonic clock for Obs.Clock.
+ *
+ * Returns nanoseconds since an arbitrary epoch as an untagged OCaml int
+ * (Val_long), so the hot path never boxes: 63-bit ints hold ~146 years
+ * of nanoseconds.  CLOCK_MONOTONIC is immune to NTP steps, unlike
+ * gettimeofday. */
+
+#include <time.h>
+
+#include <caml/mlvalues.h>
+
+CAMLprim value ldafp_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,28 @@
+(** Minimal JSON tree, writer, and parser.
+
+    Just enough for the observability exports (Chrome trace-event files,
+    metrics snapshots) and for tests to round-trip them back — the repo
+    deliberately has no external JSON dependency.  The writer emits
+    [%.17g] floats (round-trippable doubles) and maps non-finite floats
+    to [null] (JSON has no inf/nan literals). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val save : string -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the standard JSON grammar
+    (escapes incl. [\uXXXX] decoded to UTF-8; numbers without [.], [e]
+    or [E] that fit an OCaml [int] parse as [Int], all others as
+    [Float]).  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** First binding of a key in an [Obj]; [None] on other variants. *)

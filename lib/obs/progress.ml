@@ -1,0 +1,27 @@
+type t = {
+  interval_ns : int;
+  last_ns : int Atomic.t;  (** 0 = never emitted *)
+  channel : out_channel;
+}
+
+let create ?(interval = 1.0) ?(channel = stderr) () =
+  let interval = Float.max 1.0 interval in
+  {
+    interval_ns = int_of_float (interval *. 1e9);
+    last_ns = Atomic.make 0;
+    channel;
+  }
+
+let due t =
+  let now = Clock.now_ns () in
+  (* A mock clock may legitimately report 0; keep 0 as the
+     never-emitted sentinel by stamping at least 1. *)
+  let now = if now = 0 then 1 else now in
+  let last = Atomic.get t.last_ns in
+  (last = 0 || now - last >= t.interval_ns)
+  && Atomic.compare_and_set t.last_ns last now
+
+let emit t line =
+  output_string t.channel line;
+  output_char t.channel '\n';
+  flush t.channel

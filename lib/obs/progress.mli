@@ -1,0 +1,30 @@
+(** Throttled progress reporting for long solver runs.
+
+    A reporter emits at most one line per [interval] (clamped to >= 1 s
+    so `ldafp train --progress` can never flood stderr).  The hot loop
+    polls {!due} — a clock read, a compare and one CAS, no allocation —
+    and only formats a line after it returns [true]:
+
+    {[
+      match progress with
+      | Some p when Obs.Progress.due p -> Obs.Progress.emit p (line ())
+      | _ -> ()
+    ]}
+
+    [due] hands out the emission slot to exactly one caller per
+    interval (CAS on the last-emit timestamp), so concurrent domains
+    can share one reporter without double-printing. *)
+
+type t
+
+val create : ?interval:float -> ?channel:out_channel -> unit -> t
+(** [interval] in seconds, clamped to >= 1.0 (default 1.0); output goes
+    to [channel] (default [stderr]).  The first {!due} after creation
+    fires immediately. *)
+
+val due : t -> bool
+(** [true] at most once per interval across all callers; never
+    allocates. *)
+
+val emit : t -> string -> unit
+(** Write [line ^ "\n"] and flush.  Call only after {!due}. *)

@@ -58,6 +58,7 @@ type stats = {
   warm_miss_fault_cleared : int;
   oracle_seconds : float;
   domain_oracle_seconds : float array;
+  wall_seconds : float;
 }
 
 type oracle_counters = {
@@ -110,8 +111,63 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 (* Budgets are wall-clock: [Sys.time] is process CPU time, which both
    overshoots wall budgets on a busy machine and inflates ~N× once N
-   domains burn CPU concurrently. *)
-let now () = Unix.gettimeofday ()
+   domains burn CPU concurrently.  Monotonic rather than
+   [Unix.gettimeofday]: an NTP step mid-search would otherwise stretch
+   or shrink the time budget (and could make [elapsed] negative). *)
+let now () = Obs.Clock.now ()
+
+(* Solver-stack metrics, registered eagerly at module init (single
+   threaded; concurrent [Lazy.force] is unsafe in OCaml 5).  They only
+   record when [Obs.Metrics.enabled ()] — call sites guard on it so the
+   disabled path allocates nothing.  Glossary: doc/observability.mld. *)
+let m_node_seconds =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-6 ~hi:100.0
+    ~help:"wall time to expand one B&B node (branch + bound all children)"
+    "ldafp_bnb_node_seconds"
+
+let m_bound_seconds =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-7 ~hi:100.0
+    ~help:"wall time of one policy-guarded bound-oracle call"
+    "ldafp_bnb_bound_seconds"
+
+let m_incumbents =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"incumbent improvements installed" "ldafp_bnb_incumbent_total"
+
+let m_fault_retries =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"oracle calls retried by the containment policy"
+    "ldafp_fault_retry_total"
+
+let m_fault_degraded =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"regions degraded to the certified fallback bound"
+    "ldafp_fault_degrade_total"
+
+let m_fault_dropped =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"regions dropped after exhausting the containment policy"
+    "ldafp_fault_drop_total"
+
+(* One line for [Obs.Progress]: the search-wide picture an operator
+   needs to decide whether a long run is still converging. *)
+let progress_line ~nodes ~elapsed ~incumbent ~bound ~steals ~oracle_us =
+  let rate = if elapsed > 0.0 then float_of_int nodes /. elapsed else 0.0 in
+  let gap =
+    if incumbent < Float.infinity then incumbent -. bound else Float.infinity
+  in
+  let util us =
+    100.0 *. Float.min 1.0 (float_of_int us *. 1e-6 /. Float.max 1e-9 elapsed)
+  in
+  let utils =
+    String.concat "/"
+      (Array.to_list
+         (Array.map (fun us -> Printf.sprintf "%.0f%%" (util us)) oracle_us))
+  in
+  Printf.sprintf
+    "[bnb] %6.1fs  nodes %d (%.0f/s)  incumbent %.6g  bound %.6g  gap %.3g  \
+     steals %d  oracle-util %s"
+    elapsed nodes rate incumbent bound gap steals utils
 
 (* ------------------------------------------------------------------ *)
 (* Fault containment around the oracle                                 *)
@@ -160,6 +216,10 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
             m "bound failure (attempt %d): %s" (k + 1) (Fault.describe failure));
         if k < policy.Fault.max_retries then begin
           Atomic.incr fc.Fault.retries;
+          if Obs.Metrics.enabled () then Obs.Metrics.incr m_fault_retries;
+          if Obs.Trace.enabled () then
+            Obs.Trace.instant ~cat:"fault" "fault.retry"
+              ~args:[ ("attempt", Obs.Trace.Int (k + 1)) ];
           attempt (k + 1)
         end
         else begin
@@ -181,6 +241,10 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
           match degraded with
           | Some lb ->
               Atomic.incr fc.Fault.degraded;
+              if Obs.Metrics.enabled () then Obs.Metrics.incr m_fault_degraded;
+              if Obs.Trace.enabled () then
+                Obs.Trace.instant ~cat:"fault" "fault.degrade"
+                  ~args:[ ("fallback_bound", Obs.Trace.Float lb) ];
               Log.debug (fun m ->
                   m "degraded region to fallback bound %.6g after: %s" lb
                     (Fault.describe failure));
@@ -192,6 +256,10 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
                 | None -> failwith ("Bnb: " ^ Fault.describe failure)
               else begin
                 Atomic.incr fc.Fault.dropped;
+                if Obs.Metrics.enabled () then Obs.Metrics.incr m_fault_dropped;
+                if Obs.Trace.enabled () then
+                  Obs.Trace.instant ~cat:"fault" "fault.drop"
+                    ~args:[ ("attempts", Obs.Trace.Int (k + 1)) ];
                 Log.warn (fun m ->
                     m "dropping region after %d attempt(s): %s" (k + 1)
                       (Fault.describe failure));
@@ -204,15 +272,22 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
 (* Cumulative oracle wall-time, accumulated in integer microseconds so
    parallel workers can add without a lock (no atomic float add).
    [?cell] additionally attributes the time to the calling worker's
-   private accumulator — the per-domain utilization numbers. *)
+   private accumulator — the per-domain utilization numbers.  Timed in
+   integer nanoseconds off the monotonic clock, so the measurement
+   itself never allocates. *)
 let timed_guarded_bound ?cell ~faults ~fc ~(oc : oracle_counters) oracle region
     =
-  let t0 = now () in
+  let t0 = Obs.Clock.now_ns () in
   Fun.protect
     ~finally:(fun () ->
-      let dus = int_of_float ((now () -. t0) *. 1e6) in
+      let dns = Obs.Clock.now_ns () - t0 in
+      let dus = dns / 1000 in
       ignore (Atomic.fetch_and_add oc.oracle_time_us dus);
-      match cell with Some c -> c := !c + dus | None -> ())
+      (match cell with Some c -> c := !c + dus | None -> ());
+      if Obs.Trace.enabled () then
+        Obs.Trace.complete ~cat:"bnb" "bnb.bound" ~t0_ns:t0 ~dur_ns:dns;
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.observe m_bound_seconds (float_of_int dns *. 1e-9))
     (fun () -> guarded_bound ~faults ~fc oracle region)
 
 let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) oracle region =
@@ -310,10 +385,12 @@ let run_seq : type region sol.
     checkpointing:checkpointing option ->
     interrupt:(unit -> bool) option ->
     counters:oracle_counters option ->
+    progress:Obs.Progress.t option ->
     (region, sol) oracle ->
     (region, sol) source ->
     sol result =
- fun ~params ~faults ~checkpointing ~interrupt ~counters oracle source ->
+ fun ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
+     source ->
   let queue = Pqueue.create () in
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
@@ -345,6 +422,10 @@ let run_seq : type region sol.
         incumbent := Some (sol, cost);
         incumbent_cost := cost;
         incr incumbent_updates;
+        if Obs.Metrics.enabled () then Obs.Metrics.incr m_incumbents;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~cat:"bnb" "bnb.incumbent"
+            ~args:[ ("cost", Obs.Trace.Float cost) ];
         (* New incumbent: drop queued regions it dominates. *)
         Pqueue.filter_in_place queue (fun lb _ -> lb < cost)
     | _ -> ()
@@ -415,9 +496,29 @@ let run_seq : type region sol.
               Log.debug (fun m ->
                   m "node %d: bound %.6g incumbent %.6g queue %d" !nodes lb
                     !incumbent_cost (Pqueue.length queue));
+            let t_node = Obs.Clock.now_ns () in
             let children = guarded_branch ~faults ~fc oracle region in
             children_generated := !children_generated + List.length children;
             List.iter enqueue children;
+            (* Exactly one node-seconds observation per explored node
+               (the CI schema gate compares the histogram count against
+               the reported node counts). *)
+            let node_ns = Obs.Clock.now_ns () - t_node in
+            if Obs.Trace.enabled () then
+              Obs.Trace.complete ~cat:"bnb" "bnb.node" ~t0_ns:t_node
+                ~dur_ns:node_ns
+                ~args:
+                  [ ("node", Obs.Trace.Int !nodes); ("lb", Obs.Trace.Float lb) ];
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.observe m_node_seconds (float_of_int node_ns *. 1e-9);
+            (match progress with
+            | Some p when Obs.Progress.due p ->
+                Obs.Progress.emit p
+                  (progress_line ~nodes:!nodes ~elapsed:(elapsed ())
+                     ~incumbent:!incumbent_cost
+                     ~bound:(Pqueue.min_key queue) ~steals:0
+                     ~oracle_us:[| !oracle_cell |])
+            | _ -> ());
             maybe_periodic_save ()
           end
     end
@@ -463,6 +564,7 @@ let run_seq : type region sol.
         warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
         domain_oracle_seconds = [| float_of_int !oracle_cell *. 1e-6 |];
+        wall_seconds = elapsed ();
       };
   }
 
@@ -503,10 +605,12 @@ let run_par : type region sol.
     checkpointing:checkpointing option ->
     interrupt:(unit -> bool) option ->
     counters:oracle_counters option ->
+    progress:Obs.Progress.t option ->
     (region, sol) oracle ->
     (region, sol) source ->
     sol result =
- fun ~params ~faults ~checkpointing ~interrupt ~counters oracle source ->
+ fun ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
+     source ->
   let workers = params.domains in
   let deque : region Work_deque.t = Work_deque.create ~workers in
   let fc = Fault.fresh_counters () in
@@ -579,7 +683,11 @@ let run_par : type region sol.
           if better then begin
             incumbent := Some (sol, cost);
             Atomic.set incumbent_cost cost;
-            w.W.updates <- w.W.updates + 1
+            w.W.updates <- w.W.updates + 1;
+            if Obs.Metrics.enabled () then Obs.Metrics.incr m_incumbents;
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant ~cat:"bnb" "bnb.incumbent"
+                ~args:[ ("cost", Obs.Trace.Float cost) ]
           end;
           Mutex.unlock inc_lock;
           better
@@ -699,6 +807,7 @@ let run_par : type region sol.
            exception escapes the guards (non-containable, or a [reraise]
            policy), the live count stays exact and the region's children
            — pushed before this finaliser runs — are never lost. *)
+        let t_node = Obs.Clock.now_ns () in
         Fun.protect
           ~finally:(fun () -> Work_deque.release deque ~worker:i)
           (fun () ->
@@ -718,6 +827,24 @@ let run_par : type region sol.
                 | Dropped_bound -> ()
                 | Bounded info -> record_bounded ~worker:i w child info)
               children);
+        (* One node-seconds observation per explored node, as in the
+           sequential driver (the CI schema gate counts on it). *)
+        let node_ns = Obs.Clock.now_ns () - t_node in
+        if Obs.Trace.enabled () then
+          Obs.Trace.complete ~cat:"bnb" "bnb.node" ~t0_ns:t_node
+            ~dur_ns:node_ns
+            ~args:[ ("node", Obs.Trace.Int n); ("lb", Obs.Trace.Float lb) ];
+        if Obs.Metrics.enabled () then
+          Obs.Metrics.observe m_node_seconds (float_of_int node_ns *. 1e-9);
+        (match progress with
+        | Some p when Obs.Progress.due p ->
+            Obs.Progress.emit p
+              (progress_line ~nodes:(Atomic.get nodes) ~elapsed:(elapsed ())
+                 ~incumbent:(Atomic.get incumbent_cost)
+                 ~bound:(Work_deque.frontier_bound deque)
+                 ~steals:(Work_deque.steals deque)
+                 ~oracle_us:(Array.map (fun w -> !(w.W.oracle_cell)) ws))
+        | _ -> ());
         maybe_periodic_save ()
       end
     in
@@ -815,21 +942,27 @@ let run_par : type region sol.
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
         domain_oracle_seconds =
           Array.map (fun w -> float_of_int !(w.W.oracle_cell) *. 1e-6) ws;
+        wall_seconds = elapsed ();
       };
   }
 
-let run ~params ~faults ~checkpointing ~interrupt ~counters oracle source =
+let run ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
+    source =
   if params.domains <= 1 then
-    run_seq ~params ~faults ~checkpointing ~interrupt ~counters oracle source
-  else run_par ~params ~faults ~checkpointing ~interrupt ~counters oracle source
+    run_seq ~params ~faults ~checkpointing ~interrupt ~counters ~progress
+      oracle source
+  else
+    run_par ~params ~faults ~checkpointing ~interrupt ~counters ~progress
+      oracle source
 
 let minimize ?(params = default_params) ?(faults = default_faults)
-    ?checkpointing ?interrupt ?counters oracle root =
-  run ~params ~faults ~checkpointing ~interrupt ~counters oracle (Root root)
+    ?checkpointing ?interrupt ?counters ?progress oracle root =
+  run ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
+    (Root root)
 
 let resume ?(params = default_params) ?(faults = default_faults)
-    ?checkpointing ?interrupt ?counters oracle state =
-  run ~params ~faults ~checkpointing ~interrupt ~counters oracle
+    ?checkpointing ?interrupt ?counters ?progress oracle state =
+  run ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
     (Restored state)
 
 let minimize_parallel ?(params = default_params) ~domains oracle root =

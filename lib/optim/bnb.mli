@@ -67,9 +67,10 @@ type params = {
   rel_gap : float;  (** stop when (incumbent − best bound) ≤ rel_gap·|incumbent| *)
   abs_gap : float;
   time_limit : float option;
-      (** wall-clock seconds (measured with [Unix.gettimeofday]; CPU
-          time would overshoot the budget and scale ~N× wrong across N
-          domains) *)
+      (** wall-clock seconds, measured on the monotonic {!Obs.Clock}
+          (CPU time would overshoot the budget and scale ~N× wrong
+          across N domains; [Unix.gettimeofday] is NTP-steppable
+          mid-search) *)
   log_every : int;  (** emit a [Logs] debug line every n nodes; 0 = never *)
   domains : int;
       (** number of domains exploring the tree; 1 = sequential driver *)
@@ -156,6 +157,13 @@ type stats = {
           wall-clock, so per-domain utilization is
           [domain_oracle_seconds.(i) / wall].  Not persisted across
           checkpoints. *)
+  wall_seconds : float;
+      (** wall-clock duration of the search on the monotonic
+          {!Obs.Clock} — immune to NTP steps, unlike timing the call
+          with [Unix.gettimeofday].  Cumulative across a resume chain
+          (the pre-resume elapsed time is restored from the
+          checkpoint), so [time_limit] and [wall_seconds] speak the
+          same clock. *)
 }
 (** Search statistics — the observability the ablation benches report.
     All fields except [domain_oracle_seconds] and the scheduler
@@ -225,6 +233,7 @@ val minimize :
   ?checkpointing:checkpointing ->
   ?interrupt:(unit -> bool) ->
   ?counters:oracle_counters ->
+  ?progress:Obs.Progress.t ->
   ('region, 'sol) oracle ->
   'region ->
   'sol result
@@ -238,7 +247,17 @@ val minimize :
     [domains - 1] nodes already claimed when the budget trips.
     [?interrupt] is polled between nodes by every worker, without any
     lock held; returning [true] stops the search with {!Interrupted} —
-    the hook for signal handlers. *)
+    the hook for signal handlers.  [?progress] emits a throttled
+    search-wide status line (nodes/s, incumbent, bound, gap, steals,
+    per-domain oracle utilization) after node expansions; with
+    [domains > 1] the workers share the reporter's rate limit, so the
+    cadence is unchanged.
+
+    Tracing and metrics need no per-call wiring: when a {!Obs.Trace}
+    collector is installed / {!Obs.Metrics} is enabled, the driver
+    emits node and bound-oracle spans, incumbent and fault-containment
+    instants, and latency histograms (see {!page-observability});
+    disabled, each site costs one branch and allocates nothing. *)
 
 val resume :
   ?params:params ->
@@ -246,6 +265,7 @@ val resume :
   ?checkpointing:checkpointing ->
   ?interrupt:(unit -> bool) ->
   ?counters:oracle_counters ->
+  ?progress:Obs.Progress.t ->
   ('region, 'sol) oracle ->
   ('region, 'sol) Checkpoint.state ->
   'sol result

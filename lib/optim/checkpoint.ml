@@ -14,7 +14,19 @@ type ('region, 'sol) state = {
 let counter state name =
   match List.assoc_opt name state.counters with Some n -> n | None -> 0
 
+(* Snapshot metrics, registered eagerly at module init (see Obs). *)
+let m_save_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"checkpoint snapshots written (tmp + fsync + rename)"
+    "ldafp_ckpt_save_total"
+
+let m_save_seconds =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-5 ~hi:100.0
+    ~help:"wall time of one checkpoint write (serialize + fsync + rename)"
+    "ldafp_ckpt_save_seconds"
+
 let save ~path state =
+  let t0 = Obs.Clock.now_ns () in
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
   let oc = Unix.out_channel_of_descr fd in
@@ -28,7 +40,19 @@ let save ~path state =
       Marshal.to_channel oc state [];
       flush oc;
       Unix.fsync fd);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  let dns = Obs.Clock.now_ns () - t0 in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_save_total;
+    Obs.Metrics.observe m_save_seconds (float_of_int dns *. 1e-9)
+  end;
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"ckpt" "ckpt.save" ~t0_ns:t0 ~dur_ns:dns
+      ~args:
+        [
+          ("frontier", Obs.Trace.Int (Array.length state.frontier));
+          ("nodes", Obs.Trace.Int state.nodes_explored);
+        ]
 
 let load ?expect_fingerprint ~path () =
   if not (Sys.file_exists path) then

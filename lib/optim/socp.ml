@@ -1,5 +1,28 @@
 open Linalg
 
+(* Barrier-solver metrics, registered eagerly at module init; recording
+   is guarded by [Obs.Metrics.enabled] at every site (see Obs).
+   Glossary: doc/observability.mld. *)
+let m_solve_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"barrier SOCP solves (warm or cold)" "ldafp_socp_solve_total"
+
+let m_phase1_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"phase-I feasibility solves actually run (the path warm starts \
+           skip)"
+    "ldafp_socp_phase1_total"
+
+let m_solve_seconds =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-7 ~hi:100.0
+    ~help:"wall time of one Socp.solve call (incl. any interior nudge)"
+    "ldafp_socp_solve_seconds"
+
+let m_newton_iterations =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1.0 ~hi:1e4
+    ~help:"Newton iterations per Socp.solve (summed over the tau ladder)"
+    "ldafp_socp_newton_iterations"
+
 type lin = { a : Vec.t; b : float }
 type soc = { l : Mat.t; g : Vec.t; c : Vec.t; d : float }
 
@@ -286,6 +309,11 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
   let v0 = max_violation pb start in
   if v0 <= -.margin then Strictly_feasible (Vec.copy start)
   else begin
+    (* The expensive path: an actual phase-I barrier solve (the early
+       return above is the cheap already-interior case and stays
+       unobserved).  This span vs. its absence is exactly the
+       phase-I-paid vs. warm-path distinction in a trace. *)
+    let t0 = Obs.Clock.now_ns () in
     let aug = phase1_problem pb in
     let s0 = (Float.max v0 0.0) +. 1.0 +. (0.1 *. Float.abs v0) in
     let z = ref (Array.append start [| s0 |]) in
@@ -320,13 +348,56 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
         else tau := params.mu *. !tau
       end
     done;
-    match !result with
-    | Some r -> r
-    | None -> Unknown (Array.sub !z 0 pb.n)
+    let fr =
+      match !result with
+      | Some r -> r
+      | None -> Unknown (Array.sub !z 0 pb.n)
+    in
+    if Obs.Metrics.enabled () then Obs.Metrics.incr m_phase1_total;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"socp" "socp.phase1" ~t0_ns:t0
+        ~dur_ns:(Obs.Clock.now_ns () - t0)
+        ~args:
+          [
+            ("outer", Obs.Trace.Int !outer);
+            ( "result",
+              Obs.Trace.Str
+                (match fr with
+                | Strictly_feasible _ -> "strictly_feasible"
+                | Infeasible _ -> "infeasible"
+                | Unknown _ -> "unknown") );
+          ];
+    fr
   end
 
 let solve ?(params = default_params) ?certificate pb ~start =
   if Vec.dim start <> pb.n then invalid_arg "Socp.solve: start dimension";
+  (* The span covers the whole solve including any interior nudge, so a
+     phase-I span nested inside it shows up as exactly the overhead the
+     warm path avoids. *)
+  let t0 = Obs.Clock.now_ns () in
+  let finish sol =
+    let dns = Obs.Clock.now_ns () - t0 in
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr m_solve_total;
+      Obs.Metrics.observe m_solve_seconds (float_of_int dns *. 1e-9);
+      Obs.Metrics.observe m_newton_iterations
+        (float_of_int sol.newton_iterations)
+    end;
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"socp" "socp.solve" ~t0_ns:t0 ~dur_ns:dns
+        ~args:
+          [
+            ("outer", Obs.Trace.Int sol.outer_iterations);
+            ("newton", Obs.Trace.Int sol.newton_iterations);
+            ( "status",
+              Obs.Trace.Str
+                (match sol.status with
+                | Optimal -> "optimal"
+                | Suboptimal -> "suboptimal") );
+          ];
+    sol
+  in
   let start =
     if is_strictly_interior pb start then start
     else begin
@@ -375,10 +446,11 @@ let solve ?(params = default_params) ?certificate pb ~start =
         (centering_into pb sc 1.0) start
     in
     let diverged = r.status = Newton.Diverged in
-    { x = r.x; objective = objective_value pb r.x;
-      gap_bound = (if diverged then Float.infinity else 0.0);
-      outer_iterations = 0; newton_iterations = r.iterations;
-      status = (if diverged then Suboptimal else Optimal) }
+    finish
+      { x = r.x; objective = objective_value pb r.x;
+        gap_bound = (if diverged then Float.infinity else 0.0);
+        outer_iterations = 0; newton_iterations = r.iterations;
+        status = (if diverged then Suboptimal else Optimal) }
   end
   else begin
     let x = ref start in
@@ -407,8 +479,9 @@ let solve ?(params = default_params) ?certificate pb ~start =
     in
     (* If the loop never ran, !x still aliases the caller's start. *)
     let x = if !x == start then Vec.copy start else !x in
-    { x; objective = objective_value pb x; gap_bound = gap;
-      outer_iterations = !outer; newton_iterations = !newton_total; status }
+    finish
+      { x; objective = objective_value pb x; gap_bound = gap;
+        outer_iterations = !outer; newton_iterations = !newton_total; status }
   end
 
 let centering_oracle_for_tests = centering_oracle

@@ -22,6 +22,34 @@
    never overshoots the true minimum over live work — stale-low is
    conservative, stale-high would be unsound. *)
 
+(* Scheduler metrics, registered eagerly at module init; recording is
+   guarded by [Obs.Metrics.enabled] at every site (see Obs).  Glossary:
+   doc/observability.mld. *)
+let m_steal_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"successful steal-half transfers between shards"
+    "ldafp_sched_steal_total"
+
+let m_steal_miss_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"steal scans that found every sibling shard empty"
+    "ldafp_sched_steal_miss_total"
+
+let m_park_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"times a worker parked on the idle condvar"
+    "ldafp_sched_park_total"
+
+let m_steal_seconds =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-8 ~hi:1.0
+    ~help:"wall time of a successful steal (victim scan to acquisition)"
+    "ldafp_sched_steal_seconds"
+
+let m_queue_depth =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1.0 ~hi:1e6
+    ~help:"owner-shard queue length sampled after each push"
+    "ldafp_sched_queue_depth"
+
 type 'a shard = {
   lock : Mutex.t;
   queue : 'a Pqueue.t;
@@ -105,6 +133,8 @@ let push t ~worker key value =
   Atomic.incr t.live;
   refresh_mirrors s;
   Mutex.unlock s.lock;
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe m_queue_depth (float_of_int (Atomic.get s.len_mirror));
   signal_work t
 
 let take t ~worker =
@@ -146,6 +176,9 @@ let unlock_pair t ia ib =
 let try_steal t ~thief =
   let n = Array.length t.shards in
   let mine = t.shards.(thief) in
+  (* Unconditional clock read: ~20 ns against a lock handoff; keeping
+     the scan free of enabled-checks keeps the steal latency honest. *)
+  let t0 = Obs.Clock.now_ns () in
   let rec scan k =
     if k >= n - 1 then None
     else begin
@@ -176,11 +209,36 @@ let try_steal t ~thief =
         refresh_mirrors mine;
         refresh_mirrors victim;
         unlock_pair t thief v;
-        match taken with None -> scan (k + 1) | some -> some
+        match taken with
+        | None -> scan (k + 1)
+        | Some _ as some ->
+            let dns = Obs.Clock.now_ns () - t0 in
+            if Obs.Metrics.enabled () then begin
+              Obs.Metrics.incr m_steal_total;
+              Obs.Metrics.observe m_steal_seconds (float_of_int dns *. 1e-9)
+            end;
+            if Obs.Trace.enabled () then
+              Obs.Trace.complete ~cat:"sched" "sched.steal" ~t0_ns:t0
+                ~dur_ns:dns
+                ~args:
+                  [
+                    ("thief", Obs.Trace.Int thief);
+                    ("victim", Obs.Trace.Int v);
+                    ("moved", Obs.Trace.Int moved);
+                  ];
+            some
       end
     end
   in
-  scan 0
+  let r = scan 0 in
+  (match r with
+  | None ->
+      if Obs.Metrics.enabled () then Obs.Metrics.incr m_steal_miss_total;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"sched" "sched.steal_miss"
+          ~args:[ ("thief", Obs.Trace.Int thief) ]
+  | Some _ -> ());
+  r
 
 let prune t pred =
   Array.iter
@@ -246,11 +304,16 @@ let park t =
     then `Work
     else begin
       Atomic.incr t.idle_wakeups;
+      if Obs.Metrics.enabled () then Obs.Metrics.incr m_park_total;
+      if Obs.Trace.enabled () then Obs.Trace.instant ~cat:"sched" "sched.park";
       Condition.wait t.park_cond t.park_lock;
+      if Obs.Trace.enabled () then Obs.Trace.instant ~cat:"sched" "sched.wake";
       wait_loop ()
     end
   in
   let outcome = wait_loop () in
+  if outcome = `Drained && Obs.Trace.enabled () then
+    Obs.Trace.instant ~cat:"sched" "sched.drain";
   Atomic.decr t.idlers;
   Mutex.unlock t.park_lock;
   outcome

@@ -34,7 +34,53 @@ let add t x =
 let add_all t xs = Array.fold_left add t xs
 let of_values ~lo ~hi ~bins xs = add_all (create ~lo ~hi ~bins) xs
 
+let of_counts ~lo ~hi ?(underflow = 0) ?(overflow = 0) counts =
+  if not (lo < hi) then invalid_arg "Histogram.of_counts: lo must be < hi";
+  if Array.length counts < 1 then
+    invalid_arg "Histogram.of_counts: bins must be >= 1";
+  if underflow < 0 || overflow < 0 || Array.exists (fun c -> c < 0) counts
+  then invalid_arg "Histogram.of_counts: negative count";
+  { lo; hi; counts = Array.copy counts; underflow; overflow }
+
 let total t = Array.fold_left ( + ) (t.underflow + t.overflow) t.counts
+
+let merge a b =
+  if a.lo <> b.lo || a.hi <> b.hi || n_bins a <> n_bins b then
+    invalid_arg "Histogram.merge: incompatible bin layouts";
+  {
+    a with
+    counts = Array.init (n_bins a) (fun i -> a.counts.(i) + b.counts.(i));
+    underflow = a.underflow + b.underflow;
+    overflow = a.overflow + b.overflow;
+  }
+
+(* Mass in the underflow (overflow) tail has no position, only a bound:
+   quantiles landing there report [lo] ([hi]).  Inside a bin the mass is
+   taken as uniform, so the estimate interpolates linearly. *)
+let quantile t p =
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg "Histogram.quantile: p outside [0, 1]";
+  let n = total t in
+  if n = 0 then invalid_arg "Histogram.quantile: empty";
+  let rank = p *. float_of_int n in
+  if t.underflow > 0 && rank <= float_of_int t.underflow then t.lo
+  else begin
+    let w = (t.hi -. t.lo) /. float_of_int (n_bins t) in
+    let cum = ref (float_of_int t.underflow) in
+    let res = ref None in
+    Array.iteri
+      (fun i c ->
+        if !res = None && c > 0 then begin
+          let next = !cum +. float_of_int c in
+          if rank <= next then begin
+            let frac = (rank -. !cum) /. float_of_int c in
+            res := Some (t.lo +. ((float_of_int i +. frac) *. w))
+          end;
+          cum := next
+        end)
+      t.counts;
+    match !res with Some v -> v | None -> t.hi
+  end
 
 let bin_center t i =
   if i < 0 || i >= n_bins t then invalid_arg "Histogram.bin_center";

@@ -19,8 +19,28 @@ val add : t -> float -> t
 val add_all : t -> float array -> t
 val of_values : lo:float -> hi:float -> bins:int -> float array -> t
 
+val of_counts :
+  lo:float -> hi:float -> ?underflow:int -> ?overflow:int -> int array -> t
+(** Wrap pre-accumulated bin counts (copied) — the bridge for mutable
+    single-writer shards such as {!Obs.Metrics} per-domain latency
+    buckets, which convert to [t] for {!merge}/{!quantile} aggregation.
+    @raise Invalid_argument if [lo >= hi], [counts] is empty, or any
+    count is negative. *)
+
 val total : t -> int
 (** Including under/overflow. *)
+
+val merge : t -> t -> t
+(** Bin-wise sum of two histograms over the {e same} layout (identical
+    [lo], [hi] and bin count) — cross-domain aggregation of per-worker
+    latency histograms.  @raise Invalid_argument on layout mismatch. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] estimates the [p]-quantile ([0 <= p <= 1]) of the
+    binned mass, interpolating linearly inside bins (uniform-in-bin
+    assumption).  Mass in the underflow (overflow) tail has no position:
+    quantiles landing there report [lo] ([hi]).
+    @raise Invalid_argument if [p] is outside [0, 1] or [t] is empty. *)
 
 val bin_of : t -> float -> [ `Bin of int | `Underflow | `Overflow ]
 val bin_center : t -> int -> float

@@ -317,6 +317,64 @@ let test_histogram_validation () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_histogram_of_counts () =
+  let h = Histogram.of_counts ~lo:0.0 ~hi:4.0 ~underflow:2 [| 1; 0; 3; 0 |] in
+  checki "total" 6 (Histogram.total h);
+  checki "underflow kept" 2 h.Histogram.underflow;
+  checki "bin 2" 3 h.Histogram.counts.(2);
+  (* The counts array is copied, not aliased. *)
+  let src = [| 5 |] in
+  let h2 = Histogram.of_counts ~lo:0.0 ~hi:1.0 src in
+  src.(0) <- 0;
+  checki "copied counts" 5 h2.Histogram.counts.(0);
+  checkb "negative count rejected" true
+    (match Histogram.of_counts ~lo:0.0 ~hi:1.0 [| -1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "empty counts rejected" true
+    (match Histogram.of_counts ~lo:0.0 ~hi:1.0 [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_histogram_merge () =
+  let a = Histogram.of_values ~lo:0.0 ~hi:1.0 ~bins:4 [| 0.1; 0.6; 1.5 |] in
+  let b = Histogram.of_values ~lo:0.0 ~hi:1.0 ~bins:4 [| 0.1; -0.5 |] in
+  let m = Histogram.merge a b in
+  checki "merged total" 5 (Histogram.total m);
+  checki "merged bin 0" 2 m.Histogram.counts.(0);
+  checki "merged underflow" 1 m.Histogram.underflow;
+  checki "merged overflow" 1 m.Histogram.overflow;
+  let c = Histogram.of_values ~lo:0.0 ~hi:2.0 ~bins:4 [| 0.1 |] in
+  checkb "layout mismatch rejected" true
+    (match Histogram.merge a c with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_histogram_quantile () =
+  (* 100 values uniform over bin edges: quantiles interpolate linearly,
+     so p maps back to (roughly) lo + p * (hi - lo). *)
+  let values = Array.init 100 (fun i -> float_of_int i /. 100.0) in
+  let h = Histogram.of_values ~lo:0.0 ~hi:1.0 ~bins:10 values in
+  checkf 0.05 "p50 near midpoint" 0.5 (Histogram.quantile h 0.5);
+  checkf 0.05 "p90" 0.9 (Histogram.quantile h 0.9);
+  checkf 1e-12 "p0 is lo" 0.0 (Histogram.quantile h 0.0);
+  checkf 1e-12 "p1 is hi" 1.0 (Histogram.quantile h 1.0);
+  (* Tails have no position: quantiles landing there clamp to the
+     edges. *)
+  let tails =
+    Histogram.of_counts ~lo:1.0 ~hi:2.0 ~underflow:10 ~overflow:10 [| 0; 0 |]
+  in
+  checkf 1e-12 "underflow tail reports lo" 1.0 (Histogram.quantile tails 0.2);
+  checkf 1e-12 "overflow tail reports hi" 2.0 (Histogram.quantile tails 0.9);
+  checkb "empty rejected" true
+    (match Histogram.quantile (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2) 0.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  checkb "p out of range rejected" true
+    (match Histogram.quantile h 1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* McNemar                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -496,6 +554,9 @@ let () =
             test_histogram_mean_estimate;
           Alcotest.test_case "render" `Quick test_histogram_render;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
+          Alcotest.test_case "of_counts" `Quick test_histogram_of_counts;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "quantile" `Quick test_histogram_quantile;
         ] );
       ( "mcnemar",
         [
