@@ -303,23 +303,30 @@ let train_cmd =
               in
               if s.Optim.Bnb.warm_start_hits > 0 || misses > 0 then begin
                 Fmt.pr
-                  "warm starts: %d hit(s), %d phase-I solve(s) skipped, \
-                   %.2fs in the bound oracle@."
-                  s.Optim.Bnb.warm_start_hits s.Optim.Bnb.phase1_skipped
-                  s.Optim.Bnb.oracle_seconds;
+                  "warm starts: %d hit(s) (%d pulled to interior, %d \
+                   Newton-corrected), %d phase-I solve(s) skipped, %.2fs \
+                   in the bound oracle@."
+                  s.Optim.Bnb.warm_start_hits s.Optim.Bnb.warm_pull_ins
+                  s.Optim.Bnb.warm_newton_corrections
+                  s.Optim.Bnb.phase1_skipped s.Optim.Bnb.oracle_seconds;
                 Fmt.pr
-                  "warm misses: %d (no parent point %d, clip not strictly \
+                  "warm misses: %d (no parent point %d, irreparably not \
                    interior %d, cleared after fault %d)@."
                   misses s.Optim.Bnb.warm_miss_no_parent
                   s.Optim.Bnb.warm_miss_not_interior
                   s.Optim.Bnb.warm_miss_fault_cleared
               end;
+              if s.Optim.Bnb.counters_reset then
+                Fmt.pr
+                  "warning: resumed through a checkpoint written before \
+                   the warm counters existed — warm counts and \
+                   warm_hit_rate cover only part of this search@.";
               if s.Optim.Bnb.domains_used > 1 then
                 Fmt.pr
-                  "scheduler: %d steal(s) moved %d node(s), %d idle \
-                   wakeup(s)@."
+                  "scheduler: %d steal(s) moved %d node(s) (%d carrying \
+                   warm state), %d idle wakeup(s)@."
                   s.Optim.Bnb.steals s.Optim.Bnb.stolen_nodes
-                  s.Optim.Bnb.idle_wakeups;
+                  s.Optim.Bnb.stolen_warm s.Optim.Bnb.idle_wakeups;
               if s.Optim.Bnb.oracle_failures > 0 then
                 Fmt.pr
                   "oracle faults: %d failure(s), %d retried, %d degraded \

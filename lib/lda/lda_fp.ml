@@ -70,15 +70,29 @@ type diagnostics = {
 
 type outcome = { w : Vec.t; cost : float; diagnostics : diagnostics }
 
+(* The warm state a node inherits from its parent: the relaxation
+   optimum (primal side) together with the barrier weight the producing
+   solve terminated at (the dual side — what {!Socp.restart_levels}
+   turns into a ladder-rung skip).  Plain floats and arrays, so it
+   marshals through {!Checkpoint} snapshots and migrates across
+   {!Work_deque} steals without any special handling. *)
+type warm_info = {
+  point : Vec.t;
+  tau_final : float;
+      (* [Float.nan] when the point came from a phase-I [Unknown]
+         (never centered on any ladder): restart_levels maps it to 0,
+         a full ladder with only phase-I skipped *)
+}
+
 type node = {
   wbox : Fx_interval.t array;
   mutable trange : Interval.t;
       (* mutable: [bound] tightens it in place so [branch] sees the
          tightened interval *)
   root_t_width : float;
-  mutable relax_w : Vec.t option;
+  mutable relax_w : warm_info option;
       (* relaxation optimum, cached by [bound] to guide [branch] *)
-  mutable warm : Vec.t option;
+  mutable warm : warm_info option;
       (* the parent's relaxation optimum, inherited at branch time: the
          warm start for this node's bound solve.  Cleared by the fault
          retry hook so a retried node never reuses a point associated
@@ -128,7 +142,7 @@ let better a b =
    and denominator. *)
 (* [theta] is read from the shared incumbent mirror (an Atomic when the
    search runs on several domains); the test itself is pure. *)
-let secant_prunes cfg pb ?warm node theta =
+let secant_prunes cfg pb ?warm ~fixed node theta =
   theta < Float.infinity
   && Interval.lo node.trange >= 0.0
   &&
@@ -136,17 +150,37 @@ let secant_prunes cfg pb ?warm node theta =
     Ldafp_problem.secant_relaxation pb ~wbox:node.wbox ~trange:node.trange
       ~theta
   in
-  (* The secant program shares the relaxation's constraints, so a clipped
-     warm start short-circuits its phase-I too. *)
-  let start =
-    match warm with
-    | Some x -> x
-    | None -> Array.map Fx_interval.mid node.wbox
+  (* Pinned (singleton) box dimensions leave the secant program with an
+     empty strict interior in the full space; substitute them out before
+     solving, exactly as [bound_node] does for the main relaxation. *)
+  let restricted =
+    if Array.length fixed = 0 then Some (problem, Fun.id, 0.0)
+    else
+      match Socp.restrict problem ~fixed with
+      | None -> None
+      | Some r ->
+          Some
+            ( r.Socp.reduced,
+              Socp.restriction_project r,
+              Socp.restriction_objective_const r )
   in
-  match Socp.solve_auto ~params:cfg.socp_params problem ~start with
-  | None -> false (* feasibility unclear; let the main bound decide *)
-  | Some sol ->
-      sol.Socp.objective +. constant -. (2.0 *. sol.Socp.gap_bound) > 1e-12
+  match restricted with
+  | None -> false (* pinned values infeasible; let the main bound certify *)
+  | Some (problem, project, oconst) -> (
+      (* The secant program shares the relaxation's constraints, so a
+         clipped warm start short-circuits its phase-I too. *)
+      let start =
+        project
+          (match warm with
+          | Some x -> x
+          | None -> Array.map Fx_interval.mid node.wbox)
+      in
+      match Socp.solve_auto ~params:cfg.socp_params problem ~start with
+      | None -> false (* feasibility unclear; let the main bound decide *)
+      | Some sol ->
+          sol.Socp.objective +. oconst +. constant
+          -. (2.0 *. sol.Socp.gap_bound)
+          > 1e-12)
 
 (* Clip an inherited relaxation optimum into this node's box, nudged a
    fraction of each width inside so clipped coordinates do not land
@@ -184,14 +218,32 @@ let bound_node cfg pb incumbent counters node =
         | _ -> None
       end
       else
+        (* Dimensions the splitting has pinned to a single grid value.
+           In the full space each pins a pair of opposing half-spaces to
+           equality, so the strict interior is empty and the barrier
+           cannot run at all — these coordinates must be eliminated by
+           substitution, not handed to the solver. *)
+        let fixed =
+          let acc = ref [] in
+          Array.iteri
+            (fun j iv ->
+              if Fx_interval.is_singleton iv then
+                acc := (j, Fx_interval.lo iv) :: !acc)
+            node.wbox;
+          Array.of_list (List.rev !acc)
+        in
         let warm =
           if cfg.warm_start then
-            Option.bind node.warm (clip_warm_into_box node)
+            Option.bind node.warm (fun wi ->
+                Option.map
+                  (fun x -> (x, wi.tau_final))
+                  (clip_warm_into_box node wi.point))
           else None
         in
         if
           cfg.secant_prune
-          && secant_prunes cfg pb ?warm node (Atomic.get incumbent)
+          && secant_prunes cfg pb ?warm:(Option.map fst warm) ~fixed node
+               (Atomic.get incumbent)
         then None
         else
           let eta = Interval.sup_sq node.trange in
@@ -201,14 +253,41 @@ let bound_node cfg pb incumbent counters node =
               Ldafp_problem.relaxation pb ~wbox:node.wbox ~trange:node.trange
                 ~eta
             in
+            (* Substitute the pinned coordinates out.  [socp] ranges over
+               the free coordinates only; [project]/[embed] map between
+               the reduced and full spaces, and [obj_const] carries the
+               objective terms the substitution froze (already in the
+               relaxation's objective scale). *)
+            let restricted =
+              if Array.length fixed = 0 then
+                Some (relaxation, Fun.id, Fun.id, 0.0)
+              else
+                match Socp.restrict relaxation ~fixed with
+                | None -> None
+                | Some r ->
+                    Some
+                      ( r.Socp.reduced,
+                        Socp.restriction_project r,
+                        Socp.restriction_embed r,
+                        Socp.restriction_objective_const r )
+            in
+            match restricted with
+            | None ->
+                (* The pinned values violate a constraint outright: no
+                   point of this region is feasible. *)
+                None
+            | Some (socp, project, embed, obj_const) -> (
             (* Shared continuation for warm and cold solves. *)
             let solved sol =
-              node.relax_w <- Some sol.Socp.x;
+              let x_full = embed sol.Socp.x in
+              node.relax_w <-
+                Some { point = x_full; tau_final = sol.Socp.tau_final };
               let lower =
                 Float.max 0.0
-                  (sol.Socp.objective -. (2.0 *. sol.Socp.gap_bound))
+                  (obj_const +. sol.Socp.objective
+                  -. (2.0 *. sol.Socp.gap_bound))
               in
-              let cand = candidate_of_point pb node sol.Socp.x in
+              let cand = candidate_of_point pb node x_full in
               let cand =
                 if cfg.upper_via_socp then begin
                   (* The paper's upper-bound estimation: re-solve with the
@@ -220,28 +299,37 @@ let bound_node cfg pb incumbent counters node =
                   let eta_inf = Interval.inf_sq node.trange in
                   if eta_inf > 0.0 then
                     let ub_problem =
-                      Socp.with_objective_scale relaxation (1.0 /. eta_inf)
+                      Socp.with_objective_scale socp (1.0 /. eta_inf)
                     in
                     if Socp.is_strictly_interior ub_problem sol.Socp.x then begin
                       Bnb.count_phase1_skipped counters;
                       (* Same constraints, objective rescaled: the lower
-                         optimum already minimises it, so advance the
-                         barrier schedule. *)
+                         optimum already minimises it, so skip as many
+                         ladder rungs as its terminal tau certifies. *)
+                      let levels =
+                        Socp.restart_levels cfg.socp_params
+                          ~tau_final:sol.Socp.tau_final
+                      in
                       let ub_sol =
                         Socp.solve
-                          ~params:(Socp.warm_start_params cfg.socp_params)
+                          ~params:(Socp.warm_start_params ~levels
+                                     cfg.socp_params)
                           ub_problem ~start:sol.Socp.x
                       in
-                      better cand (candidate_of_point pb node ub_sol.Socp.x)
+                      better cand
+                        (candidate_of_point pb node (embed ub_sol.Socp.x))
                     end
                     else
-                      let start = Array.map Fx_interval.mid node.wbox in
+                      let start =
+                        project (Array.map Fx_interval.mid node.wbox)
+                      in
                       match
                         Socp.solve_auto ~params:cfg.socp_params ub_problem
                           ~start
                       with
                       | Some ub_sol ->
-                          better cand (candidate_of_point pb node ub_sol.Socp.x)
+                          better cand
+                            (candidate_of_point pb node (embed ub_sol.Socp.x))
                       | None -> cand
                   else cand
                 end
@@ -250,26 +338,61 @@ let bound_node cfg pb incumbent counters node =
               let cand = polish_candidate cfg pb cand in
               Some { Bnb.lower; candidate = cand }
             in
-            match warm with
-            | Some x0 when Socp.is_strictly_interior relaxation x0 ->
-                (* The clipped parent optimum is strictly interior for the
-                   child: skip phase-I entirely and advance the barrier
-                   schedule (the start is near the child optimum, so the
-                   early low-tau centerings are redundant — the final tau
-                   and the certified gap are unchanged). *)
+            (* Warm preparation: accept the clipped parent optimum as-is
+               when it is margin-interior, else pull it toward the
+               child's analytic-center proxy (the branch rule splits at
+               the parent optimum's projection, so clipped points land
+               {e on} the branch-cut half-space — a pull along the
+               segment toward the box/t center is almost always enough),
+               else take one damped Newton correction.  Only a point
+               that survives all three repairs goes cold. *)
+            let prepared =
+              match warm with
+              | None -> None
+              | Some (x0, tau_parent) -> (
+                  let target =
+                    project
+                      (Ldafp_problem.center_point pb ~wbox:node.wbox
+                         ~trange:node.trange)
+                  in
+                  match
+                    Socp.prepare_warm_start ~params:cfg.socp_params ~target
+                      socp (project x0)
+                  with
+                  | Some (x, prep) -> Some (x, prep, tau_parent)
+                  | None -> None)
+            in
+            match prepared with
+            | Some (x0, prep, tau_parent) ->
+                (* Strictly interior (certifiably, after repair): skip
+                   phase-I entirely and skip the ladder rungs the
+                   parent's terminal barrier weight certifies (the start
+                   is near the child optimum, so the early low-tau
+                   centerings are redundant — the final tau and the
+                   certified gap are unchanged). *)
                 Bnb.count_warm_start_hit counters;
                 Bnb.count_phase1_skipped counters;
+                (match prep with
+                | Socp.Warm_interior -> ()
+                | Socp.Warm_pulled -> Bnb.count_warm_pull_in counters
+                | Socp.Warm_corrected ->
+                    Bnb.count_warm_newton_correction counters);
+                let levels =
+                  Socp.restart_levels cfg.socp_params ~tau_final:tau_parent
+                in
                 solved
                   (Socp.solve
-                     ~params:(Socp.warm_start_params cfg.socp_params)
-                     relaxation ~start:x0)
-            | _ -> (
+                     ~params:(Socp.warm_start_params ~levels cfg.socp_params)
+                     socp ~start:x0)
+            | None -> (
                 (* Cold solve.  Attribute the miss (only when warm starts
                    are enabled at all — with [warm_start = false] every
                    solve is cold by choice, not a miss): the hit and miss
                    counters together partition the relaxation solves that
                    actually ran, so warm_hit_rate = hits/(hits + misses)
-                   diagnoses exactly the solves that paid for phase-I. *)
+                   diagnoses exactly the solves that paid for phase-I.
+                   [warm_miss_not_interior] now means the parent point
+                   defeated the pull-in {e and} the Newton correction. *)
                 if cfg.warm_start then
                   (match node.warm with
                   | None ->
@@ -277,25 +400,29 @@ let bound_node cfg pb incumbent counters node =
                         Bnb.count_warm_miss_fault_cleared counters
                       else Bnb.count_warm_miss_no_parent counters
                   | Some _ -> Bnb.count_warm_miss_not_interior counters);
-                let start = Array.map Fx_interval.mid node.wbox in
+                let start = project (Array.map Fx_interval.mid node.wbox) in
                 match
-                  Socp.find_strictly_feasible ~params:cfg.socp_params
-                    relaxation ~start
+                  Socp.find_strictly_feasible ~params:cfg.socp_params socp
+                    ~start
                 with
                 | Socp.Infeasible _ -> None
                 | Socp.Unknown x ->
                     (* Cannot certify anything better than cost >= 0 here,
                        but the box may still contain the optimum: keep
-                       exploring. *)
-                    node.relax_w <- Some x;
+                       exploring.  The point was never centered on any
+                       ladder — NaN maps to restart_levels 0 in the
+                       children. *)
+                    let x_full = embed x in
+                    node.relax_w <-
+                      Some { point = x_full; tau_final = Float.nan };
                     let cand =
-                      polish_candidate cfg pb (candidate_of_point pb node x)
+                      polish_candidate cfg pb
+                        (candidate_of_point pb node x_full)
                     in
                     Some { Bnb.lower = 0.0; candidate = cand }
                 | Socp.Strictly_feasible x0 ->
-                    solved
-                      (Socp.solve ~params:cfg.socp_params relaxation ~start:x0)
-                ))
+                    solved (Socp.solve ~params:cfg.socp_params socp ~start:x0)
+                )))
 
 (* Branching rule: most relative width among the splittable dimensions,
    cut at the cached relaxation optimum. *)
@@ -326,7 +453,7 @@ let branch_node cfg pb node =
        endpoints so both children shrink meaningfully. *)
     let at =
       match node.relax_w with
-      | Some x -> Ldafp_problem.t_of pb x
+      | Some wi -> Ldafp_problem.t_of pb wi.point
       | None -> Interval.mid node.trange
     in
     let lo = Interval.lo node.trange and hi = Interval.hi node.trange in
@@ -344,7 +471,7 @@ let branch_node cfg pb node =
   end
   else if !best_dim >= 0 then begin
     let j = !best_dim in
-    let at = Option.map (fun x -> x.(j)) node.relax_w in
+    let at = Option.map (fun wi -> wi.point.(j)) node.relax_w in
     match Fx_interval.split ?at node.wbox.(j) with
     | None -> []
     | Some (lo, hi) ->
@@ -384,7 +511,11 @@ let jittered_config cfg k =
 let solve ?(config = default_config) ?interrupt pb =
   (* Monotonic: [train_seconds] must be immune to NTP steps mid-run. *)
   let started = Obs.Clock.now () in
-  let fingerprint = Ldafp_problem.fingerprint pb in
+  (* The suffix versions the marshalled node shape: nodes now carry
+     [warm_info] (point + terminal tau) instead of a bare point, so a
+     checkpoint written by an older build must be rejected at load
+     (fingerprint mismatch) rather than unmarshalled into garbage. *)
+  let fingerprint = Ldafp_problem.fingerprint pb ^ "+warm2" in
   (* A requested resume with no file on disk degrades to a fresh run (the
      natural first iteration of a kill/resume loop); an existing file
      that fails validation raises [Checkpoint.Corrupt] — silently
@@ -500,14 +631,17 @@ let solve ?(config = default_config) ?interrupt pb =
         Bnb.checkpointing ~every_nodes:spec.every_nodes ~fingerprint spec.path)
       config.checkpoint
   in
+  (* Pure and O(1): counts stolen nodes that migrate with warm state. *)
+  let carries_warm node = node.warm <> None in
   let result =
     match restored with
     | Some state ->
         Bnb.resume ~params:config.bnb_params ~faults ?checkpointing ?interrupt
-          ~counters ?progress:config.progress oracle state
+          ~counters ?progress:config.progress ~carries_warm oracle state
     | None ->
         Bnb.minimize ~params:config.bnb_params ~faults ?checkpointing
-          ?interrupt ~counters ?progress:config.progress oracle root
+          ?interrupt ~counters ?progress:config.progress ~carries_warm oracle
+          root
   in
   let train_seconds = Obs.Clock.now () -. started in
   match result.Bnb.best with

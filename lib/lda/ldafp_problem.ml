@@ -223,6 +223,36 @@ let secant_relaxation t ~wbox ~trange ~theta =
   in
   (problem, theta *. l *. u)
 
+(* A certifiably box-and-t-interior point of a node's region, used as
+   the pull-in target for warm starts that landed on the child's branch
+   cut (Socp.pull_to_interior).  Corner blend: each coordinate moves the
+   fraction theta from the endpoint minimising d_j w_j to the one
+   maximising it, so d·w = (1−theta)·min(d·w over box) + theta·max and
+   choosing theta to hit mid(trange) puts d·w exactly at the t-slice
+   centre.  Because bound_node intersects trange with trange_of_box
+   first, theta lands in [0, 1]; strictly inside unless the region is
+   degenerate (a singleton box dimension or a width-zero t-slice), in
+   which case there is no strict interior for any point to find and the
+   caller's interiority check fails as it must. *)
+let center_point t ~wbox ~trange =
+  let m = dim t in
+  let t_mid = Interval.mid trange in
+  let lo_t = ref 0.0 and hi_t = ref 0.0 in
+  Array.iteri
+    (fun j iv ->
+      let a = t.d.(j) *. Fx_interval.lo iv
+      and b = t.d.(j) *. Fx_interval.hi iv in
+      lo_t := !lo_t +. Float.min a b;
+      hi_t := !hi_t +. Float.max a b)
+    wbox;
+  let width = !hi_t -. !lo_t in
+  let theta = if width <= 0.0 then 0.5 else (t_mid -. !lo_t) /. width in
+  Vec.init m (fun j ->
+      let iv = wbox.(j) in
+      let lo = Fx_interval.lo iv and hi = Fx_interval.hi iv in
+      if t.d.(j) >= 0.0 then lo +. (theta *. (hi -. lo))
+      else hi -. (theta *. (hi -. lo)))
+
 let fingerprint t = Digest.to_hex (Digest.string (Marshal.to_string t []))
 
 let interval_lower_bound t ~wbox ~trange =

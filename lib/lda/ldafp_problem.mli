@@ -88,6 +88,21 @@ val trange_of_box : t -> Fixedpoint.Fx_interval.t array -> Optim.Interval.t
 (** Interval-arithmetic range of [dᵀw] over a box (used to tighten and to
     prune node t-ranges). *)
 
+val center_point :
+  t ->
+  wbox:Fixedpoint.Fx_interval.t array ->
+  trange:Optim.Interval.t ->
+  Linalg.Vec.t
+(** A certifiably box-and-t-interior point of the region: a corner
+    blend with [dᵀw] exactly at [mid trange] and every coordinate the
+    same relative depth into its box interval.  The pull-in target for
+    warm starts stranded on a child's branch cut
+    ({!Optim.Socp.pull_to_interior}) — strictly interior to the box and
+    t half-spaces whenever the region is non-degenerate and [trange]
+    has been intersected with {!trange_of_box} (which [bound] does
+    first).  Interiority w.r.t. the overflow cones is {e not}
+    guaranteed; the pull-in verifies the target before trusting it. *)
+
 val secant_relaxation :
   t ->
   wbox:Fixedpoint.Fx_interval.t array ->

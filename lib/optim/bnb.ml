@@ -53,9 +53,13 @@ type stats = {
   dropped_regions : int;
   warm_start_hits : int;
   phase1_skipped : int;
+  warm_pull_ins : int;
+  warm_newton_corrections : int;
   warm_miss_no_parent : int;
   warm_miss_not_interior : int;
   warm_miss_fault_cleared : int;
+  stolen_warm : int;
+  counters_reset : bool;
   oracle_seconds : float;
   domain_oracle_seconds : float array;
   wall_seconds : float;
@@ -64,6 +68,8 @@ type stats = {
 type oracle_counters = {
   warm_hits : int Atomic.t;
   phase1_skips : int Atomic.t;
+  pull_ins : int Atomic.t;
+  corrections : int Atomic.t;
   miss_no_parent : int Atomic.t;
   miss_not_interior : int Atomic.t;
   miss_fault_cleared : int Atomic.t;
@@ -74,6 +80,8 @@ let oracle_counters () =
   {
     warm_hits = Atomic.make 0;
     phase1_skips = Atomic.make 0;
+    pull_ins = Atomic.make 0;
+    corrections = Atomic.make 0;
     miss_no_parent = Atomic.make 0;
     miss_not_interior = Atomic.make 0;
     miss_fault_cleared = Atomic.make 0;
@@ -82,6 +90,8 @@ let oracle_counters () =
 
 let count_warm_start_hit oc = Atomic.incr oc.warm_hits
 let count_phase1_skipped oc = Atomic.incr oc.phase1_skips
+let count_warm_pull_in oc = Atomic.incr oc.pull_ins
+let count_warm_newton_correction oc = Atomic.incr oc.corrections
 let count_warm_miss_no_parent oc = Atomic.incr oc.miss_no_parent
 let count_warm_miss_not_interior oc = Atomic.incr oc.miss_not_interior
 let count_warm_miss_fault_cleared oc = Atomic.incr oc.miss_fault_cleared
@@ -325,9 +335,12 @@ type ('region, 'sol) source =
   | Root of 'region
   | Restored of ('region, 'sol) Checkpoint.state
 
-let counters_alist ~infeasible ~pruned ~stale ~updates ~children
+let counters_alist ~infeasible ~pruned ~stale ~updates ~children ~reset
     ~(fc : Fault.counters) ~(oc : oracle_counters) =
   [
+    (* Sticky: once a resume hit a pre-schema snapshot, every later
+       snapshot in the chain records that the warm counters restarted. *)
+    ("counters_reset", Bool.to_int reset);
     ("infeasible_regions", infeasible);
     ("bound_pruned", pruned);
     ("stale_pops", stale);
@@ -339,16 +352,30 @@ let counters_alist ~infeasible ~pruned ~stale ~updates ~children
     ("dropped_regions", Atomic.get fc.Fault.dropped);
     ("warm_start_hits", Atomic.get oc.warm_hits);
     ("phase1_skipped", Atomic.get oc.phase1_skips);
+    ("warm_pull_ins", Atomic.get oc.pull_ins);
+    ("warm_newton_corrections", Atomic.get oc.corrections);
     ("warm_miss_no_parent", Atomic.get oc.miss_no_parent);
     ("warm_miss_not_interior", Atomic.get oc.miss_not_interior);
     ("warm_miss_fault_cleared", Atomic.get oc.miss_fault_cleared);
     ("oracle_time_us", Atomic.get oc.oracle_time_us);
   ]
 
-(* Old checkpoints lack the warm-start counters; [Checkpoint.counter]
-   returns 0 for missing keys, so resuming them is safe. *)
+(* The warm/miss counter keys whose absence marks a pre-oracle-counter
+   checkpoint.  [Checkpoint.counter] degrades each missing key to 0 so
+   such snapshots still resume — but then every rate computed over the
+   chain (warm_hit_rate above all) silently mixes a zeroed prefix with
+   live counts.  Resuming one therefore raises the explicit
+   [counters_reset] marker instead of merging silently; surfaced by
+   [ldafp train]. *)
+let warm_counter_keys =
+  [
+    "warm_start_hits"; "phase1_skipped"; "warm_pull_ins";
+    "warm_newton_corrections"; "warm_miss_no_parent";
+    "warm_miss_not_interior"; "warm_miss_fault_cleared";
+  ]
+
 let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
-  | Root _ -> (0, 0, 0, 0, 0, 0.0)
+  | Root _ -> (0, 0, 0, 0, 0, 0.0, false)
   | Restored (s : _ Checkpoint.state) ->
       let c = Checkpoint.counter s in
       Atomic.set fc.Fault.failures (c "oracle_failures");
@@ -357,12 +384,19 @@ let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
       Atomic.set fc.Fault.dropped (c "dropped_regions");
       Atomic.set oc.warm_hits (c "warm_start_hits");
       Atomic.set oc.phase1_skips (c "phase1_skipped");
+      Atomic.set oc.pull_ins (c "warm_pull_ins");
+      Atomic.set oc.corrections (c "warm_newton_corrections");
       Atomic.set oc.miss_no_parent (c "warm_miss_no_parent");
       Atomic.set oc.miss_not_interior (c "warm_miss_not_interior");
       Atomic.set oc.miss_fault_cleared (c "warm_miss_fault_cleared");
       Atomic.set oc.oracle_time_us (c "oracle_time_us");
+      let reset =
+        (not (List.for_all (Checkpoint.has_counter s) warm_counter_keys))
+        || c "counters_reset" <> 0
+      in
       ( c "infeasible_regions", c "bound_pruned", c "stale_pops",
-        c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed )
+        c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed,
+        reset )
 
 (* A failed snapshot must not kill a multi-hour search: log and carry on
    (the previous checkpoint, if any, is intact thanks to tmp + rename). *)
@@ -394,7 +428,7 @@ let run_seq : type region sol.
   let queue = Pqueue.create () in
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
-  let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
+  let infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0 =
     restore_counters fc oc source
   in
   let incumbent =
@@ -455,7 +489,7 @@ let run_seq : type region sol.
       counters =
         counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
           ~stale:!stale_pops ~updates:!incumbent_updates
-          ~children:!children_generated ~fc ~oc;
+          ~children:!children_generated ~reset:reset0 ~fc ~oc;
       elapsed = elapsed ();
     }
   in
@@ -559,9 +593,13 @@ let run_seq : type region sol.
         dropped_regions = Atomic.get fc.Fault.dropped;
         warm_start_hits = Atomic.get oc.warm_hits;
         phase1_skipped = Atomic.get oc.phase1_skips;
+        warm_pull_ins = Atomic.get oc.pull_ins;
+        warm_newton_corrections = Atomic.get oc.corrections;
         warm_miss_no_parent = Atomic.get oc.miss_no_parent;
         warm_miss_not_interior = Atomic.get oc.miss_not_interior;
         warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
+        stolen_warm = 0;
+        counters_reset = reset0;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
         domain_oracle_seconds = [| float_of_int !oracle_cell *. 1e-6 |];
         wall_seconds = elapsed ();
@@ -606,16 +644,19 @@ let run_par : type region sol.
     interrupt:(unit -> bool) option ->
     counters:oracle_counters option ->
     progress:Obs.Progress.t option ->
+    carries_warm:(region -> bool) option ->
     (region, sol) oracle ->
     (region, sol) source ->
     sol result =
- fun ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
-     source ->
+ fun ~params ~faults ~checkpointing ~interrupt ~counters ~progress
+     ~carries_warm oracle source ->
   let workers = params.domains in
-  let deque : region Work_deque.t = Work_deque.create ~workers in
+  let deque : region Work_deque.t =
+    Work_deque.create ?carries_warm ~workers ()
+  in
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
-  let infeasible0, pruned0, stale0, updates0, children0, elapsed0 =
+  let infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0 =
     restore_counters fc oc source
   in
   (* The incumbent solution is guarded by its own mutex; its cost is
@@ -672,7 +713,7 @@ let run_par : type region sol.
       ~stale:(stale0 + sum (fun w -> w.W.stale))
       ~updates:(updates0 + sum (fun w -> w.W.updates))
       ~children:(children0 + sum (fun w -> w.W.children))
-      ~fc ~oc
+      ~reset:reset0 ~fc ~oc
   in
   let consider_candidate (w : W.t) = function
     | Some (sol, cost) when cost < Atomic.get incumbent_cost ->
@@ -936,9 +977,13 @@ let run_par : type region sol.
         dropped_regions = Atomic.get fc.Fault.dropped;
         warm_start_hits = Atomic.get oc.warm_hits;
         phase1_skipped = Atomic.get oc.phase1_skips;
+        warm_pull_ins = Atomic.get oc.pull_ins;
+        warm_newton_corrections = Atomic.get oc.corrections;
         warm_miss_no_parent = Atomic.get oc.miss_no_parent;
         warm_miss_not_interior = Atomic.get oc.miss_not_interior;
         warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
+        stolen_warm = Work_deque.stolen_warm deque;
+        counters_reset = reset0;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
         domain_oracle_seconds =
           Array.map (fun w -> float_of_int !(w.W.oracle_cell) *. 1e-6) ws;
@@ -946,24 +991,24 @@ let run_par : type region sol.
       };
   }
 
-let run ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
-    source =
+let run ~params ~faults ~checkpointing ~interrupt ~counters ~progress
+    ~carries_warm oracle source =
   if params.domains <= 1 then
     run_seq ~params ~faults ~checkpointing ~interrupt ~counters ~progress
       oracle source
   else
     run_par ~params ~faults ~checkpointing ~interrupt ~counters ~progress
-      oracle source
+      ~carries_warm oracle source
 
 let minimize ?(params = default_params) ?(faults = default_faults)
-    ?checkpointing ?interrupt ?counters ?progress oracle root =
-  run ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
-    (Root root)
+    ?checkpointing ?interrupt ?counters ?progress ?carries_warm oracle root =
+  run ~params ~faults ~checkpointing ~interrupt ~counters ~progress
+    ~carries_warm oracle (Root root)
 
 let resume ?(params = default_params) ?(faults = default_faults)
-    ?checkpointing ?interrupt ?counters ?progress oracle state =
-  run ~params ~faults ~checkpointing ~interrupt ~counters ~progress oracle
-    (Restored state)
+    ?checkpointing ?interrupt ?counters ?progress ?carries_warm oracle state =
+  run ~params ~faults ~checkpointing ~interrupt ~counters ~progress
+    ~carries_warm oracle (Restored state)
 
 let minimize_parallel ?(params = default_params) ~domains oracle root =
   minimize ~params:{ params with domains } oracle root

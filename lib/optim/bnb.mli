@@ -137,6 +137,14 @@ type stats = {
   phase1_skipped : int;
       (** phase-I feasibility solves avoided because a warm start was
           already strictly interior; 0 unless the oracle reports them *)
+  warm_pull_ins : int;
+      (** inherited optima repaired by the analytic-center pull-in
+          ({!Socp.pull_to_interior}) before warm-starting — each one is
+          a would-have-been [warm_miss_not_interior] *)
+  warm_newton_corrections : int;
+      (** inherited optima repaired by the one-step infeasible-start
+          Newton correction ({!Socp.correct_to_interior}) after the
+          pull-in failed *)
   warm_miss_no_parent : int;
       (** bound solves that went cold because the region carried no
           parent optimum (root, restored frontier, or never solved) *)
@@ -146,6 +154,17 @@ type stats = {
   warm_miss_fault_cleared : int;
       (** bound solves that went cold because a fault retry had
           deliberately discarded a tainted warm point *)
+  stolen_warm : int;
+      (** stolen regions that carried usable warm-start state at steal
+          time (see [?carries_warm] on {!minimize}); 0 for the
+          sequential driver or without the predicate *)
+  counters_reset : bool;
+      (** the resume chain passed through a checkpoint written before
+          the warm/miss counters existed: the warm counters restarted
+          from zero mid-chain, so any rate computed over them
+          (warm_hit_rate above all) covers only part of the search.
+          Sticky — once raised it is persisted into every later
+          snapshot of the chain.  Surfaced by [ldafp train]. *)
   oracle_seconds : float;
       (** cumulative wall-clock time spent inside [oracle.bound] calls
           (including retries and fallbacks), summed across domains and
@@ -190,6 +209,14 @@ val count_phase1_skipped : oracle_counters -> unit
 (** Record one phase-I solve skipped thanks to a strictly interior warm
     start. *)
 
+val count_warm_pull_in : oracle_counters -> unit
+(** Record one inherited optimum repaired by the analytic-center
+    pull-in before warm-starting. *)
+
+val count_warm_newton_correction : oracle_counters -> unit
+(** Record one inherited optimum repaired by the one-step Newton
+    correction after the pull-in failed. *)
+
 val count_warm_miss_no_parent : oracle_counters -> unit
 (** Record one cold bound solve on a region with no inherited optimum. *)
 
@@ -200,6 +227,13 @@ val count_warm_miss_not_interior : oracle_counters -> unit
 val count_warm_miss_fault_cleared : oracle_counters -> unit
 (** Record one cold bound solve whose inherited optimum had been
     discarded by a fault retry. *)
+
+val warm_counter_keys : string list
+(** The checkpoint counter keys the warm/miss accounting lives under.  A
+    snapshot that lacks any of them predates the oracle-counter schema;
+    resuming through one raises the sticky [counters_reset] marker in
+    {!stats}.  Exposed so tests (and migration tooling) can construct
+    such snapshots deliberately. *)
 
 type 'sol result = {
   best : ('sol * float) option;  (** incumbent and its cost *)
@@ -234,6 +268,7 @@ val minimize :
   ?interrupt:(unit -> bool) ->
   ?counters:oracle_counters ->
   ?progress:Obs.Progress.t ->
+  ?carries_warm:('region -> bool) ->
   ('region, 'sol) oracle ->
   'region ->
   'sol result
@@ -247,7 +282,11 @@ val minimize :
     [domains - 1] nodes already claimed when the budget trips.
     [?interrupt] is polled between nodes by every worker, without any
     lock held; returning [true] stops the search with {!Interrupted} —
-    the hook for signal handlers.  [?progress] emits a throttled
+    the hook for signal handlers.  [?carries_warm] is a pure O(1)
+    predicate for "this region migrates with usable warm-start state";
+    when given (and [domains > 1]) stolen regions satisfying it are
+    counted into [stats.stolen_warm], turning "warm state survives
+    steals" into a measured fact.  [?progress] emits a throttled
     search-wide status line (nodes/s, incumbent, bound, gap, steals,
     per-domain oracle utilization) after node expansions; with
     [domains > 1] the workers share the reporter's rate limit, so the
@@ -266,6 +305,7 @@ val resume :
   ?interrupt:(unit -> bool) ->
   ?counters:oracle_counters ->
   ?progress:Obs.Progress.t ->
+  ?carries_warm:('region -> bool) ->
   ('region, 'sol) oracle ->
   ('region, 'sol) Checkpoint.state ->
   'sol result

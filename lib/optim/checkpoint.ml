@@ -14,6 +14,8 @@ type ('region, 'sol) state = {
 let counter state name =
   match List.assoc_opt name state.counters with Some n -> n | None -> 0
 
+let has_counter state name = List.mem_assoc name state.counters
+
 (* Snapshot metrics, registered eagerly at module init (see Obs). *)
 let m_save_total =
   Obs.Metrics.counter Obs.Metrics.default

@@ -48,6 +48,14 @@ type ('region, 'sol) state = {
 val counter : ('region, 'sol) state -> string -> int
 (** Named counter from the snapshot; 0 when absent. *)
 
+val has_counter : ('region, 'sol) state -> string -> bool
+(** Whether the snapshot actually recorded the named counter.  {!counter}
+    deliberately degrades missing keys to 0 so old snapshots resume; this
+    is how a consumer tells "recorded as zero" from "written before the
+    counter existed" — silently merging the latter skews any rate
+    computed across the resume (see the [counters_reset] marker in
+    {!Bnb.stats}). *)
+
 val save : path:string -> ('region, 'sol) state -> unit
 (** Atomically (tmp + fsync + rename) persist the state.
     @raise Sys_error on I/O failure. *)

@@ -114,6 +114,41 @@ let minimize_into ?(params = default_params) ws oracle x0 =
       { x = Vec.copy ws.xa; value = !fx; iterations = !iter; decrement = !dec;
         status = !status }
 
+let step_into ?(params = default_params) ws oracle x0 ~dst =
+  if Vec.dim x0 <> ws.n || Vec.dim dst <> ws.n then
+    invalid_arg "Newton.step_into: dimension mismatch";
+  Array.blit x0 0 ws.xa 0 ws.n;
+  match oracle ws.xa ~grad:ws.grad ~hess:ws.hess with
+  | None -> false
+  | Some f0 ->
+      Mat.symmetrize_into ws.hess ~dst:ws.sym;
+      let (_ : float) = Cholesky.factor_jittered_into ws.sym ~dst:ws.chol in
+      for i = 0 to ws.n - 1 do
+        ws.dir.(i) <- -.ws.grad.(i)
+      done;
+      Cholesky.solve_factored_into ws.chol ws.dir ~dst:ws.dir;
+      let gd = Vec.dot ws.grad ws.dir in
+      if Float.is_nan gd then false
+      else begin
+        (* Backtracking with domain rejection, exactly as in
+           [minimize_into]; the first accepted candidate is the step. *)
+        let t = ref 1.0 in
+        let accepted = ref false in
+        let tries = ref 0 in
+        while (not !accepted) && !tries < 60 do
+          incr tries;
+          Vec.axpy_into !t ws.dir ws.xa ~dst:ws.xb;
+          (match oracle ws.xb ~grad:ws.grad ~hess:ws.hess with
+          | Some fc
+            when fc <= f0 +. (params.alpha *. !t *. gd)
+                 && not (Float.is_nan fc) ->
+              Array.blit ws.xb 0 dst 0 ws.n;
+              accepted := true
+          | _ -> t := params.beta *. !t)
+        done;
+        !accepted
+      end
+
 let oracle_into_of_oracle n oracle : oracle_into =
  fun x ~grad ~hess ->
   match oracle x with

@@ -13,6 +13,16 @@ let m_phase1_total =
            skip)"
     "ldafp_socp_phase1_total"
 
+let m_warm_pull_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"warm starts repaired by the analytic-center pull-in"
+    "ldafp_socp_warm_pull_total"
+
+let m_warm_correct_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"warm starts repaired by the one-step Newton correction"
+    "ldafp_socp_warm_correct_total"
+
 let m_solve_seconds =
   Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-7 ~hi:100.0
     ~help:"wall time of one Socp.solve call (incl. any interior nudge)"
@@ -52,6 +62,116 @@ let of_parts ?(obj_scale = 1.0) ~p ~q ~lins ~socs n =
   { n; p; q; lins; socs; obj_scale }
 
 let with_objective_scale pb obj_scale = { pb with obj_scale }
+
+(* ------------------------------------------------------------------ *)
+(* Variable fixing (restriction to a coordinate subspace)              *)
+(* ------------------------------------------------------------------ *)
+
+(* A box-split branch-and-bound search pins variables to singletons long
+   before its boxes become atomic, and a pinned coordinate pair
+   [x_j <= c, -x_j <= -c] has {e no} strict interior: the log barrier
+   cannot even evaluate there, so every such node used to fall through
+   phase-I to an uncertified lower bound of 0 — and every warm start on
+   one was unrepairable by construction.  Exact substitution fixes both:
+   eliminate the pinned coordinates, solve over the free ones (whose
+   strict interior is back), and embed the optimum. *)
+type restriction = {
+  full_n : int;
+  free : int array;  (* reduced index -> full index, ascending *)
+  pinned : Vec.t;  (* full-dimensional; free entries are 0 *)
+  reduced : problem;
+  obj_const : float;
+      (* unscaled objective offset of the substitution,
+         ½ vᵀPv + qᵀv over the pinned part *)
+}
+
+let restrict pb ~fixed =
+  if Array.length fixed = 0 then invalid_arg "Socp.restrict: nothing to fix";
+  let keep = Array.make pb.n true in
+  let v = Vec.zeros pb.n in
+  Array.iter
+    (fun (j, value) ->
+      if j < 0 || j >= pb.n then
+        invalid_arg "Socp.restrict: index out of range";
+      keep.(j) <- false;
+      v.(j) <- value)
+    fixed;
+  let free =
+    Array.of_list (List.filter (fun j -> keep.(j)) (List.init pb.n Fun.id))
+  in
+  let nf = Array.length free in
+  if nf = 0 then invalid_arg "Socp.restrict: every variable fixed";
+  (* Full x = y on the free coordinates, v on the fixed ones.  Every
+     part below is the exact substitution — no approximation — so the
+     reduced optimum embeds back to the optimum of the full problem
+     restricted to the pinned slice, with identical certified gaps. *)
+  let pv = Mat.mul_vec pb.p v in
+  let p = Mat.init nf nf (fun i j -> pb.p.(free.(i)).(free.(j))) in
+  let q = Vec.init nf (fun i -> pb.q.(free.(i)) +. pv.(free.(i))) in
+  let obj_const = (0.5 *. Mat.quadratic_form pb.p v) +. Vec.dot pb.q v in
+  let sub_vec a = Vec.init nf (fun i -> a.(free.(i))) in
+  let all_zero a = Array.for_all (fun x -> x = 0.0) a in
+  let infeasible = ref false in
+  let lins =
+    Array.to_list pb.lins
+    |> List.filter_map (fun { a; b } ->
+           let b = b -. Vec.dot a v in
+           let a = sub_vec a in
+           if all_zero a then begin
+             (* Fixed-variables-only constraint: now a constant.
+                Satisfied (the pinned pair's own half-spaces, with slack
+                exactly 0) — drop it; violated — the slice is empty. *)
+             if b < 0.0 then infeasible := true;
+             None
+           end
+           else Some { a; b })
+    |> Array.of_list
+  in
+  let socs =
+    Array.map
+      (fun { l; g; c; d } ->
+        let rows = Mat.rows l in
+        let lv = Mat.mul_vec l v in
+        {
+          l = Mat.init rows nf (fun r i -> l.(r).(free.(i)));
+          g = Vec.init rows (fun r -> g.(r) +. lv.(r));
+          c = sub_vec c;
+          d = d +. Vec.dot c v;
+        })
+      pb.socs
+  in
+  Array.iter
+    (fun { l; g; c; d } ->
+      if
+        all_zero c
+        && Array.for_all all_zero l
+        && Vec.norm2 g > d
+      then infeasible := true)
+    socs;
+  if !infeasible then None
+  else
+    Some
+      {
+        full_n = pb.n;
+        free;
+        pinned = v;
+        reduced = { n = nf; p; q; lins; socs; obj_scale = pb.obj_scale };
+        obj_const;
+      }
+
+let restriction_embed r y =
+  if Vec.dim y <> Array.length r.free then
+    invalid_arg "Socp.restriction_embed: dimension mismatch";
+  let x = Vec.copy r.pinned in
+  Array.iteri (fun i j -> x.(j) <- y.(i)) r.free;
+  x
+
+let restriction_project r x =
+  if Vec.dim x <> r.full_n then
+    invalid_arg "Socp.restriction_project: dimension mismatch";
+  Vec.init (Array.length r.free) (fun i -> x.(r.free.(i)))
+
+let restriction_objective_const r = r.reduced.obj_scale *. r.obj_const
 
 let problem ?p ?q ?(lins = []) ?(socs = []) n =
   if n <= 0 then invalid_arg "Socp.problem: n must be positive";
@@ -108,12 +228,30 @@ let default_params =
 let warm_start_params ?(levels = 5) params =
   { params with tau0 = params.tau0 *. (params.mu ** float_of_int levels) }
 
+(* How many rungs a solve seeded near an optimum certified at
+   [tau_final] may skip.  Integer rungs of the same geometric ladder, so
+   the terminal tau — and with it the certified gap — is exactly the
+   cold solve's; [back] extra rungs of headroom for starts that were
+   repaired rather than inherited verbatim.  The clamp to >= 1 remaining
+   rung matters: a ladder that starts at or beyond the parent's terminal
+   tau would run zero centering steps and return the (parent's!) start
+   unrefined. *)
+let restart_levels ?(back = 1) params ~tau_final =
+  if
+    (not (Float.is_finite tau_final))
+    || tau_final <= params.tau0 || params.mu <= 1.0
+  then 0
+  else
+    let rungs = floor (log (tau_final /. params.tau0) /. log params.mu) in
+    max 0 (int_of_float rungs - max 1 back)
+
 type status = Optimal | Suboptimal
 
 type solution = {
   x : Vec.t;
   objective : float;
   gap_bound : float;
+  tau_final : float;
   outer_iterations : int;
   newton_iterations : int;
   status : status;
@@ -165,8 +303,11 @@ let scratch_for pb =
 
 (* In-place oracle for tau * f(x) + phi(x); None outside the barrier
    domain.  All temporaries live in [sc]; [grad]/[hess] are the Newton
-   workspace buffers. *)
-let centering_into pb sc tau : Newton.oracle_into =
+   workspace buffers.  [relax] loosens every constraint offset by that
+   absolute amount (b ← b + relax, d ← d + relax): the δ-relaxed barrier
+   of the one-step interiority correction, whose domain contains points
+   just outside the true feasible set. *)
+let centering_into ?(relax = 0.0) pb sc tau : Newton.oracle_into =
  fun x ~grad ~hess ->
   let n = pb.n in
   let s_obj = tau *. pb.obj_scale in
@@ -181,7 +322,7 @@ let centering_into pb sc tau : Newton.oracle_into =
   Array.iter
     (fun { a; b } ->
       if !ok then begin
-        let s = b -. Vec.dot a x in
+        let s = b +. relax -. Vec.dot a x in
         if s <= 0.0 then ok := false
         else begin
           value := !value -. log s;
@@ -199,7 +340,7 @@ let centering_into pb sc tau : Newton.oracle_into =
   Array.iter
     (fun { l; g; c; d } ->
       if !ok then begin
-        let u = Vec.dot c x +. d in
+        let u = Vec.dot c x +. d +. relax in
         let rows_l = Mat.rows l in
         let vv = ref 0.0 in
         for r = 0 to rows_l - 1 do
@@ -256,25 +397,60 @@ let centering_oracle pb tau : Newton.oracle =
   | Some value -> Some (value, grad, hess)
   | None -> None
 
-(* Strict interiority without derivatives: every half-space slack and
-   every cone slack strictly positive.  O(constraints · n) — cheap enough
-   to test warm starts on the bound-oracle hot path (the full oracle
-   evaluation it replaces builds an n×n Hessian). *)
-let is_strictly_interior pb x =
-  Vec.dim x = pb.n
-  && Array.for_all (fun { a; b } -> b -. Vec.dot a x > 0.0) pb.lins
-  && Array.for_all
-       (fun { l; g; c; d } ->
-         let u = Vec.dot c x +. d in
-         u > 0.0
-         &&
-         let vv = ref 0.0 in
-         for r = 0 to Mat.rows l - 1 do
-           let vr = Vec.dot l.(r) x +. g.(r) in
-           vv := !vv +. (vr *. vr)
-         done;
-         (u *. u) -. !vv > 0.0)
-       pb.socs
+(* Residual scale of one half-space at x: the natural size of the
+   numbers whose difference is the slack.  Dividing a slack by it turns
+   an absolute margin into a scale-free one, so a problem with its
+   coefficients multiplied by 1e6 accepts exactly the same warm starts
+   as the original (the absolute 1e-6 [start_margin] used to reject
+   them). *)
+let lin_scale b ax = 1.0 +. Float.abs b +. Float.abs ax
+
+let soc_scale u nv = 1.0 +. Float.abs u +. nv
+
+(* ‖Lx + g‖² without materialising the residual vector. *)
+let soc_vv { l; g; _ } x =
+  let vv = ref 0.0 in
+  for r = 0 to Mat.rows l - 1 do
+    let vr = Vec.dot l.(r) x +. g.(r) in
+    vv := !vv +. (vr *. vr)
+  done;
+  !vv
+
+(* Minimum over all constraints of slack / residual scale, in the
+   σ = (cᵀx+d) − ‖Lx+g‖ form for cones.  Positive iff x is strictly
+   interior.  The cone sign is decided on h = u² − ‖v‖² — the exact
+   expression the barrier oracle tests — so a point this function calls
+   interior is never rejected by [centering_into] over a rounding
+   disagreement between the two algebraically-equal forms. *)
+let min_relative_slack pb x =
+  let worst = ref Float.infinity in
+  Array.iter
+    (fun { a; b } ->
+      let ax = Vec.dot a x in
+      worst := Float.min !worst ((b -. ax) /. lin_scale b ax))
+    pb.lins;
+  Array.iter
+    (fun ({ c; d; _ } as s) ->
+      let u = Vec.dot c x +. d in
+      let vv = soc_vv s x in
+      let nv = sqrt vv in
+      let scale = soc_scale u nv in
+      let rel =
+        if u <= 0.0 then (u -. nv) /. scale
+        else ((u *. u) -. vv) /. (u +. nv) /. scale
+      in
+      worst := Float.min !worst rel)
+    pb.socs;
+  !worst
+
+(* Strict interiority without derivatives, O(constraints · n) — cheap
+   enough to test warm starts on the bound-oracle hot path (the full
+   oracle evaluation it replaces builds an n×n Hessian).  [margin] is
+   {e relative}: every constraint must clear margin × its residual
+   scale, so the test is invariant under rescaling the constraint
+   coefficients.  [margin = 0.] is the barrier's exact domain. *)
+let is_strictly_interior ?(margin = 0.0) pb x =
+  Vec.dim x = pb.n && min_relative_slack pb x > margin
 
 type feasibility =
   | Strictly_feasible of Vec.t
@@ -307,7 +483,11 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
   if Vec.dim start <> pb.n then
     invalid_arg "Socp.find_strictly_feasible: start dimension";
   let v0 = max_violation pb start in
-  if v0 <= -.margin then Strictly_feasible (Vec.copy start)
+  (* The margin is relative (slack over residual scale), so the
+     feasibility verdict does not change under a rescaling of the
+     constraint coefficients. *)
+  if min_relative_slack pb start >= margin then
+    Strictly_feasible (Vec.copy start)
   else begin
     (* The expensive path: an actual phase-I barrier solve (the early
        return above is the cheap already-interior case and stays
@@ -332,7 +512,8 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
       z := r.x;
       let s = !z.(aug.n - 1) in
       let x = Array.sub !z 0 pb.n in
-      if max_violation pb x <= -.margin then result := Some (Strictly_feasible x)
+      if min_relative_slack pb x >= margin then
+        result := Some (Strictly_feasible x)
       else begin
         let gap = nu /. !tau in
         let dead =
@@ -368,6 +549,135 @@ let find_strictly_feasible ?(params = default_params) ?(margin = 1e-9) pb
                 | Unknown _ -> "unknown") );
           ];
     fr
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start interiority repair                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull x toward [target] just far enough that every constraint clears
+   margin × its residual scale.  Per-constraint safe blends are exact
+   for half-spaces (affine slack) and certified for cones by concavity:
+   σ(α) = u(α) − ‖v(α)‖ is concave along the segment (affine minus
+   convex), so the chord (1−α)σ(x) + ασ(target) under-estimates it and
+   a blend clearing the chord bound clears the true slack.  The residual
+   scales are likewise bounded by their endpoint maxima (|aᵀ·|, |u| and
+   ‖v‖ are convex).  [None] when the target itself does not clear the
+   margin — the caller falls back to the Newton correction. *)
+let pull_to_interior ?(margin = 1e-8) pb ~target x =
+  if Vec.dim x <> pb.n || Vec.dim target <> pb.n then None
+  else begin
+    let alpha = ref 0.0 in
+    let ok = ref true in
+    (* A constraint with slack below its safe margin at x needs at least
+       α = (m − σx)/(σt − σx) of the way toward the target. *)
+    let need m sx st =
+      if st <= m then ok := false
+      else if sx < m then alpha := Float.max !alpha ((m -. sx) /. (st -. sx))
+    in
+    Array.iter
+      (fun { a; b } ->
+        if !ok then begin
+          let ax = Vec.dot a x and at = Vec.dot a target in
+          let scale = Float.max (lin_scale b ax) (lin_scale b at) in
+          need (margin *. scale) (b -. ax) (b -. at)
+        end)
+      pb.lins;
+    Array.iter
+      (fun ({ c; d; _ } as s) ->
+        if !ok then begin
+          let ux = Vec.dot c x +. d and ut = Vec.dot c target +. d in
+          let nvx = sqrt (soc_vv s x) and nvt = sqrt (soc_vv s target) in
+          let scale = Float.max (soc_scale ux nvx) (soc_scale ut nvt) in
+          need (margin *. scale) (ux -. nvx) (ut -. nvt)
+        end)
+      pb.socs;
+    if not !ok then None
+    else begin
+      let a = Float.min 1.0 !alpha in
+      let y =
+        if a <= 0.0 then Vec.copy x
+        else Vec.init pb.n (fun i -> x.(i) +. (a *. (target.(i) -. x.(i))))
+      in
+      (* The chord bound is exact arithmetic; re-verify against floating
+         rounding at a fraction of the margin before handing the point
+         to the barrier. *)
+      if is_strictly_interior ~margin:(0.25 *. margin) pb y then Some y
+      else None
+    end
+  end
+
+(* One-step infeasible-start Newton correction: relax every constraint
+   by the smallest absolute δ that makes x clear margin × scale on the
+   relaxed problem (so x is certifiably inside the relaxed barrier's
+   domain), take a single damped Newton step on the relaxed pure barrier
+   (τ = 0 — the step aims at the relaxed analytic center, i.e. straight
+   inward), and keep the result iff it is strictly interior to the
+   {e true} constraints.  O(1) heap allocation beyond the returned
+   vector: the oracle and the step run in the per-domain scratch. *)
+let correct_to_interior ?(params = default_params) ?(margin = 1e-8) pb x =
+  if Vec.dim x <> pb.n then None
+  else begin
+    let delta = ref 0.0 in
+    Array.iter
+      (fun { a; b } ->
+        let ax = Vec.dot a x in
+        let need = (margin *. lin_scale b ax) -. (b -. ax) in
+        delta := Float.max !delta need)
+      pb.lins;
+    Array.iter
+      (fun ({ c; d; _ } as s) ->
+        let u = Vec.dot c x +. d in
+        let nv = sqrt (soc_vv s x) in
+        let need = (margin *. soc_scale u nv) -. (u -. nv) in
+        delta := Float.max !delta need)
+      pb.socs;
+    if not (Float.is_finite !delta) then None
+    else if !delta <= 0.0 then Some (Vec.copy x)
+    else begin
+      let sc = scratch_for pb in
+      let dst = Vec.zeros pb.n in
+      if
+        Newton.step_into ~params:params.newton sc.ws
+          (centering_into ~relax:!delta pb sc 0.0)
+          x ~dst
+        && is_strictly_interior ~margin:(0.25 *. margin) pb dst
+      then Some dst
+      else None
+    end
+  end
+
+type warm_prep = Warm_interior | Warm_pulled | Warm_corrected
+
+(* The warm-start decision tree (doc/solver.mld): accept a certifiably
+   interior start as-is; otherwise pull it toward the caller's interior
+   target; otherwise take one corrective Newton step.  [None] means the
+   caller must solve cold (phase-I). *)
+let prepare_warm_start ?(params = default_params) ?(margin = 1e-8) ?target pb
+    x =
+  if Vec.dim x <> pb.n then None
+  else if is_strictly_interior ~margin pb x then Some (x, Warm_interior)
+  else begin
+    let pulled =
+      match target with
+      | Some t -> pull_to_interior ~margin pb ~target:t x
+      | None -> None
+    in
+    match pulled with
+    | Some y ->
+        if Obs.Metrics.enabled () then Obs.Metrics.incr m_warm_pull_total;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~cat:"socp" "socp.warm_pull";
+        Some (y, Warm_pulled)
+    | None -> (
+        match correct_to_interior ~params ~margin pb x with
+        | Some y ->
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.incr m_warm_correct_total;
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant ~cat:"socp" "socp.warm_correct";
+            Some (y, Warm_corrected)
+        | None -> None)
   end
 
 let solve ?(params = default_params) ?certificate pb ~start =
@@ -427,7 +737,10 @@ let solve ?(params = default_params) ?certificate pb ~start =
       match blended with
       | Some x -> x
       | None ->
-          if max_violation pb start <= params.start_margin then
+          (* Relative test: a start violating every constraint by at most
+             start_margin × its residual scale is repairable regardless
+             of how the problem is scaled. *)
+          if min_relative_slack pb start >= -.params.start_margin then
             (* No certificate: nudge into the interior with a phase-I
                solve rather than rejecting. *)
             match find_strictly_feasible ~params pb ~start with
@@ -449,6 +762,7 @@ let solve ?(params = default_params) ?certificate pb ~start =
     finish
       { x = r.x; objective = objective_value pb r.x;
         gap_bound = (if diverged then Float.infinity else 0.0);
+        tau_final = Float.infinity;
         outer_iterations = 0; newton_iterations = r.iterations;
         status = (if diverged then Suboptimal else Optimal) }
   end
@@ -481,6 +795,10 @@ let solve ?(params = default_params) ?certificate pb ~start =
     let x = if !x == start then Vec.copy start else !x in
     finish
       { x; objective = objective_value pb x; gap_bound = gap;
+        (* The tau the point was last centered at: !tau was multiplied
+           once more after the final centering, so divide it back.
+           gap_bound = ν / tau_final by construction. *)
+        tau_final = !tau /. params.mu;
         outer_iterations = !outer; newton_iterations = !newton_total; status }
   end
 

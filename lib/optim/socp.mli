@@ -67,6 +67,50 @@ val with_objective_scale : problem -> float -> problem
 val box_constraints : Linalg.Vec.t -> Linalg.Vec.t -> lin list
 (** [box_constraints lo hi] is the [2n] half-spaces of [lo <= x <= hi]. *)
 
+(** {2 Variable fixing}
+
+    A problem whose constraints pin a coordinate exactly (the
+    [x_j <= c, -x_j <= -c] pair a branch-and-bound box split produces
+    once a dimension narrows to a singleton) has an {e empty} strict
+    interior: the log barrier cannot run and no warm start — repaired or
+    not — can ever pass the interiority test.  {!restrict} eliminates
+    such coordinates by exact substitution, restoring a nonempty strict
+    interior over the free ones. *)
+
+type restriction = private {
+  full_n : int;
+  free : int array;  (** reduced index → full index, ascending *)
+  pinned : Linalg.Vec.t;  (** full-dimensional; free entries are 0 *)
+  reduced : problem;  (** over the free coordinates only *)
+  obj_const : float;
+      (** unscaled objective offset of the substitution — see
+          {!restriction_objective_const} *)
+}
+
+val restrict : problem -> fixed:(int * float) array -> restriction option
+(** Substitute [x_j = value] for every [(j, value)] in [fixed] — exactly,
+    so the reduced optimum embeds back ({!restriction_embed}) to the
+    full-space optimum of the pinned slice with the same certified gap.
+    Constraints left without any free variable become constants: the
+    satisfied ones (a pinned pair's own half-spaces, slack exactly 0)
+    are dropped, and one that is violated makes the slice empty —
+    [None], which the caller should treat as region infeasibility.
+    @raise Invalid_argument when [fixed] is empty, fixes every variable,
+    or indexes out of range. *)
+
+val restriction_embed : restriction -> Linalg.Vec.t -> Linalg.Vec.t
+(** Reduced-space point → full-space point (free coordinates from the
+    argument, pinned ones from the restriction).  Fresh vector. *)
+
+val restriction_project : restriction -> Linalg.Vec.t -> Linalg.Vec.t
+(** Full-space point → its free coordinates.  Projection then embedding
+    is the identity on the pinned slice. *)
+
+val restriction_objective_const : restriction -> float
+(** The scaled objective offset: [objective_value reduced y +
+    restriction_objective_const r] equals [objective_value full (embed
+    r y)].  Tracks [reduced]'s current {!field-obj_scale}. *)
+
 val objective_value : problem -> Linalg.Vec.t -> float
 
 val max_violation : problem -> Linalg.Vec.t -> float
@@ -76,11 +120,25 @@ val max_violation : problem -> Linalg.Vec.t -> float
 val is_feasible : ?tol:float -> problem -> Linalg.Vec.t -> bool
 (** [max_violation <= tol] (default [1e-9]). *)
 
-val is_strictly_interior : problem -> Linalg.Vec.t -> bool
+val min_relative_slack : problem -> Linalg.Vec.t -> float
+(** The smallest relative constraint slack at a point: over half-spaces,
+    [(b − aᵀx) / (1 + |b| + |aᵀx|)]; over cones, the
+    [σ = (cᵀx+d) − ‖Lx+g‖] slack divided by [1 + |cᵀx+d| + ‖Lx+g‖]
+    (computed roundoff-consistently with the barrier's own domain test).
+    Positive iff strictly interior; the margin {!is_strictly_interior}
+    compares against.  Exposed for tests and diagnostics. *)
+
+val is_strictly_interior : ?margin:float -> problem -> Linalg.Vec.t -> bool
 (** Every half-space slack and every cone slack strictly positive (the
     barrier's domain), or [false] on a dimension mismatch.  Cheap —
     O(constraints · n), no derivatives — so warm starts can be tested on
-    the hot path. *)
+    the hot path.  [margin] (default [0.]) is {e relative}: each
+    constraint must clear [margin × (1 + |b| + |aᵀx|)] (half-spaces)
+    resp. [margin × (1 + |cᵀx+d| + ‖Lx+g‖)] (cones, in the
+    [σ = (cᵀx+d) − ‖Lx+g‖] slack form), so the verdict is invariant
+    under rescaling the constraint coefficients — an absolute tolerance
+    here silently rejected valid warm starts on large-coefficient
+    relaxations. *)
 
 type params = {
   tau0 : float;  (** initial barrier weight on the objective *)
@@ -89,7 +147,8 @@ type params = {
   newton : Newton.params;
   max_outer : int;
   start_margin : float;
-      (** starts violating constraints by at most this much are nudged
+      (** starts violating each constraint by at most this fraction of
+          its residual scale (see {!is_strictly_interior}) are nudged
           into the interior (phase-I) instead of rejected *)
 }
 
@@ -106,6 +165,83 @@ val warm_start_params : ?levels:int -> params -> params
     solve is merely slower (damped Newton still converges), never less
     certified. *)
 
+val restart_levels : ?back:int -> params -> tau_final:float -> int
+(** The [levels] to hand {!warm_start_params} when the warm point comes
+    from a solve that terminated at barrier weight [tau_final] (its
+    {!solution.tau_final}): the largest whole number of rungs the
+    ladder can skip while still running at least [back] (default 1,
+    clamped >= 1) centering rungs below the producing solve's terminal
+    tau.  Integer rungs of the same geometric ladder, so the terminal
+    tau — and the certified gap — is exactly what a cold solve reaches;
+    a start that skipped {e too} far would run zero centering steps and
+    return the parent's point unrefined, which the clamp rules out.
+    Callers pass a larger [back] for starts that were repaired
+    ({!prepare_warm_start}) rather than inherited verbatim.  0 when
+    [tau_final] is not finite (no ladder ran) or does not exceed
+    [tau0]. *)
+
+(** {2 Warm-start interiority repair}
+
+    A parent optimum clipped into a child's box almost always lands
+    {e on} the child's new half-space boundary (the branch cut passes
+    through it), so the plain interiority test rejects it and the solve
+    pays a full phase-I.  These helpers repair such a start instead —
+    the decision tree is {!prepare_warm_start}; taxonomy and measurement
+    guide in {!page-solver}. *)
+
+val pull_to_interior :
+  ?margin:float ->
+  problem ->
+  target:Linalg.Vec.t ->
+  Linalg.Vec.t ->
+  Linalg.Vec.t option
+(** Blend [x] toward [target] by the smallest α ∈ [0, 1] such that every
+    constraint clears [margin] (default [1e-8]) × its residual scale —
+    certified, not searched: half-space slacks are affine in α and cone
+    slacks [σ = u − ‖v‖] are concave (affine minus convex), so the
+    chord bound [(1−α)σ(x) + ασ(target)] under-estimates the true slack
+    and the per-constraint safe α is closed-form.  [None] when [target]
+    itself does not clear the margin (it must be strictly interior with
+    room to spare) or the blend fails the final rounding re-check.  The
+    result is within the segment [x]–[target], so any convex constraint
+    set containing both contains it. *)
+
+val correct_to_interior :
+  ?params:params -> ?margin:float -> problem -> Linalg.Vec.t -> Linalg.Vec.t option
+(** One-step infeasible-start Newton correction: relax every constraint
+    offset by the smallest absolute δ that makes [x] clear
+    [margin × scale] on the relaxed problem, take a single damped
+    Newton step ({!Newton.step_into}, in the per-domain scratch — O(1)
+    heap allocation beyond the returned vector) on the relaxed pure
+    barrier (τ = 0, so the step aims at the relaxed analytic center,
+    i.e. straight inward), and return the result iff it is strictly
+    interior to the {e true} constraints.  The backstop of
+    {!prepare_warm_start} when no pull-in target is available or the
+    pull failed; [None] sends the caller to phase-I. *)
+
+type warm_prep =
+  | Warm_interior  (** accepted as-is: already margin-interior *)
+  | Warm_pulled  (** repaired by {!pull_to_interior} *)
+  | Warm_corrected  (** repaired by {!correct_to_interior} *)
+
+val prepare_warm_start :
+  ?params:params ->
+  ?margin:float ->
+  ?target:Linalg.Vec.t ->
+  problem ->
+  Linalg.Vec.t ->
+  (Linalg.Vec.t * warm_prep) option
+(** The warm-start decision tree: [x] if it is already certifiably
+    interior ([margin] relative, default [1e-8]); else the
+    analytic-center pull-in toward [?target]; else the one-step Newton
+    correction; else [None] — solve cold.  The returned point is safe to
+    pass to {!solve} as [start] with a {!warm_start_params} schedule
+    advance ({!restart_levels}); callers should budget more [back]
+    rungs for [Warm_pulled] / [Warm_corrected] starts, which moved away
+    from the parent optimum.  Emits the [socp.warm_pull] /
+    [socp.warm_correct] trace instants and bumps the matching metrics
+    counters when repair runs. *)
+
 type status = Optimal | Suboptimal
 (** [Suboptimal]: an outer-iteration limit, a stalled centering step, or
     a diverged (NaN) Newton solve; the returned point is feasible but
@@ -115,6 +251,13 @@ type solution = {
   x : Linalg.Vec.t;
   objective : float;
   gap_bound : float;  (** certified bound on suboptimality, [ν/τ] *)
+  tau_final : float;
+      (** the barrier weight the point was last centered at, so
+          [gap_bound = ν / tau_final]; [infinity] for an unconstrained
+          problem (no ladder).  The dual-side warm information a child
+          solve feeds to {!restart_levels} — carrying it with the point
+          is what lets stolen and checkpoint-restored nodes skip the
+          early rungs too. *)
   outer_iterations : int;
   newton_iterations : int;
   status : status;
@@ -128,7 +271,8 @@ val solve :
   solution
 (** Path-following from a strictly feasible [start].  A start that is
     feasible only up to roundoff — violating no constraint by more than
-    [params.start_margin] — is repaired before the barrier loop runs:
+    [params.start_margin] × its residual scale — is repaired before the
+    barrier loop runs:
 
     - with [?certificate] (a point the caller knows to be strictly
       interior, e.g. a phase-I output or a previous barrier solution for
@@ -151,8 +295,9 @@ type feasibility =
 val find_strictly_feasible :
   ?params:params -> ?margin:float -> problem -> start:Linalg.Vec.t -> feasibility
 (** Phase-I: minimise the auxiliary slack [s] with every constraint relaxed
-    by [s], from an arbitrary [start].  Succeeds as soon as an iterate has
-    [max_violation <= -margin] (default [1e-9]). *)
+    by [s], from an arbitrary [start].  Succeeds as soon as an iterate
+    clears [margin] (default [1e-9]) × each constraint's residual scale
+    (the relative-slack convention of {!is_strictly_interior}). *)
 
 val solve_auto : ?params:params -> problem -> start:Linalg.Vec.t -> solution option
 (** Phase-I then phase-II; [None] when phase-I proves or suspects

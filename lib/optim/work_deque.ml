@@ -77,9 +77,14 @@ type 'a t = {
   idle_wakeups : int Atomic.t;
   steals : int Atomic.t;
   stolen : int Atomic.t;
+  carries_warm : ('a -> bool) option;
+      (* Caller's predicate for "this item migrates with usable warm-
+         start state"; counted per stolen item so the migration claim is
+         measured, not assumed. *)
+  stolen_warm : int Atomic.t;
 }
 
-let create ~workers =
+let create ?carries_warm ~workers () =
   if workers < 1 then invalid_arg "Work_deque.create: workers < 1";
   {
     shards =
@@ -99,6 +104,8 @@ let create ~workers =
     idle_wakeups = Atomic.make 0;
     steals = Atomic.make 0;
     stolen = Atomic.make 0;
+    carries_warm;
+    stolen_warm = Atomic.make 0;
   }
 
 let workers t = Array.length t.shards
@@ -193,6 +200,19 @@ let try_steal t ~thief =
           else begin
             Atomic.incr t.steals;
             ignore (Atomic.fetch_and_add t.stolen moved);
+            (* The thief only steals when its own shard is dry, so right
+               now [mine.queue] holds exactly the transferred items:
+               count how many migrate with warm-start state attached. *)
+            (match t.carries_warm with
+            | Some pred ->
+                let warm =
+                  Pqueue.fold
+                    (fun acc _ v -> if pred v then acc + 1 else acc)
+                    0 mine.queue
+                in
+                if warm > 0 then
+                  ignore (Atomic.fetch_and_add t.stolen_warm warm)
+            | None -> ());
             (* The thief immediately claims its best stolen node, so a
                successful steal always yields work. *)
             match Pqueue.pop mine.queue with
@@ -321,3 +341,4 @@ let park t =
 let idle_wakeups t = Atomic.get t.idle_wakeups
 let steals t = Atomic.get t.steals
 let stolen_nodes t = Atomic.get t.stolen
+let stolen_warm t = Atomic.get t.stolen_warm

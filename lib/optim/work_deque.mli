@@ -30,8 +30,15 @@
 
 type 'a t
 
-val create : workers:int -> 'a t
+val create : ?carries_warm:('a -> bool) -> workers:int -> unit -> 'a t
 (** A deque with one shard per worker (ids [0 .. workers-1]).
+    [?carries_warm] is a pure predicate for "this item migrates with
+    usable warm-start state" (e.g. a B&B region holding its parent's
+    relaxation optimum); when given, {!try_steal} counts matching
+    stolen items into {!stolen_warm}, turning "warm state survives
+    steals" from an assumption into a measured fact.  The predicate
+    runs under both shard locks — keep it O(1) and never let it touch
+    the deque.
     @raise Invalid_argument if [workers < 1]. *)
 
 val workers : 'a t -> int
@@ -106,3 +113,8 @@ val steals : 'a t -> int
 
 val stolen_nodes : 'a t -> int
 (** Total items moved by steals. *)
+
+val stolen_warm : 'a t -> int
+(** Stolen items that satisfied the [?carries_warm] predicate at steal
+    time — the migrated-warm-state observability counter.  0 when the
+    predicate was not supplied. *)

@@ -567,6 +567,132 @@ let test_ldafp_warm_counters_survive_resume () =
         full.Lda_fp.diagnostics.Lda_fp.search.Bnb.phase1_skipped
         resumed.Lda_fp.diagnostics.Lda_fp.search.Bnb.phase1_skipped)
 
+(* A checkpoint written before the oracle-counter schema existed lacks
+   the warm/miss keys; resuming through one restarts those counters from
+   zero mid-chain.  The search must say so — the sticky [counters_reset]
+   marker — instead of silently reporting a partial warm_hit_rate as if
+   it covered the whole run. *)
+let test_ldafp_counters_reset_marker () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let path = temp_checkpoint () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let config budget =
+        {
+          (exact_lda_config budget) with
+          Lda_fp.checkpoint = Some (Lda_fp.checkpoint_spec ~resume:true path);
+        }
+      in
+      let slice budget =
+        match Lda_fp.solve ~config:(config budget) pb with
+        | Some o -> o
+        | None -> Alcotest.fail "slice found no incumbent"
+      in
+      let first = slice 6 in
+      checkb "fresh run is not flagged" false
+        first.Lda_fp.diagnostics.Lda_fp.search.Bnb.counters_reset;
+      checkb "first slice stopped on the node budget" true
+        (first.Lda_fp.diagnostics.Lda_fp.stop_reason = Bnb.Node_budget);
+      (* Rewrite the snapshot as a pre-schema checkpoint looked: same
+         frontier and incumbent, warm/miss accounting keys absent. *)
+      let st = Checkpoint.load ~path () in
+      Checkpoint.save ~path
+        {
+          st with
+          Checkpoint.counters =
+            List.filter
+              (fun (k, _) -> not (List.mem k Bnb.warm_counter_keys))
+              st.Checkpoint.counters;
+        };
+      let second = slice 12 in
+      checkb "resume through a pre-schema snapshot raises the marker" true
+        second.Lda_fp.diagnostics.Lda_fp.search.Bnb.counters_reset;
+      checkb "second slice stopped on the node budget" true
+        (second.Lda_fp.diagnostics.Lda_fp.stop_reason = Bnb.Node_budget);
+      (* Sticky: the marker survives later snapshots of the chain even
+         though those record every key. *)
+      let third = slice 4000 in
+      checkb "marker survives later, fully-keyed snapshots" true
+        third.Lda_fp.diagnostics.Lda_fp.search.Bnb.counters_reset)
+
+(* The warm-start contract: a repaired start changes where the barrier
+   starts, never what the search concludes.  Warm and cold runs of the
+   same budgeted search must pick the identical incumbent — across
+   domain counts (work stealing migrates the inherited points), under
+   injected bound faults, and through a kill/resume chain. *)
+let prop_ldafp_warm_cold_agree =
+  QCheck.Test.make
+    ~name:"warm and cold LDA searches pick the same incumbent"
+    ~count:(qcheck_count 10)
+    QCheck.(quad (int_range 0 1_000_000) (oneofl [ 1; 2; 4 ]) bool bool)
+    (fun (seed, domains, inject, resume) ->
+      let open Ldafp_core in
+      let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+      let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+      let budget = 250 in
+      let base warm_start =
+        let c = exact_lda_config budget in
+        {
+          c with
+          Lda_fp.warm_start;
+          bnb_params = { c.Lda_fp.bnb_params with Bnb.domains };
+          inject_faults =
+            (* injection seeds are per-run, so a killed/resumed chain
+               would see a different fault sequence than the reference —
+               keep the two dimensions separate *)
+            (if inject && not resume then
+               Some
+                 (Fault_inject.config ~seed ~bound_exn_prob:0.05
+                    ~bound_nan_prob:0.05 ())
+             else None);
+        }
+      in
+      let cold = Lda_fp.solve ~config:(base false) pb in
+      let warm =
+        if not resume then Lda_fp.solve ~config:(base true) pb
+        else begin
+          let path = temp_checkpoint () in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              Sys.remove path;
+              let with_ck budget =
+                let c = base true in
+                {
+                  c with
+                  Lda_fp.bnb_params =
+                    { c.Lda_fp.bnb_params with Bnb.max_nodes = budget };
+                  checkpoint =
+                    Some (Lda_fp.checkpoint_spec ~resume:true path);
+                }
+              in
+              (* Kill the warm run mid-search, then resume to the same
+                 cumulative budget as the uninterrupted cold one. *)
+              ignore (Lda_fp.solve ~config:(with_ck (20 + (seed mod 60))) pb);
+              Lda_fp.solve ~config:(with_ck budget) pb)
+        end
+      in
+      match (warm, cold) with
+      | Some w, Some c ->
+          let wd = w.Lda_fp.diagnostics and cd = c.Lda_fp.diagnostics in
+          if w.Lda_fp.cost <> c.Lda_fp.cost then
+            QCheck.Test.fail_reportf "warm incumbent %.17g <> cold %.17g"
+              w.Lda_fp.cost c.Lda_fp.cost
+          else if
+            Float.abs (wd.Lda_fp.gap -. cd.Lda_fp.gap)
+            > 1e-9 *. (1.0 +. Float.abs cd.Lda_fp.gap)
+          then
+            QCheck.Test.fail_reportf
+              "certified gaps diverge: warm %.17g cold %.17g" wd.Lda_fp.gap
+              cd.Lda_fp.gap
+          else true
+      | None, None -> true
+      | _ -> QCheck.Test.fail_report "only one of the runs found an incumbent")
+
 let test_ldafp_interval_fallback_is_conservative () =
   let open Ldafp_core in
   let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
@@ -819,6 +945,7 @@ let qcheck_tests =
       prop_resume_reaches_same_incumbent;
       prop_stealing_agrees_with_sequential;
       prop_parallel_resume_matches_sequential;
+      prop_ldafp_warm_cold_agree;
     ]
 
 let () =
@@ -878,6 +1005,8 @@ let () =
             test_ldafp_faults_invalidate_warm_starts;
           Alcotest.test_case "warm counters survive resume" `Quick
             test_ldafp_warm_counters_survive_resume;
+          Alcotest.test_case "pre-schema snapshot flags counters_reset" `Quick
+            test_ldafp_counters_reset_marker;
         ] );
       ("properties", qcheck_tests);
     ]

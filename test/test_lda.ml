@@ -299,6 +299,96 @@ let test_secant_relaxation_soundness () =
               true (best > theta))
     [ best /. 2.0; best *. 0.9; best *. 0.99 ]
 
+let test_relative_margins_scale_invariant () =
+  (* The Table-1-style relaxation with every constraint rescaled by 1e6
+     describes the same geometry, so interiority verdicts must not
+     change.  Absolute margins fail exactly this: a fixed 1e-7 absolute
+     clearance is generous at scale 1 and lost in roundoff at scale
+     1e6. *)
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let tr = pb.Ldafp_problem.t_root in
+  let relax =
+    Ldafp_problem.relaxation pb ~wbox:pb.Ldafp_problem.elem_box ~trange:tr
+      ~eta:(Optim.Interval.sup_sq tr)
+  in
+  let s = 1e6 in
+  let scaled =
+    Optim.Socp.of_parts ~p:relax.Optim.Socp.p ~q:relax.Optim.Socp.q
+      ~lins:
+        (Array.map
+           (fun { Optim.Socp.a; b } ->
+             { Optim.Socp.a = Linalg.Vec.scale s a; b = s *. b })
+           relax.Optim.Socp.lins)
+      ~socs:
+        (Array.map
+           (fun { Optim.Socp.l; g; c; d } ->
+             {
+               Optim.Socp.l = Linalg.Mat.scale s l;
+               g = Linalg.Vec.scale s g;
+               c = Linalg.Vec.scale s c;
+               d = s *. d;
+             })
+           relax.Optim.Socp.socs)
+      relax.Optim.Socp.n
+  in
+  let agree label x =
+    checkb
+      (label ^ ": interiority verdict scale-invariant")
+      (Optim.Socp.is_strictly_interior ~margin:1e-8 relax x)
+      (Optim.Socp.is_strictly_interior ~margin:1e-8 scaled x);
+    checkb
+      (label ^ ": slack sign scale-invariant")
+      (Optim.Socp.min_relative_slack relax x > 0.0)
+      (Optim.Socp.min_relative_slack scaled x > 0.0)
+  in
+  let mid = Array.map Fx_interval.mid pb.Ldafp_problem.elem_box in
+  agree "box midpoint" mid;
+  (* A point on a box face: zero slack at any scale. *)
+  let face = Array.copy mid in
+  face.(0) <- Fx_interval.hi pb.Ldafp_problem.elem_box.(0);
+  agree "box face" face;
+  (* A point a small relative depth inside the same face. *)
+  let near = Array.copy mid in
+  near.(0) <-
+    Fx_interval.hi pb.Ldafp_problem.elem_box.(0)
+    -. (1e-4 *. Fx_interval.width pb.Ldafp_problem.elem_box.(0));
+  agree "near the face" near
+
+let test_warm_prepare_repairs_branch_cut () =
+  (* The search's hot case, in miniature: branch t at the parent
+     optimum's own projection.  The inherited point lands exactly on the
+     child's branch-cut half-space — not strictly interior — and
+     [prepare_warm_start] must repair it (pull-in toward the
+     analytic-center proxy) rather than go cold. *)
+  let fmt = Qformat.make ~k:2 ~f:2 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let wbox = pb.Ldafp_problem.elem_box in
+  let relax trange =
+    Ldafp_problem.relaxation pb ~wbox ~trange
+      ~eta:(Optim.Interval.sup_sq trange)
+  in
+  let start = Array.map Fx_interval.mid wbox in
+  let root =
+    match Optim.Socp.solve_auto (relax pb.Ldafp_problem.t_root) ~start with
+    | Some s -> s
+    | None -> Alcotest.fail "root relaxation infeasible"
+  in
+  let t_opt = Ldafp_problem.t_of pb root.Optim.Socp.x in
+  let left, _ = Optim.Interval.split ~at:t_opt pb.Ldafp_problem.t_root in
+  let child = relax left in
+  checkb "parent optimum sits on the cut" false
+    (Optim.Socp.is_strictly_interior ~margin:1e-8 child root.Optim.Socp.x);
+  let target = Ldafp_problem.center_point pb ~wbox ~trange:left in
+  checkb "center-point target is strictly interior" true
+    (Optim.Socp.is_strictly_interior child target);
+  match Optim.Socp.prepare_warm_start ~target child root.Optim.Socp.x with
+  | None -> Alcotest.fail "branch-cut point must be repairable"
+  | Some (y, prep) ->
+      checkb "repaired point certifiably interior" true
+        (Optim.Socp.min_relative_slack child y > 0.0);
+      checkb "repair actually ran" true (prep <> Optim.Socp.Warm_interior)
+
 (* ------------------------------------------------------------------ *)
 (* Heuristics                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -873,6 +963,10 @@ let () =
             test_relaxation_lower_bounds_feasible_points;
           Alcotest.test_case "secant certificate sound" `Quick
             test_secant_relaxation_soundness;
+          Alcotest.test_case "relative margins scale-invariant" `Quick
+            test_relative_margins_scale_invariant;
+          Alcotest.test_case "warm prepare repairs the branch cut" `Quick
+            test_warm_prepare_repairs_branch_cut;
         ] );
       ( "heuristics",
         [

@@ -611,7 +611,7 @@ let test_bnb_domains_one_identity () =
    exercise the whole protocol deterministically. *)
 
 let test_work_deque_basic () =
-  let d = Work_deque.create ~workers:2 in
+  let d = Work_deque.create ~workers:2 () in
   checki "workers" 2 (Work_deque.workers d);
   checkb "fresh deque is drained" true (Work_deque.drained d);
   checkf 1e-12 "empty frontier bound" Float.infinity
@@ -633,12 +633,12 @@ let test_work_deque_basic () =
   checki "release retires one node" 1 (Work_deque.live d);
   checkf 1e-12 "bound advances on release" 3.0 (Work_deque.frontier_bound d);
   checkb "invalid worker count rejected" true
-    (match Work_deque.create ~workers:0 with
+    (match Work_deque.create ~workers:0 () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
 let test_work_deque_steal_ordering () =
-  let d = Work_deque.create ~workers:2 in
+  let d = Work_deque.create ~workers:2 () in
   List.iter
     (fun k -> Work_deque.push d ~worker:0 k (int_of_float k))
     [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
@@ -671,7 +671,7 @@ let test_work_deque_last_node_stolen () =
      worker 0's only node, so every shard heap is empty while the search
      space is not exhausted.  Declaring the drain here would abandon the
      stolen node's whole subtree. *)
-  let d = Work_deque.create ~workers:2 in
+  let d = Work_deque.create ~workers:2 () in
   Work_deque.push d ~worker:0 1.0 ();
   (match Work_deque.try_steal d ~thief:1 with
   | Some (k, ()) -> checkf 1e-12 "stole the last node" 1.0 k
@@ -949,6 +949,124 @@ let test_warm_start_params () =
   checkf 1e-9 "custom levels" (p.Socp.tau0 *. (p.Socp.mu ** 2.0)) w2.Socp.tau0;
   checkf 1e-12 "gap_tol unchanged" p.Socp.gap_tol w2.Socp.gap_tol
 
+(* A shared 3-variable test problem: coupled quadratic, unit box, and a
+   ball of radius 2 around the origin. *)
+let restrict_test_problem () =
+  let p =
+    [| [| 2.0; 1.0; 0.0 |]; [| 1.0; 2.0; 0.0 |]; [| 0.0; 0.0; 2.0 |] |]
+  in
+  let q = [| -1.0; 0.5; -2.0 |] in
+  let lins = Socp.box_constraints (Vec.make 3 (-1.0)) (Vec.make 3 1.0) in
+  let ball =
+    { Socp.l = Mat.identity 3; g = Vec.zeros 3; c = Vec.zeros 3; d = 2.0 }
+  in
+  Socp.problem ~p ~q ~lins ~socs:[ ball ] 3
+
+let test_socp_restrict_substitution () =
+  let pb = restrict_test_problem () in
+  let v = 0.25 in
+  match Socp.restrict pb ~fixed:[| (1, v) |] with
+  | None -> Alcotest.fail "restriction of an interior pin must exist"
+  | Some r ->
+      checki "full dimension" 3 r.Socp.full_n;
+      checki "reduced dimension" 2 r.Socp.reduced.Socp.n;
+      checkb "free indices" true (r.Socp.free = [| 0; 2 |]);
+      (* The substitution is exact: the reduced objective plus the frozen
+         offset equals the full objective at the embedded point, for any
+         reduced point. *)
+      let rng = Stats.Rng.create 5 in
+      for _ = 1 to 25 do
+        let y = Vec.init 2 (fun _ -> Stats.Rng.uniform rng ~lo:(-3.0) ~hi:3.0) in
+        let x = Socp.restriction_embed r y in
+        checkf 1e-12 "pinned coordinate embedded" v x.(1);
+        checkb "project . embed = id" true (Socp.restriction_project r x = y);
+        checkf 1e-10 "objective identity"
+          (Socp.objective_value pb x)
+          (Socp.objective_value r.Socp.reduced y
+          +. Socp.restriction_objective_const r)
+      done;
+      (* The reduced problem has a usable strict interior and its optimum
+         embeds to a full-space feasible point on the pinned slice. *)
+      let sol =
+        match Socp.solve_auto r.Socp.reduced ~start:(Vec.zeros 2) with
+        | Some s -> s
+        | None -> Alcotest.fail "reduced problem should be solvable"
+      in
+      let x = Socp.restriction_embed r sol.Socp.x in
+      checkb "embedded optimum feasible" true
+        (Socp.is_feasible ~tol:1e-7 pb x);
+      checkf 1e-12 "embedded optimum stays pinned" v x.(1)
+
+let test_socp_restrict_validation () =
+  let pb = restrict_test_problem () in
+  (* A pin outside the box contradicts the box half-spaces: the slice is
+     empty and restrict certifies it. *)
+  checkb "infeasible pin detected" true
+    (Socp.restrict pb ~fixed:[| (1, 5.0) |] = None);
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  checkb "empty fixed rejected" true (raises (fun () ->
+      Socp.restrict pb ~fixed:[||]));
+  checkb "all-fixed rejected" true (raises (fun () ->
+      Socp.restrict pb ~fixed:[| (0, 0.0); (1, 0.0); (2, 0.0) |]));
+  checkb "out-of-range index rejected" true (raises (fun () ->
+      Socp.restrict pb ~fixed:[| (3, 0.0) |]))
+
+let test_socp_correct_to_interior () =
+  (* A point exactly on a box face has zero slack — the pull-free repair
+     of last resort must move it strictly inside. *)
+  let lins = Socp.box_constraints (Vec.zeros 2) (Vec.make 2 1.0) in
+  let pb = Socp.problem ~p:(Mat.identity 2) ~lins 2 in
+  let x = [| 1.0; 0.5 |] in
+  checkb "starts on the boundary" false (Socp.is_strictly_interior pb x);
+  match Socp.correct_to_interior pb x with
+  | None -> Alcotest.fail "one Newton step should repair a boundary point"
+  | Some y ->
+      checkb "corrected point strictly interior" true
+        (Socp.min_relative_slack pb y > 0.0)
+
+(* The tentpole property: pulling a clipped parent optimum toward a
+   strictly interior target always lands certifiably inside — on random
+   box-and-ball problems with the start pushed onto a random box face,
+   exactly how branch-cut clipping places inherited points. *)
+let prop_pull_in_strictly_interior =
+  QCheck.Test.make ~name:"pull-in always lands strictly interior"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      let lo = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:(-0.1)) in
+      let hi = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:0.1 ~hi:2.0) in
+      let radius = Stats.Rng.uniform rng ~lo:1.0 ~hi:4.0 in
+      let cone =
+        { Socp.l = Mat.identity n; g = Vec.zeros n; c = Vec.zeros n;
+          d = radius }
+      in
+      let pb = Socp.problem ~lins:(Socp.box_constraints lo hi) ~socs:[ cone ] n in
+      let x0 =
+        Array.init n (fun i -> Stats.Rng.uniform rng ~lo:lo.(i) ~hi:hi.(i))
+      in
+      let j = Stats.Rng.int rng n in
+      x0.(j) <- (if Stats.Rng.uniform rng ~lo:0.0 ~hi:1.0 < 0.5 then lo.(j)
+                 else hi.(j));
+      (* The origin is strictly interior by construction (box spans it,
+         ball slack = radius >= 1), so the pull-in must succeed... *)
+      match Socp.pull_to_interior pb ~target:(Vec.zeros n) x0 with
+      | None -> QCheck.Test.fail_report "pull-in failed with interior target"
+      | Some y ->
+          (* ...and certifiably: strictly positive relative slack on
+             every constraint, not just epsilon-feasibility. *)
+          if Socp.min_relative_slack pb y <= 0.0 then
+            QCheck.Test.fail_reportf "pulled point has slack %.3g"
+              (Socp.min_relative_slack pb y)
+          else begin
+            match Socp.prepare_warm_start pb x0 ~target:(Vec.zeros n) with
+            | None ->
+                QCheck.Test.fail_report "prepare refused a repairable point"
+            | Some (z, _) -> Socp.min_relative_slack pb z > 0.0
+          end)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -957,6 +1075,7 @@ let qcheck_tests =
       prop_pqueue_steal_half;
       prop_admm_agrees_with_barrier;
       prop_warm_start_agrees_with_cold;
+      prop_pull_in_strictly_interior;
       prop_bnb_parallel_incumbent;
     ]
 
@@ -1019,6 +1138,12 @@ let () =
             test_phase1_detects_infeasible;
           Alcotest.test_case "solve_auto" `Quick test_solve_auto_pipeline;
           Alcotest.test_case "warm-start params" `Quick test_warm_start_params;
+          Alcotest.test_case "restrict substitutes exactly" `Quick
+            test_socp_restrict_substitution;
+          Alcotest.test_case "restrict validation" `Quick
+            test_socp_restrict_validation;
+          Alcotest.test_case "Newton correction repairs boundary" `Quick
+            test_socp_correct_to_interior;
           Alcotest.test_case "dimension checks" `Quick
             test_socp_dimension_checks;
         ] );
