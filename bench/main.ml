@@ -120,6 +120,17 @@ let median xs =
   else if n mod 2 = 1 then a.(n / 2)
   else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
 
+(* Nearest-rank percentile (p in [0, 100]) — coarse but monotone, which
+   is all the slack-distribution report needs. *)
+let percentile p xs =
+  let a = Array.copy xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else
+    let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) i))
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the solver kernels (E6)                *)
 (* ------------------------------------------------------------------ *)
@@ -297,10 +308,55 @@ let run_bound_kernel ~quick ?seed () =
   in
   let cold_sol = cold () in
   let cold_ms = median (time_ms cold) in
+  (* Certificate overhead: the independent dual verification every
+     pruning bound now pays, as a fraction of the bound solve itself.
+     Timed on the same child relaxation/solution pair as the cold
+     kernel so the ratio compares like with like. *)
+  let cert_ms =
+    median
+      (time_ms (fun () ->
+           match Optim.Socp.certify_lower_bound child cold_sol with
+           | Ok _ -> ()
+           | Error f ->
+               failwith
+                 ("bound-kernel bench: certificate failed: "
+                 ^ Optim.Socp.describe_cert_failure f)))
+  in
+  let cert_overhead = cert_ms /. Float.max cold_ms 1e-12 in
+  (* Primal-vs-dual slack distribution over a chain of genuinely
+     distinct relaxations (split on t at each level's optimum), not the
+     same node certified [reps] times. *)
+  let cert_slacks =
+    let rec walk trange acc k =
+      if k = 0 then acc
+      else
+        let p = relax trange in
+        match Optim.Socp.solve_auto ~params p ~start:(mid_start ()) with
+        | None -> acc
+        | Some s -> (
+            match Optim.Socp.certify_lower_bound p s with
+            | Error _ -> acc
+            | Ok c ->
+                let t_opt = Ldafp_problem.t_of pb s.Optim.Socp.x in
+                let sub, _ = Optim.Interval.split ~at:t_opt trange in
+                walk sub (c.Optim.Socp.slack :: acc) (k - 1))
+    in
+    Array.of_list (walk root_trange [] (if quick then 6 else 10))
+  in
   Printf.printf "  synthetic %s problem, %d reps, warm preparation: %s\n"
     (Fixedpoint.Qformat.to_string fmt)
     reps prep_kind;
   Printf.printf "  cold  (phase-I + barrier):        median %8.3f ms\n" cold_ms;
+  Printf.printf
+    "  cert  (dual verification):        median %8.3f ms  (%.1f%% of the \
+     cold bound)\n"
+    cert_ms (100.0 *. cert_overhead);
+  Printf.printf
+    "  cert slack over %d node(s): p50 %.3g  p90 %.3g  max %.3g\n%!"
+    (Array.length cert_slacks)
+    (percentile 50.0 cert_slacks)
+    (percentile 90.0 cert_slacks)
+    (percentile 100.0 cert_slacks);
   let common =
     [
       ("problem", Json.Str (Fixedpoint.Qformat.to_string fmt));
@@ -308,6 +364,12 @@ let run_bound_kernel ~quick ?seed () =
       ("warm_prep", Json.Str prep_kind);
       ("cold_median_ms", Json.Float cold_ms);
       ("cold_objective", Json.Float cold_sol.Optim.Socp.objective);
+      ("cert_median_ms", Json.Float cert_ms);
+      ("cert_overhead_ratio", Json.Float cert_overhead);
+      ("cert_slack_nodes", Json.Int (Array.length cert_slacks));
+      ("cert_slack_p50", Json.Float (percentile 50.0 cert_slacks));
+      ("cert_slack_p90", Json.Float (percentile 90.0 cert_slacks));
+      ("cert_slack_max", Json.Float (percentile 100.0 cert_slacks));
     ]
   in
   match warm () with
@@ -380,13 +442,14 @@ let run_parallel_bnb ~quick ?seed () =
   let prep = Pipeline.prepare ~fmt ds in
   let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
   let max_nodes = if quick then 150 else 2000 in
-  let solve ?(warm_start = true) domains =
+  let solve ?(warm_start = true) ?(certify = true) domains =
     let config =
       {
         Lda_fp.default_config with
         bnb_params =
           { Optim.Bnb.default_params with max_nodes; rel_gap = 1e-6; domains };
         warm_start;
+        certify;
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -481,6 +544,10 @@ let run_parallel_bnb ~quick ?seed () =
             ("steals", Json.Int s.Optim.Bnb.steals);
             ("stolen_nodes", Json.Int s.Optim.Bnb.stolen_nodes);
             ("idle_wakeups", Json.Int s.Optim.Bnb.idle_wakeups);
+            ("cert_verified", Json.Int s.Optim.Bnb.cert_verified);
+            ("cert_repaired", Json.Int s.Optim.Bnb.cert_repaired);
+            ("cert_fallbacks", Json.Int s.Optim.Bnb.cert_fallbacks);
+            ("certified_sound", Json.Bool s.Optim.Bnb.certified_sound);
           ]
   in
   report "domains=1" (seq, seq_t);
@@ -523,6 +590,32 @@ let run_parallel_bnb ~quick ?seed () =
      same node count %b\n\
      %!"
     same_incumbent same_gap same_nodes;
+  (* Certified vs trusting ablation (domains=1): pruning on the verified
+     dual certificate must land on the same incumbent as pruning on the
+     raw primal objective when the solver is healthy.  Only the
+     incumbent is gated — the certified bound is looser than the primal
+     one by construction (the dual slack), so gaps and node counts are
+     recorded as information, not equality. *)
+  let trusting, trusting_t = solve ~certify:false 1 in
+  let cert_same_incumbent = cost_of (seq, seq_t) = cost_of (trusting, trusting_t) in
+  let stats_of = function
+    | Some o, _ ->
+        Some o.Ldafp_core.Lda_fp.diagnostics.Ldafp_core.Lda_fp.search
+    | None, _ -> None
+  in
+  let seq_stats = stats_of (seq, seq_t) in
+  let certified_sound =
+    match seq_stats with Some s -> s.Optim.Bnb.certified_sound | None -> false
+  in
+  let cert_int f = match seq_stats with Some s -> f s | None -> -1 in
+  Printf.printf
+    "  certified vs trusting (domains=1): same incumbent %b, certified \
+     sound %b, %d verified / %d repaired / %d fallback(s)\n\
+     %!"
+    cert_same_incumbent certified_sound
+    (cert_int (fun s -> s.Optim.Bnb.cert_verified))
+    (cert_int (fun s -> s.Optim.Bnb.cert_repaired))
+    (cert_int (fun s -> s.Optim.Bnb.cert_fallbacks));
   Json.Obj
     [
       ("experiments", Json.List (List.rev !records));
@@ -541,6 +634,21 @@ let run_parallel_bnb ~quick ?seed () =
             ("cold_gap", Json.Float (gap_of (cold, cold_t)));
             ("warm_nodes", Json.Int (nodes_of (seq, seq_t)));
             ("cold_nodes", Json.Int (nodes_of (cold, cold_t)));
+          ] );
+      ( "certified_vs_trusting",
+        Json.Obj
+          [
+            ("same_incumbent", Json.Bool cert_same_incumbent);
+            ("certified_sound", Json.Bool certified_sound);
+            ("cert_verified", Json.Int (cert_int (fun s -> s.Optim.Bnb.cert_verified)));
+            ("cert_repaired", Json.Int (cert_int (fun s -> s.Optim.Bnb.cert_repaired)));
+            ("cert_fallbacks", Json.Int (cert_int (fun s -> s.Optim.Bnb.cert_fallbacks)));
+            ("certified_cost", Json.Float (cost_of (seq, seq_t)));
+            ("trusting_cost", Json.Float (cost_of (trusting, trusting_t)));
+            ("certified_gap", Json.Float (gap_of (seq, seq_t)));
+            ("trusting_gap", Json.Float (gap_of (trusting, trusting_t)));
+            ("certified_nodes", Json.Int (nodes_of (seq, seq_t)));
+            ("trusting_nodes", Json.Int (nodes_of (trusting, trusting_t)));
           ] );
     ]
 

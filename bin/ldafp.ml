@@ -67,14 +67,28 @@ let no_warm_start_arg =
            parent's optimum (cold phase-I on every node; slower, same \
            certified bounds).")
 
-let config_of_nodes ?(domains = 1) ?(warm_start = true) ?checkpoint ?progress
-    nodes =
+let no_certify_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-certify" ]
+        ~doc:
+          "Trust the primal solver: prune on objective − 2·gap_bound \
+           instead of the independently verified dual certificate.  \
+           Bounds are then only as good as the barrier solve that \
+           produced them — a stalled or corrupted solve can silently \
+           prune the optimum.  Escape hatch for benchmarking the \
+           certificate overhead; never use it for results you keep.")
+
+let config_of_nodes ?(domains = 1) ?(warm_start = true) ?(certify = true)
+    ?checkpoint ?progress nodes =
   {
     Lda_fp.default_config with
     bnb_params =
       { Optim.Bnb.default_params with max_nodes = nodes; rel_gap = 1e-3;
         domains };
     warm_start;
+    certify;
     checkpoint;
     progress;
   }
@@ -217,9 +231,14 @@ let train_cmd =
              line to stderr: incumbent, certified bound, gap, node \
              rate, steals and oracle utilisation.")
   in
-  let run verbose data wl k method_ nodes domains no_warm_start rho checkpoint
-      checkpoint_every resume trace metrics progress out =
+  let run verbose data wl k method_ nodes domains no_warm_start no_certify rho
+      checkpoint checkpoint_every resume trace metrics progress out =
     setup_logs verbose;
+    if no_certify then
+      Fmt.epr
+        "WARNING: --no-certify prunes on the solver's primal objective \
+         without independent verification — a bad solve can prune the \
+         optimum.  Results are NOT certified.@.";
     let ds = Datasets.Dataset_io.load data in
     let fmt = fmt_of ~wl ~k in
     if resume && checkpoint = None then begin
@@ -271,7 +290,7 @@ let train_cmd =
             Pipeline.train_ldafp
               ~config:
                 (config_of_nodes ~domains ~warm_start:(not no_warm_start)
-                   ?checkpoint ?progress nodes)
+                   ~certify:(not no_certify) ?checkpoint ?progress nodes)
               ~interrupt ~rho ~fmt ds
           in
           let outcome =
@@ -333,6 +352,37 @@ let train_cmd =
                    to interval bound, %d dropped@."
                   s.Optim.Bnb.oracle_failures s.Optim.Bnb.retries
                   s.Optim.Bnb.degraded_bounds s.Optim.Bnb.dropped_regions;
+              if
+                s.Optim.Bnb.retry_budget_exhausted > 0
+                || s.Optim.Bnb.retry_backoff_seconds > 0.0
+              then
+                Fmt.pr
+                  "fault retries: %.3fs in backoff, %d node(s) hit the \
+                   per-node retry budget@."
+                  s.Optim.Bnb.retry_backoff_seconds
+                  s.Optim.Bnb.retry_budget_exhausted;
+              if s.Optim.Bnb.frontier_shed > 0 then
+                Fmt.pr
+                  "frontier: shed %d node(s) to stay within the memory \
+                   cap (their best bound is folded into the reported \
+                   gap)@."
+                  s.Optim.Bnb.frontier_shed;
+              if
+                s.Optim.Bnb.cert_verified > 0
+                || s.Optim.Bnb.cert_repaired > 0
+                || s.Optim.Bnb.cert_fallbacks > 0
+              then
+                Fmt.pr
+                  "certificates: %d verified (%d needed dual repair), %d \
+                   fallback(s) to the interval bound@."
+                  s.Optim.Bnb.cert_verified s.Optim.Bnb.cert_repaired
+                  s.Optim.Bnb.cert_fallbacks;
+              if not s.Optim.Bnb.certified_sound then
+                Fmt.pr
+                  "warning: at least one pruning decision trusted an \
+                   unverified primal objective (--no-certify, or a resume \
+                   through a pre-certificate checkpoint) — the reported \
+                   bound and gap are NOT independently certified@.";
               r.Pipeline.classifier)
             outcome
     in
@@ -355,9 +405,9 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Train a fixed-point classifier.")
     Term.(
       const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
-      $ nodes_arg $ domains_arg $ no_warm_start_arg $ rho_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ trace_arg $ metrics_arg
-      $ progress_arg $ out)
+      $ nodes_arg $ domains_arg $ no_warm_start_arg $ no_certify_arg
+      $ rho_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+      $ trace_arg $ metrics_arg $ progress_arg $ out)
 
 (* ---------------- eval ---------------- *)
 

@@ -21,6 +21,7 @@ type config = {
   t_branch_bias : float;
   secant_prune : bool;
   warm_start : bool;
+  certify : bool;
   socp_params : Socp.params;
   bnb_params : Bnb.params;
   fault_policy : Fault.policy;
@@ -40,6 +41,7 @@ let default_config =
     t_branch_bias = 3.0;
     secant_prune = true;
     warm_start = true;
+    certify = true;
     socp_params =
       { Socp.default_params with gap_tol = 1e-7;
         newton = { Newton.default_params with tol = 1e-9; max_iter = 60 } };
@@ -141,8 +143,14 @@ let better a b =
    η = sup t² bound once an incumbent exists, since it couples numerator
    and denominator. *)
 (* [theta] is read from the shared incumbent mirror (an Atomic when the
-   search runs on several domains); the test itself is pure. *)
-let secant_prunes cfg pb ?warm ~fixed node theta =
+   search runs on several domains); the test itself is pure.
+
+   A secant prune is a pruning decision like any other, so it obeys the
+   same rule: with [cfg.certify] the "minimum > 0" claim must come from
+   the verified dual certificate of the secant program, never from its
+   primal objective.  A failed certificate declines the prune (sound —
+   the main bound still runs) rather than failing the node. *)
+let secant_prunes cfg pb ~counters ?warm ~fixed node theta =
   theta < Float.infinity
   && Interval.lo node.trange >= 0.0
   &&
@@ -178,9 +186,17 @@ let secant_prunes cfg pb ?warm ~fixed node theta =
       match Socp.solve_auto ~params:cfg.socp_params problem ~start with
       | None -> false (* feasibility unclear; let the main bound decide *)
       | Some sol ->
-          sol.Socp.objective +. oconst +. constant
-          -. (2.0 *. sol.Socp.gap_bound)
-          > 1e-12)
+          if cfg.certify then
+            match Socp.certify_lower_bound problem sol with
+            | Ok cert ->
+                if cert.Socp.repaired then Bnb.count_cert_repaired counters
+                else Bnb.count_cert_verified counters;
+                cert.Socp.dual_value +. oconst +. constant > 1e-12
+            | Error _ -> false (* unverified: decline the prune *)
+          else
+            sol.Socp.objective +. oconst +. constant
+            -. (2.0 *. sol.Socp.gap_bound)
+            > 1e-12)
 
 (* Clip an inherited relaxation optimum into this node's box, nudged a
    fraction of each width inside so clipped coordinates do not land
@@ -242,8 +258,8 @@ let bound_node cfg pb incumbent counters node =
         in
         if
           cfg.secant_prune
-          && secant_prunes cfg pb ?warm:(Option.map fst warm) ~fixed node
-               (Atomic.get incumbent)
+          && secant_prunes cfg pb ~counters ?warm:(Option.map fst warm) ~fixed
+               node (Atomic.get incumbent)
         then None
         else
           let eta = Interval.sup_sq node.trange in
@@ -277,15 +293,42 @@ let bound_node cfg pb incumbent counters node =
                    point of this region is feasible. *)
                 None
             | Some (socp, project, embed, obj_const) -> (
-            (* Shared continuation for warm and cold solves. *)
+            (* Shared continuation for warm and cold solves.
+
+               The node's lower bound — the value every pruning decision
+               compares against the incumbent — is {e never} the primal
+               objective.  Certified mode derives it from the verified
+               dual certificate (sound whatever the solve did; typically
+               also tighter, slack ≈ ν/τ instead of 2ν/τ); a failed
+               certificate raises {!Fault.Certificate_error}, which the
+               containment policy classifies, retries with jittered
+               parameters (the retry hook clears the warm state, giving
+               the re-solve a fresh certificate chance), and finally
+               degrades to the certified interval fallback.  The
+               trusting formula survives only behind [certify = false],
+               which also clears {!Bnb.stats.certified_sound}. *)
             let solved sol =
               let x_full = embed sol.Socp.x in
               node.relax_w <-
                 Some { point = x_full; tau_final = sol.Socp.tau_final };
               let lower =
-                Float.max 0.0
-                  (obj_const +. sol.Socp.objective
-                  -. (2.0 *. sol.Socp.gap_bound))
+                if cfg.certify then
+                  match Socp.certify_lower_bound socp sol with
+                  | Ok cert ->
+                      if cert.Socp.repaired then
+                        Bnb.count_cert_repaired counters
+                      else Bnb.count_cert_verified counters;
+                      (* cost >= 0 always (the objective is a scaled
+                         PSD quadratic), so the clamp loses nothing and
+                         stays certified. *)
+                      Float.max 0.0 (obj_const +. cert.Socp.dual_value)
+                  | Error f ->
+                      raise
+                        (Fault.Certificate_error (Socp.describe_cert_failure f))
+                else
+                  Float.max 0.0
+                    (obj_const +. sol.Socp.objective
+                    -. (2.0 *. sol.Socp.gap_bound))
               in
               let cand = candidate_of_point pb node x_full in
               let cand =
@@ -511,11 +554,16 @@ let jittered_config cfg k =
 let solve ?(config = default_config) ?interrupt pb =
   (* Monotonic: [train_seconds] must be immune to NTP steps mid-run. *)
   let started = Obs.Clock.now () in
-  (* The suffix versions the marshalled node shape: nodes now carry
-     [warm_info] (point + terminal tau) instead of a bare point, so a
-     checkpoint written by an older build must be rejected at load
-     (fingerprint mismatch) rather than unmarshalled into garbage. *)
-  let fingerprint = Ldafp_problem.fingerprint pb ^ "+warm2" in
+  (* The suffix versions the snapshot semantics: [+warm2] covers the
+     marshalled node shape (nodes carry [warm_info], not a bare point);
+     [+cert1] covers certified pruning — frontier keys written by a
+     pre-certificate build were computed by the trusting formula, so
+     such snapshots must be rejected at load (fingerprint mismatch)
+     rather than silently resumed as if their bounds were verified.
+     (Same-schema snapshots merely {e stripped} of the cert counters
+     still load; {!Bnb} then raises the sticky [counters_reset] marker
+     and clears [certified_sound].) *)
+  let fingerprint = Ldafp_problem.fingerprint pb ^ "+warm2+cert1" in
   (* A requested resume with no file on disk degrades to a fresh run (the
      natural first iteration of a kill/resume loop); an existing file
      that fails validation raises [Checkpoint.Corrupt] — silently
@@ -592,6 +640,9 @@ let solve ?(config = default_config) ?interrupt pb =
         Some info
   in
   let counters = Bnb.oracle_counters () in
+  (* Running trusting-mode is a conscious, recorded choice: the result's
+     [certified_sound] flag (and every checkpoint in the chain) says so. *)
+  if not config.certify then Bnb.mark_uncertified counters;
   let oracle =
     {
       Bnb.bound =

@@ -63,6 +63,22 @@ type config = {
           barrier solve runs to the same tolerances from any interior
           start); disable to reproduce cold-start behaviour exactly
           (default true) *)
+  certify : bool;
+      (** derive every pruning bound from an independently verified dual
+          certificate ({!Optim.Socp.certify_lower_bound}) instead of the
+          solver's primal objective: approximate dual multipliers are
+          extracted from the terminal barrier iterate, repaired onto the
+          dual-feasible set, and the dual objective is evaluated in
+          outward-rounded interval arithmetic, so the bound is true
+          {e whatever} the primal solve did — a stalled or corrupted
+          solve can cost nodes, never the optimum.  Applies to the main
+          relaxation bound {e and} the secant prune.  Certificate
+          failures flow through the fault policy (retry with jitter,
+          then degrade to the certified
+          {!Ldafp_problem.interval_lower_bound}) and are counted in
+          {!Optim.Bnb.stats}[.cert_fallbacks].  Disabling restores the
+          trusting [objective − 2·gap_bound] formula and clears the
+          {!Optim.Bnb.stats}[.certified_sound] flag (default true) *)
   socp_params : Optim.Socp.params;
   bnb_params : Optim.Bnb.params;
       (** includes [domains]: set it above 1 to explore the tree on

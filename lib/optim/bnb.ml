@@ -15,11 +15,12 @@ type params = {
   time_limit : float option;
   log_every : int;
   domains : int;
+  max_frontier : int;
 }
 
 let default_params =
   { max_nodes = 100_000; rel_gap = 1e-6; abs_gap = 1e-12; time_limit = None;
-    log_every = 0; domains = 1 }
+    log_every = 0; domains = 1; max_frontier = 0 }
 
 type ('region, 'sol) faults = {
   policy : Fault.policy;
@@ -60,6 +61,13 @@ type stats = {
   warm_miss_fault_cleared : int;
   stolen_warm : int;
   counters_reset : bool;
+  cert_verified : int;
+  cert_repaired : int;
+  cert_fallbacks : int;
+  certified_sound : bool;
+  frontier_shed : int;
+  retry_budget_exhausted : int;
+  retry_backoff_seconds : float;
   oracle_seconds : float;
   domain_oracle_seconds : float array;
   wall_seconds : float;
@@ -74,6 +82,16 @@ type oracle_counters = {
   miss_not_interior : int Atomic.t;
   miss_fault_cleared : int Atomic.t;
   oracle_time_us : int Atomic.t;
+  cert_verified : int Atomic.t;
+  cert_repaired : int Atomic.t;
+  cert_fallbacks : int Atomic.t;
+  certified_sound : bool Atomic.t;
+      (* True while every pruning decision of the search (including any
+         resumed-from prefix) rested on a verified dual certificate or
+         a certified interval fallback.  Cleared — never re-set — when
+         the oracle runs with certification disabled or the resume
+         chain passes through a pre-certificate snapshot whose frontier
+         keys have unknown provenance. *)
 }
 
 let oracle_counters () =
@@ -86,6 +104,10 @@ let oracle_counters () =
     miss_not_interior = Atomic.make 0;
     miss_fault_cleared = Atomic.make 0;
     oracle_time_us = Atomic.make 0;
+    cert_verified = Atomic.make 0;
+    cert_repaired = Atomic.make 0;
+    cert_fallbacks = Atomic.make 0;
+    certified_sound = Atomic.make true;
   }
 
 let count_warm_start_hit oc = Atomic.incr oc.warm_hits
@@ -95,6 +117,9 @@ let count_warm_newton_correction oc = Atomic.incr oc.corrections
 let count_warm_miss_no_parent oc = Atomic.incr oc.miss_no_parent
 let count_warm_miss_not_interior oc = Atomic.incr oc.miss_not_interior
 let count_warm_miss_fault_cleared oc = Atomic.incr oc.miss_fault_cleared
+let count_cert_verified oc = Atomic.incr oc.cert_verified
+let count_cert_repaired oc = Atomic.incr oc.cert_repaired
+let mark_uncertified oc = Atomic.set oc.certified_sound false
 
 type 'sol result = {
   best : ('sol * float) option;
@@ -159,6 +184,16 @@ let m_fault_dropped =
     ~help:"regions dropped after exhausting the containment policy"
     "ldafp_fault_drop_total"
 
+let m_cert_fallbacks =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"regions degraded or dropped because their dual certificate failed"
+    "ldafp_fault_cert_fallback_total"
+
+let m_frontier_shed =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"queued regions shed by the bounded-memory frontier cap"
+    "ldafp_bnb_frontier_shed_total"
+
 (* One line for [Obs.Progress]: the search-wide picture an operator
    needs to decide whether a long run is still converging. *)
 let progress_line ~nodes ~elapsed ~incumbent ~bound ~steals ~oracle_us =
@@ -198,8 +233,33 @@ let sanitize_candidate (fc : Fault.counters) = function
       Some { lower; candidate = None }
   | info -> info
 
+(* Capped-exponential backoff before a retry, charged to the shared
+   fault counters so operators can see how much wall-clock containment
+   cost.  Sleeping holds no lock (the caller's in-flight slot is not a
+   lock); siblings keep exploring. *)
+let sleep_backoff (policy : Fault.policy) (fc : Fault.counters) ~attempt =
+  let d = Fault.backoff_delay policy ~attempt in
+  if d > 0.0 then begin
+    Unix.sleepf d;
+    ignore (Atomic.fetch_and_add fc.Fault.backoff_ns (int_of_float (d *. 1e9)))
+  end
+
+(* Per-expansion retry budget: [!budget > 0] retries remain; [0] just
+   ran out (count the exhaustion once, then mark with -1). *)
+let budget_allows (fc : Fault.counters) budget =
+  if !budget > 0 then true
+  else begin
+    if !budget = 0 then begin
+      budget := -1;
+      Atomic.incr fc.Fault.budget_exhausted;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"fault" "fault.budget_exhausted"
+    end;
+    false
+  end
+
 let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
-    (oracle : _ oracle) region =
+    ~(oc : oracle_counters) ~(budget : int ref) (oracle : _ oracle) region =
   let policy = faults.policy in
   let call attempt =
     let f =
@@ -214,6 +274,8 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
       when Float.is_nan lower || lower = Float.neg_infinity ->
         Error (Fault.Non_finite_bound lower, None)
     | info -> Ok info
+    | exception (Fault.Certificate_error msg as e) ->
+        Error (Fault.Certificate_failed msg, Some e)
     | exception e when Fault.containable e ->
         Error (Fault.Oracle_raised (Printexc.to_string e), Some e)
   in
@@ -224,15 +286,32 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
         Atomic.incr fc.Fault.failures;
         Log.debug (fun m ->
             m "bound failure (attempt %d): %s" (k + 1) (Fault.describe failure));
-        if k < policy.Fault.max_retries then begin
+        if k < policy.Fault.max_retries && budget_allows fc budget then begin
+          decr budget;
           Atomic.incr fc.Fault.retries;
           if Obs.Metrics.enabled () then Obs.Metrics.incr m_fault_retries;
           if Obs.Trace.enabled () then
             Obs.Trace.instant ~cat:"fault" "fault.retry"
               ~args:[ ("attempt", Obs.Trace.Int (k + 1)) ];
+          sleep_backoff policy fc ~attempt:(k + 1);
           attempt (k + 1)
         end
         else begin
+          (* A certificate failure that ends in degrade or drop is a
+             certified-fallback event: the primal solve's bound was
+             discarded in favour of the (certified) interval fallback,
+             or the region died.  Either way the search never pruned on
+             an unverified value — count it, don't poison
+             [certified_sound]. *)
+          let note_cert_fallback () =
+            match failure with
+            | Fault.Certificate_failed _ ->
+                Atomic.incr oc.cert_fallbacks;
+                if Obs.Metrics.enabled () then Obs.Metrics.incr m_cert_fallbacks;
+                if Obs.Trace.enabled () then
+                  Obs.Trace.instant ~cat:"fault" "fault.cert_fallback"
+            | _ -> ()
+          in
           let degraded =
             if not policy.Fault.degrade then None
             else
@@ -250,6 +329,7 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
           in
           match degraded with
           | Some lb ->
+              note_cert_fallback ();
               Atomic.incr fc.Fault.degraded;
               if Obs.Metrics.enabled () then Obs.Metrics.incr m_fault_degraded;
               if Obs.Trace.enabled () then
@@ -265,6 +345,7 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
                 | Some e -> raise e
                 | None -> failwith ("Bnb: " ^ Fault.describe failure)
               else begin
+                note_cert_fallback ();
                 Atomic.incr fc.Fault.dropped;
                 if Obs.Metrics.enabled () then Obs.Metrics.incr m_fault_dropped;
                 if Obs.Trace.enabled () then
@@ -285,8 +366,8 @@ let guarded_bound ~(faults : _ faults) ~(fc : Fault.counters)
    private accumulator — the per-domain utilization numbers.  Timed in
    integer nanoseconds off the monotonic clock, so the measurement
    itself never allocates. *)
-let timed_guarded_bound ?cell ~faults ~fc ~(oc : oracle_counters) oracle region
-    =
+let timed_guarded_bound ?cell ~faults ~fc ~(oc : oracle_counters) ~budget
+    oracle region =
   let t0 = Obs.Clock.now_ns () in
   Fun.protect
     ~finally:(fun () ->
@@ -298,9 +379,10 @@ let timed_guarded_bound ?cell ~faults ~fc ~(oc : oracle_counters) oracle region
         Obs.Trace.complete ~cat:"bnb" "bnb.bound" ~t0_ns:t0 ~dur_ns:dns;
       if Obs.Metrics.enabled () then
         Obs.Metrics.observe m_bound_seconds (float_of_int dns *. 1e-9))
-    (fun () -> guarded_bound ~faults ~fc oracle region)
+    (fun () -> guarded_bound ~faults ~fc ~oc ~budget oracle region)
 
-let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) oracle region =
+let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) ~budget oracle
+    region =
   let policy = faults.policy in
   let rec attempt k =
     match oracle.branch region with
@@ -309,8 +391,10 @@ let guarded_branch ~(faults : _ faults) ~(fc : Fault.counters) oracle region =
         Atomic.incr fc.Fault.failures;
         Log.debug (fun m ->
             m "branch failure (attempt %d): %s" (k + 1) (Printexc.to_string e));
-        if k < policy.Fault.max_retries then begin
+        if k < policy.Fault.max_retries && budget_allows fc budget then begin
+          decr budget;
           Atomic.incr fc.Fault.retries;
+          sleep_backoff policy fc ~attempt:(k + 1);
           attempt (k + 1)
         end
         else if policy.Fault.reraise then raise e
@@ -335,8 +419,24 @@ type ('region, 'sol) source =
   | Root of 'region
   | Restored of ('region, 'sol) Checkpoint.state
 
+(* A shed-frontier bound is a float that must survive the int-counter
+   checkpoint schema bit-exactly (rounding it could claim a gap the
+   search did not prove).  Split the IEEE bit pattern across two
+   counters — each half fits comfortably in OCaml's 63-bit int. *)
+let float_to_counters x =
+  let bits = Int64.bits_of_float x in
+  ( Int64.to_int (Int64.shift_right_logical bits 32),
+    Int64.to_int (Int64.logand bits 0xFFFFFFFFL) )
+
+let float_of_counters hi lo =
+  Int64.float_of_bits
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int hi) 32)
+       (Int64.logand (Int64.of_int lo) 0xFFFFFFFFL))
+
 let counters_alist ~infeasible ~pruned ~stale ~updates ~children ~reset
-    ~(fc : Fault.counters) ~(oc : oracle_counters) =
+    ~shed ~shed_bound ~(fc : Fault.counters) ~(oc : oracle_counters) =
+  let shed_hi, shed_lo = float_to_counters shed_bound in
   [
     (* Sticky: once a resume hit a pre-schema snapshot, every later
        snapshot in the chain records that the warm counters restarted. *)
@@ -350,6 +450,8 @@ let counters_alist ~infeasible ~pruned ~stale ~updates ~children ~reset
     ("retries", Atomic.get fc.Fault.retries);
     ("degraded_bounds", Atomic.get fc.Fault.degraded);
     ("dropped_regions", Atomic.get fc.Fault.dropped);
+    ("retry_budget_exhausted", Atomic.get fc.Fault.budget_exhausted);
+    ("retry_backoff_ns", Atomic.get fc.Fault.backoff_ns);
     ("warm_start_hits", Atomic.get oc.warm_hits);
     ("phase1_skipped", Atomic.get oc.phase1_skips);
     ("warm_pull_ins", Atomic.get oc.pull_ins);
@@ -358,6 +460,13 @@ let counters_alist ~infeasible ~pruned ~stale ~updates ~children ~reset
     ("warm_miss_not_interior", Atomic.get oc.miss_not_interior);
     ("warm_miss_fault_cleared", Atomic.get oc.miss_fault_cleared);
     ("oracle_time_us", Atomic.get oc.oracle_time_us);
+    ("cert_verified", Atomic.get oc.cert_verified);
+    ("cert_repaired", Atomic.get oc.cert_repaired);
+    ("cert_fallbacks", Atomic.get oc.cert_fallbacks);
+    ("certified_sound", Bool.to_int (Atomic.get oc.certified_sound));
+    ("frontier_shed", shed);
+    ("shed_bound_hi", shed_hi);
+    ("shed_bound_lo", shed_lo);
   ]
 
 (* The warm/miss counter keys whose absence marks a pre-oracle-counter
@@ -374,14 +483,28 @@ let warm_counter_keys =
     "warm_miss_not_interior"; "warm_miss_fault_cleared";
   ]
 
+(* The certificate-accounting keys.  A snapshot missing any of them
+   predates the certified-pruning schema: its frontier keys may have
+   been produced by the old trusting formula, so resuming through one
+   both raises the sticky [counters_reset] marker and clears
+   [certified_sound] for the rest of the chain. *)
+let cert_counter_keys =
+  [ "cert_verified"; "cert_repaired"; "cert_fallbacks"; "certified_sound" ]
+
+(* Returned per-run restore state: plain counters, pre-resume elapsed
+   time, sticky reset marker, and the shed-frontier residue
+   [(shed_count, shed_bound)] the resumed run must keep folding into
+   its reported bound. *)
 let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
-  | Root _ -> (0, 0, 0, 0, 0, 0.0, false)
+  | Root _ -> (0, 0, 0, 0, 0, 0.0, false, (0, Float.infinity))
   | Restored (s : _ Checkpoint.state) ->
       let c = Checkpoint.counter s in
       Atomic.set fc.Fault.failures (c "oracle_failures");
       Atomic.set fc.Fault.retries (c "retries");
       Atomic.set fc.Fault.degraded (c "degraded_bounds");
       Atomic.set fc.Fault.dropped (c "dropped_regions");
+      Atomic.set fc.Fault.budget_exhausted (c "retry_budget_exhausted");
+      Atomic.set fc.Fault.backoff_ns (c "retry_backoff_ns");
       Atomic.set oc.warm_hits (c "warm_start_hits");
       Atomic.set oc.phase1_skips (c "phase1_skipped");
       Atomic.set oc.pull_ins (c "warm_pull_ins");
@@ -390,13 +513,29 @@ let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
       Atomic.set oc.miss_not_interior (c "warm_miss_not_interior");
       Atomic.set oc.miss_fault_cleared (c "warm_miss_fault_cleared");
       Atomic.set oc.oracle_time_us (c "oracle_time_us");
+      Atomic.set oc.cert_verified (c "cert_verified");
+      Atomic.set oc.cert_repaired (c "cert_repaired");
+      Atomic.set oc.cert_fallbacks (c "cert_fallbacks");
+      let cert_schema_ok =
+        List.for_all (Checkpoint.has_counter s) cert_counter_keys
+      in
+      (* Only ever clear: a caller that already marked the search
+         uncertified (certification disabled) must stay so. *)
+      if not (cert_schema_ok && c "certified_sound" <> 0) then
+        Atomic.set oc.certified_sound false;
       let reset =
         (not (List.for_all (Checkpoint.has_counter s) warm_counter_keys))
+        || (not cert_schema_ok)
         || c "counters_reset" <> 0
+      in
+      let shed = c "frontier_shed" in
+      let shed_bound =
+        if shed > 0 then float_of_counters (c "shed_bound_hi") (c "shed_bound_lo")
+        else Float.infinity
       in
       ( c "infeasible_regions", c "bound_pruned", c "stale_pops",
         c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed,
-        reset )
+        reset, (shed, shed_bound) )
 
 (* A failed snapshot must not kill a multi-hour search: log and carry on
    (the previous checkpoint, if any, is intact thanks to tmp + rename). *)
@@ -428,9 +567,15 @@ let run_seq : type region sol.
   let queue = Pqueue.create () in
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
-  let infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0 =
+  let ( infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0,
+        (shed0, shed_bound0) ) =
     restore_counters fc oc source
   in
+  (* Bounded-memory frontier residue: nodes shed by the cap are gone,
+     but their best possible subtree optimum survives here and is
+     folded into every bound and gap the search reports. *)
+  let frontier_shed = ref shed0 in
+  let shed_bound = ref shed_bound0 in
   let incumbent =
     ref (match source with Root _ -> None | Restored s -> s.Checkpoint.incumbent)
   in
@@ -464,8 +609,10 @@ let run_seq : type region sol.
         Pqueue.filter_in_place queue (fun lb _ -> lb < cost)
     | _ -> ()
   in
-  let enqueue region =
-    match timed_guarded_bound ~cell:oracle_cell ~faults ~fc ~oc oracle region
+  let enqueue ~budget region =
+    match
+      timed_guarded_bound ~cell:oracle_cell ~faults ~fc ~oc ~budget oracle
+        region
     with
     | Dropped_bound -> ()
     | Bounded None -> incr infeasible_regions
@@ -474,11 +621,30 @@ let run_seq : type region sol.
         if lower < !incumbent_cost then Pqueue.push queue lower region
         else incr bound_pruned
   in
+  let maybe_shed () =
+    if params.max_frontier > 0 && Pqueue.length queue > params.max_frontier
+    then begin
+      let dropped, min_key = Pqueue.drop_worst queue ~keep:params.max_frontier in
+      if dropped > 0 then begin
+        frontier_shed := !frontier_shed + dropped;
+        shed_bound := Float.min !shed_bound min_key;
+        if Obs.Metrics.enabled () then Obs.Metrics.add m_frontier_shed dropped;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~cat:"bnb" "bnb.frontier_shed"
+            ~args:
+              [
+                ("dropped", Obs.Trace.Int dropped);
+                ("shed_bound", Obs.Trace.Float !shed_bound);
+              ]
+      end
+    end
+  in
   (match source with
-  | Root root -> enqueue root
+  | Root root -> enqueue ~budget:(ref faults.policy.Fault.retry_budget) root
   | Restored s ->
       Array.iter (fun (lb, region) -> Pqueue.push queue lb region)
-        s.Checkpoint.frontier);
+        s.Checkpoint.frontier;
+      maybe_shed ());
   let snapshot_state ck =
     {
       Checkpoint.fingerprint = ck.fingerprint;
@@ -489,7 +655,8 @@ let run_seq : type region sol.
       counters =
         counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
           ~stale:!stale_pops ~updates:!incumbent_updates
-          ~children:!children_generated ~reset:reset0 ~fc ~oc;
+          ~children:!children_generated ~reset:reset0 ~shed:!frontier_shed
+          ~shed_bound:!shed_bound ~fc ~oc;
       elapsed = elapsed ();
     }
   in
@@ -502,7 +669,9 @@ let run_seq : type region sol.
   let gap_ok () =
     !incumbent_cost < Float.infinity
     &&
-    let bound = Pqueue.min_key queue in
+    (* Shed subtrees count against the gap: the search cannot declare a
+       tolerance it only reached by throwing work away. *)
+    let bound = Float.min (Pqueue.min_key queue) !shed_bound in
     let gap = !incumbent_cost -. bound in
     gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs !incumbent_cost
   in
@@ -531,9 +700,14 @@ let run_seq : type region sol.
                   m "node %d: bound %.6g incumbent %.6g queue %d" !nodes lb
                     !incumbent_cost (Pqueue.length queue));
             let t_node = Obs.Clock.now_ns () in
-            let children = guarded_branch ~faults ~fc oracle region in
+            (* One retry budget per node expansion: the branch call and
+               all child bounds draw from it, capping the worst-case
+               time a pathological region can soak up. *)
+            let budget = ref faults.policy.Fault.retry_budget in
+            let children = guarded_branch ~faults ~fc ~budget oracle region in
             children_generated := !children_generated + List.length children;
-            List.iter enqueue children;
+            List.iter (enqueue ~budget) children;
+            maybe_shed ();
             (* Exactly one node-seconds observation per explored node
                (the CI schema gate compares the histogram count against
                the reported node counts). *)
@@ -563,10 +737,14 @@ let run_seq : type region sol.
       try_save ck (snapshot_state ck)
   | _ -> ());
   let bound =
-    if Pqueue.is_empty queue then
-      (* Everything explored or pruned: the incumbent is optimal. *)
-      Float.min !incumbent_cost (Pqueue.min_key queue)
-    else Pqueue.min_key queue
+    let b =
+      if Pqueue.is_empty queue then
+        (* Everything explored or pruned: the incumbent is optimal —
+           unless subtrees were shed, whose residue caps the claim. *)
+        Float.min !incumbent_cost (Pqueue.min_key queue)
+      else Pqueue.min_key queue
+    in
+    Float.min b !shed_bound
   in
   {
     best = !incumbent;
@@ -600,6 +778,14 @@ let run_seq : type region sol.
         warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
         stolen_warm = 0;
         counters_reset = reset0;
+        cert_verified = Atomic.get oc.cert_verified;
+        cert_repaired = Atomic.get oc.cert_repaired;
+        cert_fallbacks = Atomic.get oc.cert_fallbacks;
+        certified_sound = Atomic.get oc.certified_sound;
+        frontier_shed = !frontier_shed;
+        retry_budget_exhausted = Atomic.get fc.Fault.budget_exhausted;
+        retry_backoff_seconds =
+          float_of_int (Atomic.get fc.Fault.backoff_ns) *. 1e-9;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
         domain_oracle_seconds = [| float_of_int !oracle_cell *. 1e-6 |];
         wall_seconds = elapsed ();
@@ -656,8 +842,23 @@ let run_par : type region sol.
   in
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
-  let infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0 =
+  let ( infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0,
+        (shed0, shed_bound0) ) =
     restore_counters fc oc source
+  in
+  (* Shed-frontier residue, CAS-min so any worker can fold its shard's
+     shed bound in without a lock. *)
+  let shed_bound = Atomic.make shed_bound0 in
+  let rec fold_shed_bound b =
+    let cur = Atomic.get shed_bound in
+    if b < cur && not (Atomic.compare_and_set shed_bound cur b) then
+      fold_shed_bound b
+  in
+  (* Per-shard queue cap: the global budget split evenly; each worker
+     polices only its own shard, so shedding needs no global lock. *)
+  let shard_cap =
+    if params.max_frontier <= 0 then 0
+    else max 1 (params.max_frontier / workers)
   in
   (* The incumbent solution is guarded by its own mutex; its cost is
      mirrored in an Atomic read lock-free on every stale check, push
@@ -687,6 +888,7 @@ let run_par : type region sol.
       mutable stale : int;
       mutable updates : int;
       mutable children : int;
+      mutable shed : int;
       oracle_cell : int ref;
     }
   end in
@@ -698,6 +900,7 @@ let run_par : type region sol.
           stale = 0;
           updates = 0;
           children = 0;
+          shed = 0;
           oracle_cell = ref 0;
         })
   in
@@ -713,7 +916,9 @@ let run_par : type region sol.
       ~stale:(stale0 + sum (fun w -> w.W.stale))
       ~updates:(updates0 + sum (fun w -> w.W.updates))
       ~children:(children0 + sum (fun w -> w.W.children))
-      ~reset:reset0 ~fc ~oc
+      ~reset:reset0
+      ~shed:(shed0 + sum (fun w -> w.W.shed))
+      ~shed_bound:(Atomic.get shed_bound) ~fc ~oc
   in
   let consider_candidate (w : W.t) = function
     | Some (sol, cost) when cost < Atomic.get incumbent_cost ->
@@ -755,8 +960,8 @@ let run_par : type region sol.
          on the root bound running first, e.g. to install a seeded
          incumbent). *)
       let root_info =
-        timed_guarded_bound ~cell:ws.(0).W.oracle_cell ~faults ~fc ~oc oracle
-          root
+        timed_guarded_bound ~cell:ws.(0).W.oracle_cell ~faults ~fc ~oc
+          ~budget:(ref faults.policy.Fault.retry_budget) oracle root
       in
       (match root_info with
       | Dropped_bound -> ()
@@ -818,7 +1023,9 @@ let run_par : type region sol.
     let inc = Atomic.get incumbent_cost in
     inc < Float.infinity
     &&
-    let bound = Work_deque.frontier_bound deque in
+    let bound =
+      Float.min (Work_deque.frontier_bound deque) (Atomic.get shed_bound)
+    in
     let gap = inc -. bound in
     gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs inc
   in
@@ -852,7 +1059,10 @@ let run_par : type region sol.
         Fun.protect
           ~finally:(fun () -> Work_deque.release deque ~worker:i)
           (fun () ->
-            let children = guarded_branch ~faults ~fc oracle region in
+            (* One retry budget per node expansion (branch + all child
+               bounds), as in the sequential driver. *)
+            let budget = ref faults.policy.Fault.retry_budget in
+            let children = guarded_branch ~faults ~fc ~budget oracle region in
             w.W.children <- w.W.children + List.length children;
             (* Bound each child outside any lock; push to our own shard
                immediately so siblings can steal fresh work and prune
@@ -863,11 +1073,27 @@ let run_par : type region sol.
               (fun child ->
                 match
                   timed_guarded_bound ~cell:w.W.oracle_cell ~faults ~fc ~oc
-                    oracle child
+                    ~budget oracle child
                 with
                 | Dropped_bound -> ()
                 | Bounded info -> record_bounded ~worker:i w child info)
-              children);
+              children;
+            if shard_cap > 0 then
+              match Work_deque.shed deque ~worker:i ~keep:shard_cap with
+              | None -> ()
+              | Some (dropped, min_key) ->
+                  w.W.shed <- w.W.shed + dropped;
+                  fold_shed_bound min_key;
+                  if Obs.Metrics.enabled () then
+                    Obs.Metrics.add m_frontier_shed dropped;
+                  if Obs.Trace.enabled () then
+                    Obs.Trace.instant ~cat:"bnb" "bnb.frontier_shed"
+                      ~args:
+                        [
+                          ("worker", Obs.Trace.Int i);
+                          ("dropped", Obs.Trace.Int dropped);
+                          ("shed_bound", Obs.Trace.Float (Atomic.get shed_bound));
+                        ]);
         (* One node-seconds observation per explored node, as in the
            sequential driver (the CI schema gate counts on it). *)
         let node_ns = Obs.Clock.now_ns () - t_node in
@@ -946,10 +1172,14 @@ let run_par : type region sol.
   (* After the joins all mirrors are quiescent and exact. *)
   let bound =
     let fb = Work_deque.frontier_bound deque in
-    if Work_deque.drained deque then
-      (* Everything explored or pruned: the incumbent is optimal. *)
-      Float.min (Atomic.get incumbent_cost) fb
-    else fb
+    let b =
+      if Work_deque.drained deque then
+        (* Everything explored or pruned: the incumbent is optimal —
+           unless subtrees were shed, whose residue caps the claim. *)
+        Float.min (Atomic.get incumbent_cost) fb
+      else fb
+    in
+    Float.min b (Atomic.get shed_bound)
   in
   let incumbent_cost = Atomic.get incumbent_cost in
   {
@@ -984,6 +1214,14 @@ let run_par : type region sol.
         warm_miss_fault_cleared = Atomic.get oc.miss_fault_cleared;
         stolen_warm = Work_deque.stolen_warm deque;
         counters_reset = reset0;
+        cert_verified = Atomic.get oc.cert_verified;
+        cert_repaired = Atomic.get oc.cert_repaired;
+        cert_fallbacks = Atomic.get oc.cert_fallbacks;
+        certified_sound = Atomic.get oc.certified_sound;
+        frontier_shed = shed0 + sum (fun w -> w.W.shed);
+        retry_budget_exhausted = Atomic.get fc.Fault.budget_exhausted;
+        retry_backoff_seconds =
+          float_of_int (Atomic.get fc.Fault.backoff_ns) *. 1e-9;
         oracle_seconds = float_of_int (Atomic.get oc.oracle_time_us) *. 1e-6;
         domain_oracle_seconds =
           Array.map (fun w -> float_of_int !(w.W.oracle_cell) *. 1e-6) ws;

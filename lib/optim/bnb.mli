@@ -74,11 +74,22 @@ type params = {
   log_every : int;  (** emit a [Logs] debug line every n nodes; 0 = never *)
   domains : int;
       (** number of domains exploring the tree; 1 = sequential driver *)
+  max_frontier : int;
+      (** bounded-memory frontier: when positive, the queued frontier is
+          capped at this many regions (split evenly across shards when
+          [domains > 1]) and the {e worst}-bound regions are shed on
+          overflow.  Shedding stays {e sound}: the best bound among shed
+          regions is folded into every reported [bound] and [gap] (and
+          into the gap-tolerance test), so the anytime result never
+          claims a tolerance it reached by discarding work — it may
+          merely fail to converge below the shed residue.  [0] (default)
+          = unlimited.  Shed counts surface in
+          {!stats.frontier_shed}. *)
 }
 
 val default_params : params
 (** [max_nodes = 100_000], [rel_gap = 1e-6], [abs_gap = 1e-12],
-    no time limit, no logging, [domains = 1]. *)
+    no time limit, no logging, [domains = 1], unlimited frontier. *)
 
 type ('region, 'sol) faults = {
   policy : Fault.policy;
@@ -165,6 +176,40 @@ type stats = {
           (warm_hit_rate above all) covers only part of the search.
           Sticky — once raised it is persisted into every later
           snapshot of the chain.  Surfaced by [ldafp train]. *)
+  cert_verified : int;
+      (** bound solves whose dual certificate verified without repair —
+          see {!Socp.certify_lower_bound}; 0 unless the oracle reports
+          them via {!count_cert_verified} *)
+  cert_repaired : int;
+      (** verified certificates that needed the closed-form multiplier
+          repair first (still fully certified — repair is projection
+          onto the dual-feasible set, never a leap of faith) *)
+  cert_fallbacks : int;
+      (** bound calls whose certificate could not be established even
+          after retries, so the region was degraded to the certified
+          interval fallback (or dropped).  The search never pruned on
+          the unverified value, so this does {e not} clear
+          [certified_sound] — it measures how often the expensive bound
+          had to be distrusted. *)
+  certified_sound : bool;
+      (** every pruning decision of the search — across the whole resume
+          chain — compared the incumbent against a verified dual
+          certificate or a certified interval fallback, never a raw
+          primal objective.  [false] when the oracle ran with
+          certification disabled ({!mark_uncertified}) or the chain
+          passed through a pre-certificate snapshot.  Sticky once
+          cleared; persisted through checkpoints. *)
+  frontier_shed : int;
+      (** queued regions shed by {!params.max_frontier}; their residual
+          bound is already folded into [bound] and [gap] *)
+  retry_budget_exhausted : int;
+      (** node expansions whose {!Fault.policy.retry_budget} ran out, so
+          later failures inside them skipped straight to
+          degrade/drop *)
+  retry_backoff_seconds : float;
+      (** total wall-clock the containment policy spent sleeping between
+          retries (capped exponential backoff; see
+          {!Fault.backoff_delay}) *)
   oracle_seconds : float;
       (** cumulative wall-clock time spent inside [oracle.bound] calls
           (including retries and fallbacks), summed across domains and
@@ -228,12 +273,31 @@ val count_warm_miss_fault_cleared : oracle_counters -> unit
 (** Record one cold bound solve whose inherited optimum had been
     discarded by a fault retry. *)
 
+val count_cert_verified : oracle_counters -> unit
+(** Record one bound whose dual certificate verified as extracted. *)
+
+val count_cert_repaired : oracle_counters -> unit
+(** Record one bound whose certificate verified after the closed-form
+    multiplier repair. *)
+
+val mark_uncertified : oracle_counters -> unit
+(** Clear the sticky [certified_sound] flag: the oracle is about to
+    prune on unverified primal objectives (certification explicitly
+    disabled).  There is deliberately no way to set it back. *)
+
 val warm_counter_keys : string list
 (** The checkpoint counter keys the warm/miss accounting lives under.  A
     snapshot that lacks any of them predates the oracle-counter schema;
     resuming through one raises the sticky [counters_reset] marker in
     {!stats}.  Exposed so tests (and migration tooling) can construct
     such snapshots deliberately. *)
+
+val cert_counter_keys : string list
+(** The checkpoint counter keys the certificate accounting lives under.
+    A snapshot lacking any of them predates certified pruning: its
+    frontier keys may have been computed by the old trusting formula,
+    so resuming through one raises the sticky [counters_reset] marker
+    {e and} clears [certified_sound] for the rest of the chain. *)
 
 type 'sol result = {
   best : ('sol * float) option;  (** incumbent and its cost *)

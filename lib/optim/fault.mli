@@ -19,6 +19,18 @@ type failure =
   | Non_finite_bound of float
       (** the oracle returned a NaN or [-infinity] lower bound
           ([+infinity] is legal and prunes the region) *)
+  | Certificate_failed of string
+      (** the primal solve finished but its independent dual
+          certificate could not be established
+          ({!Socp.certify_lower_bound} returned an error): the bound is
+          unverified and must not be used.  Retried like any other
+          failure (a jittered re-solve gets a fresh certificate
+          chance), then degraded to the certified interval fallback. *)
+
+exception Certificate_error of string
+(** Raised by a bound oracle when certification of an otherwise
+    successful solve fails, so the containment machinery classifies it
+    as {!Certificate_failed} rather than a generic [Oracle_raised]. *)
 
 val describe : failure -> string
 
@@ -40,22 +52,46 @@ type policy = {
       (** if no handling remains, re-raise the original exception
           instead of dropping the region — restores the
           pre-containment fail-fast behaviour *)
+  backoff_base : float;
+      (** first-retry sleep in seconds; retry [k] sleeps
+          [min (backoff_cap, backoff_base * 2^(k-1))].  Transient
+          failures (an OS-level memory spike, a noisy neighbour) often
+          clear if the re-solve is not immediate.  [<= 0] disables
+          sleeping. *)
+  backoff_cap : float;  (** upper bound on any single backoff sleep *)
+  retry_budget : int;
+      (** total retries allowed across one node {e expansion} (the
+          bound calls of all children plus the branching call).  A
+          pathological region that fails every jitter level would
+          otherwise pay [max_retries] on each of its children; the
+          budget caps the worst-case time spent on one node.
+          Exhaustion skips straight to degrade/drop and is counted in
+          {!Bnb.stats}[.retry_budget_exhausted]. *)
 }
 
 val default_policy : policy
 (** [max_retries = 1], [degrade = true], [reraise = false]: retry once,
     then degrade when a fallback bound exists, then drop (recorded in
-    {!Bnb.stats}[.dropped_regions]) as the last resort. *)
+    {!Bnb.stats}[.dropped_regions]) as the last resort.  Backoff
+    [base = 1 ms], [cap = 0.25 s], [retry_budget = 8]. *)
 
 val propagate : policy
 (** [max_retries = 0], [degrade = false], [reraise = true]: fail fast on
     the first oracle failure. *)
+
+val backoff_delay : policy -> attempt:int -> float
+(** Sleep before retry [attempt] (1-based), in seconds:
+    [min (cap, base * 2^(attempt-1))], or [0] when backoff is
+    disabled. *)
 
 type counters = {
   failures : int Atomic.t;  (** failing oracle invocations *)
   retries : int Atomic.t;  (** re-invocations made *)
   degraded : int Atomic.t;  (** regions kept alive via the fallback bound *)
   dropped : int Atomic.t;  (** regions (or branchings) abandoned *)
+  budget_exhausted : int Atomic.t;
+      (** expansions whose retry budget ran out before [max_retries] *)
+  backoff_ns : int Atomic.t;  (** total backoff sleep, nanoseconds *)
 }
 (** Shared fault telemetry, atomic so worker domains update them without
     the pool lock. *)

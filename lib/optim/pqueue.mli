@@ -25,6 +25,16 @@ val steal_half : 'a t -> 'a t -> int
     when [src] is empty.  Heap order is restored on both sides.  The
     work-stealing batch transfer of {!Work_deque}. *)
 
+val drop_worst : 'a t -> keep:int -> int * float
+(** [drop_worst t ~keep] sheds the {e largest}-key entries until at most
+    [keep] remain, returning [(dropped, min_dropped_key)] —
+    [(0, infinity)] when nothing was shed.  The minimum shed key is what
+    a sound bounded-memory frontier must fold into its reported gap:
+    every shed node's subtree optimum is ≥ that key, so
+    [min (frontier_bound, min_dropped_key)] stays a true global lower
+    bound even though the nodes are gone.  O(n log n); called only on
+    overflow. *)
+
 val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val min_key : 'a t -> float
 (** [infinity] when empty. *)

@@ -33,6 +33,28 @@ let m_newton_iterations =
     ~help:"Newton iterations per Socp.solve (summed over the tau ladder)"
     "ldafp_socp_newton_iterations"
 
+let m_cert_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"dual-certificate evaluations attempted" "ldafp_socp_cert_total"
+
+let m_cert_repaired_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"certificates whose multipliers needed the feasibility repair \
+           projection"
+    "ldafp_socp_cert_repaired_total"
+
+let m_cert_failed_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"certificate evaluations that failed (repair impossible or \
+           primal-dual slack excessive)"
+    "ldafp_socp_cert_failed_total"
+
+let m_cert_slack =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-12 ~hi:1e3
+    ~help:"primal objective minus certified dual value per certificate \
+           (clamped below at 1e-12)"
+    "ldafp_socp_cert_slack"
+
 type lin = { a : Vec.t; b : float }
 type soc = { l : Mat.t; g : Vec.t; c : Vec.t; d : float }
 
@@ -808,3 +830,278 @@ let solve_auto ?(params = default_params) pb ~start =
   match find_strictly_feasible ~params pb ~start with
   | Strictly_feasible x -> Some (solve ~params pb ~start:x)
   | Infeasible _ | Unknown _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Independent dual certificates (Neumaier–Shcherbina safe bounds)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The primal objective of a barrier solve is {e not} a lower bound on
+   the optimum — a stalled Newton iteration, a jittered Cholesky or
+   plain roundoff can leave it above or below the truth, and a bound
+   that overstates silently prunes the true optimum out of a
+   branch-and-bound search.  The cure is classical (Neumaier &
+   Shcherbina, Math. Prog. 2004; Jansson's rigorous SDP/SOCP bounds):
+   build a {e dual feasible} point from the terminal barrier iterate,
+   repair its approximate feasibility with a closed-form projection,
+   and evaluate the resulting dual objective in outward-rounded
+   interval arithmetic.  Weak duality then makes the result a true
+   lower bound {e whatever} the primal solve did.
+
+   Derivation, in the sign convention of this file (minimise
+   f(x) = s·(½xᵀPx + qᵀx), s = [obj_scale] > 0, over aᵢᵀx ≤ bᵢ and
+   ‖Lⱼx+gⱼ‖ ≤ cⱼᵀx+dⱼ, P positive semidefinite):
+
+   for any λ ≥ 0 and cone pairs (wⱼ, zⱼ) with ‖zⱼ‖ ≤ wⱼ, every
+   feasible y satisfies
+
+     f(y) ≥ ½s·yᵀPy + rᵀy − κ,
+       r = s·q + Σᵢ λᵢaᵢ + Σⱼ (Lⱼᵀzⱼ − wⱼcⱼ),
+       κ = Σᵢ λᵢbᵢ + Σⱼ (wⱼdⱼ − zⱼᵀgⱼ)
+
+   (each added term is ≤ 0 on the feasible set: λᵢ(aᵢᵀy − bᵢ) ≤ 0 and
+   zⱼᵀ(Lⱼy+gⱼ) − wⱼ(cⱼᵀy+dⱼ) ≤ 0 by cone self-duality).  Since s·P is
+   PSD, the quadratic supports its tangent plane at the primal iterate
+   x*:  ½s·yᵀPy ≥ [s·Px*]ᵀy − ½s·x*ᵀPx*.  Writing ρ = s·Px* + r — the
+   Lagrangian stationarity residual, tiny at a centered iterate but
+   never assumed zero — gives, over any coordinate box [xlo, xhi]
+   containing the feasible set,
+
+     f(y) ≥ Σᵢ min(ρᵢ·xloᵢ, ρᵢ·xhiᵢ) − ½s·x*ᵀPx* − κ.
+
+   Validity needs {e only} λ ≥ 0 and ‖zⱼ‖ ≤ wⱼ (both enforced exactly,
+   with an upward-rounded norm for the cone test); the {e quality} of
+   the bound — how close it lands to the primal objective — is what
+   depends on how well the solve actually converged.  At a τ-centered
+   point the multipliers below give a slack of about ν/τ, i.e. the
+   certified bound is typically {e tighter} than the heuristic
+   [objective − 2·gap_bound] it replaces.
+
+   Multipliers from the terminal iterate (barrier stationarity at
+   weight τ = tau_final):  λᵢ = 1/(τ·sᵢ) with sᵢ = bᵢ − aᵢᵀx*, and per
+   cone, with u = cᵀx*+d, v = Lx*+g, h = u² − ‖v‖²:  wⱼ = 2u/(τh),
+   zⱼ = 2v/(τh).  Repair: any multiplier that comes out negative,
+   non-finite, or from a violated constraint is clipped to 0 (always
+   dual-feasible); a z with upward-rounded norm above w is shrunk onto
+   the cone, or the pair is zeroed.  The only true failure modes are a
+   non-finite dual value (a residual ρᵢ ≠ 0 on an unbounded
+   coordinate) and an excessive primal-dual slack. *)
+
+type certificate = { dual_value : float; slack : float; repaired : bool }
+
+type cert_failure =
+  | Cert_repair_failed of string
+  | Cert_gap_excessive of float
+
+let describe_cert_failure = function
+  | Cert_repair_failed msg -> Printf.sprintf "repair failed: %s" msg
+  | Cert_gap_excessive slack ->
+      Printf.sprintf "primal-dual slack %.3g exceeds the trust threshold"
+        slack
+
+(* Directed-rounding scalar helpers (the interval ops live in
+   {!Interval}; these cover the two places a bare float bound is
+   needed: the cone-norm test and the box extraction). *)
+let dir_up x = if x = Float.infinity then x else Float.succ x
+let dir_down x = if x = Float.neg_infinity then x else Float.pred x
+
+(* Upper bound on the Euclidean norm of a float vector: upward-rounded
+   sum of upward-rounded squares, then an upward step over the
+   correctly-rounded sqrt. *)
+let norm2_up z =
+  let s = Array.fold_left (fun acc zi -> dir_up (acc +. dir_up (zi *. zi))) 0.0 z in
+  dir_up (sqrt s)
+
+let certify_lower_bound ?(max_rel_slack = 0.1) pb sol =
+  if Obs.Metrics.enabled () then Obs.Metrics.incr m_cert_total;
+  let fail reason =
+    if Obs.Metrics.enabled () then Obs.Metrics.incr m_cert_failed_total;
+    Error (Cert_repair_failed reason)
+  in
+  let x = sol.x in
+  let tau = sol.tau_final in
+  let n = pb.n in
+  let s_obj = pb.obj_scale in
+  let constrained = Array.length pb.lins > 0 || Array.length pb.socs > 0 in
+  if Vec.dim x <> n then fail "solution dimension mismatch"
+  else if not (Array.for_all Float.is_finite x) then
+    fail "non-finite primal iterate"
+  else if not (Float.is_finite s_obj && s_obj > 0.0) then
+    fail "objective scale not positive"
+  else if constrained && not (Float.is_finite tau && tau > 0.0) then
+    fail (Printf.sprintf "unusable terminal barrier weight %h" tau)
+  else begin
+    let repaired = ref false in
+    (* Half-space multipliers, clipped to the nonnegative orthant. *)
+    let lambda =
+      Array.map
+        (fun { a; b } ->
+          let sl = b -. Vec.dot a x in
+          let lam = 1.0 /. (tau *. sl) in
+          if sl > 0.0 && Float.is_finite lam && lam > 0.0 then lam
+          else begin
+            repaired := true;
+            0.0
+          end)
+        pb.lins
+    in
+    (* Cone multiplier pairs; [None] = pair zeroed by the repair. *)
+    let cone_mult =
+      Array.map
+        (fun ({ l; g; c; d } as soc) ->
+          let u = Vec.dot c x +. d in
+          let vv = soc_vv soc x in
+          let h = (u *. u) -. vv in
+          let w = 2.0 *. u /. (tau *. h) in
+          if not (u > 0.0 && h > 0.0 && Float.is_finite w && w > 0.0) then begin
+            repaired := true;
+            None
+          end
+          else begin
+            let rows = Mat.rows l in
+            let z =
+              Vec.init rows (fun r ->
+                  2.0 *. (Vec.dot l.(r) x +. g.(r)) /. (tau *. h))
+            in
+            (* ‖z‖ ≤ w is part of dual feasibility, so the norm test must
+               be rigorous: shrink z onto the cone (checking with the
+               upward-rounded norm each time), zero the pair if a few
+               shrinks do not land inside. *)
+            let rec fit tries z =
+              let nz = norm2_up z in
+              if Float.is_finite nz && nz <= w then Some (w, z)
+              else if tries = 0 then None
+              else begin
+                repaired := true;
+                let scale = w /. nz *. (1.0 -. 1e-12) in
+                if Float.is_finite scale && scale > 0.0 then
+                  fit (tries - 1) (Vec.scale scale z)
+                else None
+              end
+            in
+            match fit 3 z with
+            | Some wz -> Some wz
+            | None ->
+                repaired := true;
+                None
+          end)
+        pb.socs
+    in
+    (* Everything from here on is a rigorous enclosure: outward-rounded
+       interval ops over {!Interval}, NaN surfacing as Invalid_argument
+       (caught below and reported as a certification failure, never as
+       a bound). *)
+    match
+      let ip = Interval.point in
+      (* r = s·q + Σ λᵢaᵢ + Σ (Lⱼᵀzⱼ − wⱼcⱼ) *)
+      let r = Array.init n (fun i -> Interval.wide_mul (ip s_obj) (ip pb.q.(i))) in
+      let kappa = ref (ip 0.0) in
+      Array.iteri
+        (fun k { a; b } ->
+          let lam = lambda.(k) in
+          if lam <> 0.0 then begin
+            for i = 0 to n - 1 do
+              if a.(i) <> 0.0 then
+                r.(i) <-
+                  Interval.wide_add r.(i) (Interval.wide_mul (ip lam) (ip a.(i)))
+            done;
+            kappa := Interval.wide_add !kappa (Interval.wide_mul (ip lam) (ip b))
+          end)
+        pb.lins;
+      Array.iteri
+        (fun k { l; g; c; d } ->
+          match cone_mult.(k) with
+          | None -> ()
+          | Some (w, z) ->
+              let rows = Mat.rows l in
+              for i = 0 to n - 1 do
+                let acc = ref (Interval.wide_mul (Interval.neg (ip w)) (ip c.(i))) in
+                for rr = 0 to rows - 1 do
+                  if z.(rr) <> 0.0 && l.(rr).(i) <> 0.0 then
+                    acc :=
+                      Interval.wide_add !acc
+                        (Interval.wide_mul (ip z.(rr)) (ip l.(rr).(i)))
+                done;
+                r.(i) <- Interval.wide_add r.(i) !acc
+              done;
+              kappa := Interval.wide_add !kappa (Interval.wide_mul (ip w) (ip d));
+              for rr = 0 to rows - 1 do
+                if z.(rr) <> 0.0 && g.(rr) <> 0.0 then
+                  kappa :=
+                    Interval.wide_sub !kappa
+                      (Interval.wide_mul (ip z.(rr)) (ip g.(rr)))
+              done)
+        pb.socs;
+      (* ρ = s·Px* + r and the tangent offset ½s·x*ᵀPx*, sharing the
+         s·Px* enclosures. *)
+      let quad = ref (ip 0.0) in
+      let rho =
+        Array.init n (fun i ->
+            let pxi = ref (ip 0.0) in
+            for j = 0 to n - 1 do
+              if pb.p.(i).(j) <> 0.0 && x.(j) <> 0.0 then
+                pxi :=
+                  Interval.wide_add !pxi
+                    (Interval.wide_mul (ip pb.p.(i).(j)) (ip x.(j)))
+            done;
+            let spxi = Interval.wide_mul (ip s_obj) !pxi in
+            quad := Interval.wide_add !quad (Interval.wide_mul (ip x.(i)) spxi);
+            Interval.wide_add spxi r.(i))
+      in
+      (* Coordinate box containing the feasible set, harvested from the
+         single-nonzero half-space rows (the ±eᵢ box rows every LDA-FP
+         relaxation carries; restriction preserves the shape).  Directed
+         division keeps the harvested box outer. *)
+      let xlo = Array.make n Float.neg_infinity in
+      let xhi = Array.make n Float.infinity in
+      Array.iter
+        (fun { a; b } ->
+          let idx = ref (-1) in
+          let count = ref 0 in
+          Array.iteri
+            (fun i ai ->
+              if ai <> 0.0 then begin
+                incr count;
+                idx := i
+              end)
+            a;
+          if !count = 1 then begin
+            let i = !idx in
+            let ai = a.(i) in
+            if ai > 0.0 then xhi.(i) <- Float.min xhi.(i) (dir_up (b /. ai))
+            else xlo.(i) <- Float.max xlo.(i) (dir_down (b /. ai))
+          end)
+        pb.lins;
+      (* bound = Σ min over the box of ρᵢ·xᵢ − ½s·x*ᵀPx* − κ. *)
+      let lower =
+        ref (Interval.wide_sub (Interval.neg (Interval.scale 0.5 !quad)) !kappa)
+      in
+      for i = 0 to n - 1 do
+        lower :=
+          Interval.wide_add !lower
+            (Interval.wide_mul rho.(i) (Interval.make ~lo:xlo.(i) ~hi:xhi.(i)))
+      done;
+      Interval.lo !lower
+    with
+    | exception Invalid_argument msg ->
+        fail (Printf.sprintf "interval evaluation: %s" msg)
+    | dual_value ->
+        if not (Float.is_finite dual_value) then
+          fail
+            "dual value not finite (nonzero residual on an unbounded \
+             coordinate)"
+        else begin
+          let slack = sol.objective -. dual_value in
+          if Obs.Metrics.enabled () then
+            Obs.Metrics.observe m_cert_slack (Float.max slack 1e-12);
+          if slack > max_rel_slack *. (1.0 +. Float.abs sol.objective) then begin
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.incr m_cert_failed_total;
+            Error (Cert_gap_excessive slack)
+          end
+          else begin
+            if !repaired && Obs.Metrics.enabled () then
+              Obs.Metrics.incr m_cert_repaired_total;
+            Ok { dual_value; slack; repaired = !repaired }
+          end
+        end
+  end

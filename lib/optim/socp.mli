@@ -303,6 +303,63 @@ val solve_auto : ?params:params -> problem -> start:Linalg.Vec.t -> solution opt
 (** Phase-I then phase-II; [None] when phase-I proves or suspects
     infeasibility. [start] need not be feasible. *)
 
+(** {2 Independent dual certificates}
+
+    A barrier solve's primal objective is {e not} a safe lower bound on
+    the problem optimum: a stalled or diverged solve can return a value
+    above the truth, and a branch-and-bound search pruning on it would
+    silently discard the optimum.  {!certify_lower_bound} turns the
+    terminal iterate into an independently verified fact: it extracts
+    approximate dual multipliers from barrier stationarity, repairs
+    them onto the dual-feasible set with a closed-form projection
+    (clipping negative half-space multipliers, shrinking cone
+    multiplier pairs onto the cone against an upward-rounded norm), and
+    evaluates the resulting dual objective in outward-rounded interval
+    arithmetic ({!Interval.wide_add} and friends) with the Lagrangian
+    stationarity residual absorbed over the problem's coordinate box
+    (Neumaier–Shcherbina).  Weak duality then makes the result a true
+    lower bound regardless of primal solve quality — the certificate
+    depends on the primal point only through the {e tightness} of the
+    bound, never its {e validity}. *)
+
+type certificate = {
+  dual_value : float;
+      (** verified lower bound on the problem optimum (includes
+          {!field-obj_scale}, like {!solution.objective}) *)
+  slack : float;  (** [solution.objective − dual_value]; may be negative
+                      when the primal iterate overshot *)
+  repaired : bool;  (** at least one multiplier needed projection *)
+}
+
+type cert_failure =
+  | Cert_repair_failed of string
+      (** no dual-feasible point could be built (unusable terminal
+          barrier weight, non-finite iterate, …) or the interval
+          evaluation did not produce a finite value (a nonzero
+          stationarity residual on a coordinate the constraints leave
+          unbounded) *)
+  | Cert_gap_excessive of float
+      (** a valid bound was produced but its primal-dual slack (the
+          payload) exceeds [max_rel_slack × (1 + |objective|)] — the
+          solve is too poor to trust either side; callers should
+          re-solve or fall back *)
+
+val describe_cert_failure : cert_failure -> string
+
+val certify_lower_bound :
+  ?max_rel_slack:float -> problem -> solution -> (certificate, cert_failure) result
+(** Requires what {!val-problem} already guarantees — [P] PSD and
+    [obj_scale > 0] (checked) — and nothing about the solution: the
+    primal point need not be feasible, only finite.  At a properly
+    centered iterate the certified slack is about [ν/τ], i.e. the bound
+    is typically {e tighter} than the heuristic
+    [objective − 2·gap_bound].  [max_rel_slack] (default [0.1])
+    triggers {!Cert_gap_excessive}, relative to [1 + |objective|].
+    Bumps the [ldafp_socp_cert_*] metrics and observes the slack
+    histogram when {!Obs.Metrics} is enabled.  Cost: one [P·x*] product
+    plus one pass over the constraint data in interval arithmetic —
+    O(n² + constraints·n), no factorisation. *)
+
 (**/**)
 
 val centering_oracle_for_tests : problem -> float -> Newton.oracle

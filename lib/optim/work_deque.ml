@@ -272,6 +272,21 @@ let prune t pred =
       Mutex.unlock s.lock)
     t.shards
 
+(* Bounded-memory frontier: shed the worst (largest-key) queued items
+   of the caller's own shard down to [keep].  The shed nodes leave the
+   live count (they will never be expanded), so the caller MUST fold
+   the returned minimum shed key into its reported bound/gap — see
+   {!Pqueue.drop_worst} — or the anytime result would silently claim
+   optimality over subtrees that were thrown away. *)
+let shed t ~worker ~keep =
+  let s = t.shards.(worker) in
+  Mutex.lock s.lock;
+  let dropped, min_key = Pqueue.drop_worst s.queue ~keep in
+  if dropped > 0 then ignore (Atomic.fetch_and_add t.live (-dropped));
+  refresh_mirrors s;
+  Mutex.unlock s.lock;
+  if dropped > 0 then Some (dropped, min_key) else None
+
 (* Whole-frontier snapshot: hold *all* shard locks (ascending index, so
    this composes with the thieves' ordered pair-locking) while
    collecting queued and in-flight items.  With every lock held no item

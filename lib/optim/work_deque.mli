@@ -72,6 +72,16 @@ val prune : 'a t -> (float -> 'a -> bool) -> unit
     (in-flight items are unaffected).  Shards are pruned one at a time;
     callable by any worker. *)
 
+val shed : 'a t -> worker:int -> keep:int -> (int * float) option
+(** [shed t ~worker ~keep] drops the {e largest}-key queued items of
+    [worker]'s own shard until at most [keep] remain (the in-flight item
+    is untouched), returning [Some (dropped, min_dropped_key)] or [None]
+    when the shard was already within budget.  The bounded-memory
+    frontier primitive: shed nodes are gone for good, so soundness
+    requires the caller to fold [min_dropped_key] into every bound and
+    gap it subsequently reports ({!Pqueue.drop_worst} explains why that
+    suffices).  Shard-ownership contract as for {!push}. *)
+
 val snapshot : 'a t -> (float * 'a) list
 (** Every live item with its key: queued {e and} in-flight, across all
     shards.  Holds all shard locks (ascending order) for the duration,

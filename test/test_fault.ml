@@ -140,7 +140,7 @@ let test_drop_policy_counts () =
   let oracle = poisoned_oracle ~poison:(1, 13) ~mode:`Raise 7.3 in
   let faults =
     { Bnb.default_faults with
-      policy = { Fault.max_retries = 0; degrade = false; reraise = false } }
+      policy = { Fault.propagate with reraise = false } }
   in
   let r = Bnb.minimize ~faults oracle (-25, 25) in
   (match r.Bnb.best with
@@ -177,6 +177,215 @@ let test_branch_failure_contained () =
   | Some (x, _) -> checki "optimal integer" 7 x
   | None -> Alcotest.fail "no incumbent");
   checkb "failures recorded" true (r.Bnb.stats.Bnb.oracle_failures >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff and the per-expansion budget                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_delay () =
+  let p =
+    { Fault.default_policy with backoff_base = 1e-3; backoff_cap = 4e-3 }
+  in
+  checkf 1e-15 "attempt 0 never sleeps" 0.0 (Fault.backoff_delay p ~attempt:0);
+  checkf 1e-15 "attempt 1 = base" 1e-3 (Fault.backoff_delay p ~attempt:1);
+  checkf 1e-15 "attempt 2 doubles" 2e-3 (Fault.backoff_delay p ~attempt:2);
+  checkf 1e-15 "attempt 3 doubles again" 4e-3
+    (Fault.backoff_delay p ~attempt:3);
+  checkf 1e-15 "attempt 4 capped" 4e-3 (Fault.backoff_delay p ~attempt:4);
+  checkf 1e-15 "zero base disables" 0.0
+    (Fault.backoff_delay { p with Fault.backoff_base = 0.0 } ~attempt:3)
+
+let test_retry_backoff_charged () =
+  (* One poisoned region, one retry: the search must record the sleep it
+     paid before that retry. *)
+  let oracle = poisoned_oracle ~poison:(1, 13) ~mode:`Raise 7.3 in
+  let faults =
+    { retrying_faults with
+      policy =
+        { Fault.default_policy with backoff_base = 2e-3; backoff_cap = 2e-3 }
+    }
+  in
+  let r = Bnb.minimize ~faults oracle (-25, 25) in
+  checki "retried once" 1 r.Bnb.stats.Bnb.retries;
+  checkb "backoff time recorded" true
+    (r.Bnb.stats.Bnb.retry_backoff_seconds >= 2e-3)
+
+let test_retry_budget_exhausted () =
+  (* A region that fails every jitter level, with retries allowed per
+     failure but only [retry_budget] across its whole expansion: the
+     budget must stop the retry ladder early and be counted once. *)
+  let oracle = poisoned_oracle ~poison:(1, 13) ~mode:`Raise 7.3 in
+  let faults =
+    { retrying_faults with
+      policy =
+        { Fault.default_policy with
+          max_retries = 5; retry_budget = 2; backoff_base = 0.0 }
+    }
+  in
+  let r = Bnb.minimize ~faults oracle (-25, 25) in
+  (match r.Bnb.best with
+  | Some (x, _) -> checki "optimum still found" 7 x
+  | None -> Alcotest.fail "no incumbent");
+  checki "retries capped by the budget" 2 r.Bnb.stats.Bnb.retries;
+  checki "exhaustion counted once" 1 r.Bnb.stats.Bnb.retry_budget_exhausted;
+  checki "region degraded, not dropped" 1 r.Bnb.stats.Bnb.degraded_bounds
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-memory frontier                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately unprunable oracle: trivial lower bound, candidates
+   only at singletons — nothing prunes, so the frontier grows with the
+   tree and a memory cap must shed.  A shed region may well hold the
+   optimum; the promise under test is that the reported bound stays
+   below it regardless. *)
+let unprunable_oracle target =
+  let cost x = (x -. target) ** 2.0 in
+  {
+    Bnb.bound =
+      (fun (lo, hi) ->
+        if lo > hi then None
+        else
+          Some
+            {
+              Bnb.lower = 0.0;
+              candidate =
+                (if lo = hi then Some (lo, cost (float_of_int lo)) else None);
+            });
+    branch =
+      (fun (lo, hi) ->
+        if lo >= hi then []
+        else
+          let mid = (lo + hi) asr 1 in
+          [ (lo, mid); (mid + 1, hi) ]);
+  }
+
+let test_frontier_shed_stays_sound () =
+  let target = 7.3 in
+  let params =
+    { Bnb.default_params with
+      max_frontier = 8; rel_gap = 0.0; abs_gap = 0.0 }
+  in
+  let r = Bnb.minimize ~params (unprunable_oracle target) (-25, 25) in
+  checkb "shedding occurred" true (r.Bnb.stats.Bnb.frontier_shed > 0);
+  (* Anytime soundness: dropped nodes were never explored, so the
+     reported bound must fold their best key in and stay below the true
+     optimal cost — and below whatever incumbent was kept. *)
+  checkb "bound below the true optimum" true
+    (r.Bnb.bound <= cost_of target 7 +. 1e-12);
+  (match r.Bnb.best with
+  | Some (_, c) ->
+      checkb "bound below the incumbent" true (r.Bnb.bound <= c +. 1e-12)
+  | None -> Alcotest.fail "no incumbent");
+  checkb "shedding does not invalidate certification" true
+    r.Bnb.stats.Bnb.certified_sound;
+  (* No cap: nothing sheds, and the exact search closes as usual. *)
+  let r0 =
+    Bnb.minimize
+      ~params:{ params with Bnb.max_frontier = 0 }
+      (unprunable_oracle target) (-25, 25)
+  in
+  checki "uncapped search sheds nothing" 0 r0.Bnb.stats.Bnb.frontier_shed;
+  (match r0.Bnb.best with
+  | Some (x, _) -> checki "uncapped search finds the optimum" 7 x
+  | None -> Alcotest.fail "uncapped search found no incumbent")
+
+let test_frontier_shed_parallel_sound () =
+  let target = 7.3 in
+  let params =
+    { Bnb.default_params with
+      max_frontier = 8; domains = 4; rel_gap = 0.0; abs_gap = 0.0 }
+  in
+  match
+    run_with_timeout ~seconds:30.0 (fun () ->
+        Bnb.minimize ~params (unprunable_oracle target) (-25, 25))
+  with
+  | None -> Alcotest.fail "capped parallel search hung"
+  | Some r ->
+      checkb "bound below the true optimum" true
+        (r.Bnb.bound <= cost_of target 7 +. 1e-12);
+      (match r.Bnb.best with
+      | Some (_, c) ->
+          checkb "bound below the incumbent" true (r.Bnb.bound <= c +. 1e-12)
+      | None -> Alcotest.fail "no incumbent")
+
+(* ------------------------------------------------------------------ *)
+(* Certified vs trusting pruning                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A toy oracle whose candidates are deliberately poor (the region's hi
+   endpoint, never the rounded minimiser): finding the optimum requires
+   actually descending into its region, so a mispruned region means a
+   wrong answer — unlike [integer_quadratic_oracle], whose every bound
+   call hands back a near-optimal candidate for free. *)
+let endpoint_candidate_oracle target =
+  let cost x = (x -. target) ** 2.0 in
+  {
+    Bnb.bound =
+      (fun (lo, hi) ->
+        if lo > hi then None
+        else
+          let cont =
+            Float.max (float_of_int lo) (Float.min (float_of_int hi) target)
+          in
+          Some
+            {
+              Bnb.lower = cost cont;
+              candidate = Some (hi, cost (float_of_int hi));
+            });
+    branch =
+      (fun (lo, hi) ->
+        if lo >= hi then []
+        else
+          let mid = (lo + hi) asr 1 in
+          [ (lo, mid); (mid + 1, hi) ]);
+  }
+
+let test_corrupt_primal_trusting_misprunes () =
+  let target = 7.3 in
+  let base = endpoint_candidate_oracle target in
+  let poison = (1, 13) in
+  (* A corrupted solver: for the region holding the optimum it reports a
+     wildly inflated lower bound, exactly what a stalled primal solve
+     whose objective is taken on faith produces. *)
+  let lying =
+    {
+      base with
+      Bnb.bound =
+        (fun region ->
+          if region = poison then
+            Some { Bnb.lower = 1e6; candidate = None }
+          else base.Bnb.bound region);
+    }
+  in
+  let trusting = Bnb.minimize lying (-25, 25) in
+  (match trusting.Bnb.best with
+  | Some (x, c) ->
+      checkb "trusting search mispruned the optimum" true (x <> 7);
+      checkb "and pays for it in cost" true (c > cost_of target 7 +. 1.0)
+  | None -> ());
+  (* The certified path refuses to hand the driver a bound it could not
+     verify: the failure is classified as a certificate fault, degraded
+     to the (weak but true) fallback, and the region survives to be
+     branched — the optimum is recovered. *)
+  let certified =
+    {
+      base with
+      Bnb.bound =
+        (fun region ->
+          if region = poison then
+            raise (Fault.Certificate_error "primal-dual slack excessive")
+          else base.Bnb.bound region);
+    }
+  in
+  let r = Bnb.minimize ~faults:retrying_faults certified (-25, 25) in
+  (match r.Bnb.best with
+  | Some (x, _) -> checki "certified search finds the optimum" 7 x
+  | None -> Alcotest.fail "certified search found no incumbent");
+  checkb "certificate fallback counted" true
+    (r.Bnb.stats.Bnb.cert_fallbacks >= 1);
+  checkb "degrading to a certified fallback stays sound" true
+    r.Bnb.stats.Bnb.certified_sound
 
 (* ------------------------------------------------------------------ *)
 (* Deadlock regressions (parallel driver)                              *)
@@ -619,6 +828,167 @@ let test_ldafp_counters_reset_marker () =
       checkb "marker survives later, fully-keyed snapshots" true
         third.Lda_fp.diagnostics.Lda_fp.search.Bnb.counters_reset)
 
+(* Certificate counters (and the soundness flag) ride the same
+   checkpoint schema: a kill/resume chain must report the same
+   cumulative certificate accounting as the uninterrupted run, still
+   marked sound. *)
+let test_ldafp_cert_counters_survive_resume () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let full =
+    match Lda_fp.solve ~config:(exact_lda_config 4000) pb with
+    | Some o -> o
+    | None -> Alcotest.fail "uninterrupted run found no solution"
+  in
+  let fs = full.Lda_fp.diagnostics.Lda_fp.search in
+  checkb "reference run certifies its bounds" true (fs.Bnb.cert_verified > 0);
+  checkb "reference run is sound" true fs.Bnb.certified_sound;
+  let path = temp_checkpoint () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let sliced_config budget =
+        { (exact_lda_config budget) with
+          Lda_fp.checkpoint = Some (Lda_fp.checkpoint_spec ~resume:true path) }
+      in
+      let rec train_in_slices budget guard =
+        if guard = 0 then Alcotest.fail "resume loop did not converge"
+        else
+          match Lda_fp.solve ~config:(sliced_config budget) pb with
+          | None -> Alcotest.fail "killed run lost the incumbent"
+          | Some o
+            when o.Lda_fp.diagnostics.Lda_fp.stop_reason = Bnb.Node_budget ->
+              train_in_slices (budget + 6) (guard - 1)
+          | Some o -> o
+      in
+      let resumed = train_in_slices 6 2000 in
+      let rs = resumed.Lda_fp.diagnostics.Lda_fp.search in
+      checkf 1e-12 "same incumbent cost" full.Lda_fp.cost resumed.Lda_fp.cost;
+      checki "cert_verified survives the chain" fs.Bnb.cert_verified
+        rs.Bnb.cert_verified;
+      checki "cert_fallbacks survives the chain" fs.Bnb.cert_fallbacks
+        rs.Bnb.cert_fallbacks;
+      checkb "chain stays certified sound" true rs.Bnb.certified_sound)
+
+(* A snapshot written before the certificate schema (fingerprint without
+   [+cert1]) is rejected outright by the fingerprint check; the subtler
+   case is a same-schema snapshot whose cert counters were stripped —
+   resuming through it must raise the sticky [counters_reset] marker AND
+   clear [certified_sound]: some pruning decisions' certification status
+   is unknown, so the whole run can no longer claim soundness. *)
+let test_ldafp_cert_schema_reset_marker () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let path = temp_checkpoint () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let config budget =
+        {
+          (exact_lda_config budget) with
+          Lda_fp.checkpoint = Some (Lda_fp.checkpoint_spec ~resume:true path);
+        }
+      in
+      let slice budget =
+        match Lda_fp.solve ~config:(config budget) pb with
+        | Some o -> o
+        | None -> Alcotest.fail "slice found no incumbent"
+      in
+      let first = slice 6 in
+      checkb "fresh run is certified sound" true
+        first.Lda_fp.diagnostics.Lda_fp.search.Bnb.certified_sound;
+      let st = Checkpoint.load ~path () in
+      Checkpoint.save ~path
+        {
+          st with
+          Checkpoint.counters =
+            List.filter
+              (fun (k, _) -> not (List.mem k Bnb.cert_counter_keys))
+              st.Checkpoint.counters;
+        };
+      let second = slice 12 in
+      checkb "stripped cert keys raise the reset marker" true
+        second.Lda_fp.diagnostics.Lda_fp.search.Bnb.counters_reset;
+      checkb "and clear certified_sound" false
+        second.Lda_fp.diagnostics.Lda_fp.search.Bnb.certified_sound;
+      (* Sticky through the rest of the chain, even though every later
+         snapshot carries the full schema. *)
+      let third = slice 4000 in
+      checkb "unsoundness survives later snapshots" false
+        third.Lda_fp.diagnostics.Lda_fp.search.Bnb.certified_sound)
+
+(* The --no-certify escape hatch: same incumbent on a healthy solver,
+   but the run is flagged as trusting. *)
+let test_ldafp_no_certify_flags_unsound () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let solve certify =
+    match
+      Lda_fp.solve ~config:{ (exact_lda_config 4000) with Lda_fp.certify } pb
+    with
+    | Some o -> o
+    | None -> Alcotest.fail "no solution"
+  in
+  let certified = solve true and trusting = solve false in
+  checkf 1e-12 "same incumbent from a healthy solver"
+    certified.Lda_fp.cost trusting.Lda_fp.cost;
+  let cs = certified.Lda_fp.diagnostics.Lda_fp.search in
+  let ts = trusting.Lda_fp.diagnostics.Lda_fp.search in
+  checkb "certified run verifies bounds" true (cs.Bnb.cert_verified > 0);
+  checkb "certified run is sound" true cs.Bnb.certified_sound;
+  checki "trusting run verifies nothing" 0 ts.Bnb.cert_verified;
+  checkb "trusting run is flagged" false ts.Bnb.certified_sound
+
+(* Certificates under injected faults and a kill/resume chain: whatever
+   the injection does, a run that ends with [certified_sound] must have
+   certified (or certifiably degraded) every pruning decision, and the
+   incumbent must match the fault-free reference. *)
+let test_ldafp_cert_with_faults_and_resume () =
+  let open Ldafp_core in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+  let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+  let reference =
+    match Lda_fp.solve ~config:(exact_lda_config 4000) pb with
+    | Some o -> o
+    | None -> Alcotest.fail "reference run found no solution"
+  in
+  let path = temp_checkpoint () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove path;
+      let faulty budget =
+        {
+          (exact_lda_config budget) with
+          Lda_fp.checkpoint = Some (Lda_fp.checkpoint_spec ~resume:true path);
+          inject_faults =
+            Some
+              (Fault_inject.config ~seed:23 ~bound_exn_prob:0.08
+                 ~bound_nan_prob:0.08 ());
+        }
+      in
+      let rec train_in_slices budget guard =
+        if guard = 0 then Alcotest.fail "resume loop did not converge"
+        else
+          match Lda_fp.solve ~config:(faulty budget) pb with
+          | None -> Alcotest.fail "killed run lost the incumbent"
+          | Some o
+            when o.Lda_fp.diagnostics.Lda_fp.stop_reason = Bnb.Node_budget ->
+              train_in_slices (budget + 6) (guard - 1)
+          | Some o -> o
+      in
+      let resumed = train_in_slices 6 2000 in
+      let rs = resumed.Lda_fp.diagnostics.Lda_fp.search in
+      checkb "faults actually injected" true (rs.Bnb.oracle_failures > 0);
+      checkb "faulty chain stays certified sound" true rs.Bnb.certified_sound;
+      checkf 1e-12 "incumbent matches the fault-free reference"
+        reference.Lda_fp.cost resumed.Lda_fp.cost)
+
 (* The warm-start contract: a repaired start changes where the barrier
    starts, never what the search concludes.  Warm and cold runs of the
    same budgeted search must pick the identical incumbent — across
@@ -966,6 +1336,26 @@ let () =
           Alcotest.test_case "branch failure contained" `Quick
             test_branch_failure_contained;
         ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_delay;
+          Alcotest.test_case "backoff time charged" `Quick
+            test_retry_backoff_charged;
+          Alcotest.test_case "per-expansion budget" `Quick
+            test_retry_budget_exhausted;
+        ] );
+      ( "frontier",
+        [
+          Alcotest.test_case "shed stays sound" `Quick
+            test_frontier_shed_stays_sound;
+          Alcotest.test_case "shed stays sound, domains=4" `Quick
+            test_frontier_shed_parallel_sound;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "trusting misprunes, certified does not" `Quick
+            test_corrupt_primal_trusting_misprunes;
+        ] );
       ( "deadlock",
         [
           Alcotest.test_case "poisoned region, domains=4, exception" `Quick
@@ -1007,6 +1397,14 @@ let () =
             test_ldafp_warm_counters_survive_resume;
           Alcotest.test_case "pre-schema snapshot flags counters_reset" `Quick
             test_ldafp_counters_reset_marker;
+          Alcotest.test_case "cert counters survive resume" `Quick
+            test_ldafp_cert_counters_survive_resume;
+          Alcotest.test_case "stripped cert keys clear certified_sound"
+            `Quick test_ldafp_cert_schema_reset_marker;
+          Alcotest.test_case "no-certify flags the run as trusting" `Quick
+            test_ldafp_no_certify_flags_unsound;
+          Alcotest.test_case "certificates under faults and resume" `Quick
+            test_ldafp_cert_with_faults_and_resume;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -61,6 +61,41 @@ let test_interval_scale_shift () =
   let t = Interval.shift 3.0 iv in
   checkf 1e-12 "shift" 4.0 (Interval.lo t)
 
+let test_interval_directed_rounding () =
+  (* wide_add strictly contains the rounded sum on both sides. *)
+  let a = Interval.point 0.1 and b = Interval.point 0.2 in
+  let s = Interval.wide_add a b in
+  checkb "sum lo below" true (Interval.lo s < 0.1 +. 0.2);
+  checkb "sum hi above" true (Interval.hi s > 0.1 +. 0.2);
+  (* wide_mul encloses every cross product of the endpoints. *)
+  let m =
+    Interval.wide_mul
+      (Interval.make ~lo:0.1 ~hi:0.2)
+      (Interval.make ~lo:(-0.3) ~hi:0.4)
+  in
+  List.iter
+    (fun (x, y) ->
+      checkb "product enclosed" true
+        (Interval.lo m <= x *. y && x *. y <= Interval.hi m))
+    [ (0.1, -0.3); (0.1, 0.4); (0.2, -0.3); (0.2, 0.4) ];
+  (* Kahan convention: an exactly-zero factor kills an unbounded one. *)
+  let z =
+    Interval.wide_mul (Interval.point 0.0)
+      (Interval.make ~lo:Float.neg_infinity ~hi:Float.infinity)
+  in
+  checkf 1e-12 "0 * [-inf,inf] lo" 0.0 (Interval.lo z);
+  checkf 1e-12 "0 * [-inf,inf] hi" 0.0 (Interval.hi z);
+  (* Infinite endpoints are preserved, never stepped inward or to NaN. *)
+  let u = Interval.wide (Interval.make ~lo:Float.neg_infinity ~hi:Float.infinity) in
+  checkb "wide keeps -inf" true (Interval.lo u = Float.neg_infinity);
+  checkb "wide keeps +inf" true (Interval.hi u = Float.infinity);
+  (* inf - inf is NaN: the operation must refuse, not return a "bound". *)
+  checkb "inf - inf raises" true
+    (match Interval.wide_sub (Interval.point Float.infinity)
+             (Interval.point Float.infinity) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Pqueue                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -93,6 +128,32 @@ let test_pqueue_empty () =
   checkb "empty" true (Pqueue.is_empty q);
   checkb "pop none" true (Pqueue.pop q = None);
   checkf 1e-12 "min of empty is inf" Float.infinity (Pqueue.min_key q)
+
+let test_pqueue_drop_worst () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k (int_of_float k))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  (* Within budget: nothing dropped, infinity folds harmlessly. *)
+  let d, m = Pqueue.drop_worst q ~keep:10 in
+  checki "no drop" 0 d;
+  checkb "no-drop bound is inf" true (m = Float.infinity);
+  (* Over budget: the two largest keys go, and the smallest dropped key
+     is reported (the value soundness folds into the gap). *)
+  let d, m = Pqueue.drop_worst q ~keep:3 in
+  checki "dropped count" 2 d;
+  checkf 1e-12 "min dropped key" 4.0 m;
+  checki "kept" 3 (Pqueue.length q);
+  let popped = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (k, _) ->
+        popped := k :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0)))
+    "survivors are the best, in order" [ 1.0; 2.0; 3.0 ] (List.rev !popped)
 
 let test_pqueue_filter_releases_dropped () =
   (* [filter_in_place] must clear dead slots so dropped payloads become
@@ -326,6 +387,123 @@ let test_socp_lower_bound_certificate () =
   checkb "obj >= true min" true (sol.Socp.objective >= true_min -. 1e-9);
   checkb "obj - gap <= true min" true
     (sol.Socp.objective -. sol.Socp.gap_bound <= true_min +. 1e-6)
+
+let test_socp_certificate_analytic () =
+  (* Independent dual certificate on the analytic cone projection: the
+     verified dual value must lower-bound the true optimum (-5) and,
+     from a healthy solve, sit close beneath it. *)
+  let c = [| 3.0; 0.0 |] in
+  let p = Mat.scale 2.0 (Mat.identity 2) in
+  let q = Vec.scale (-2.0) c in
+  let cone =
+    { Socp.l = Mat.identity 2; g = Vec.zeros 2; c = Vec.zeros 2; d = 1.0 }
+  in
+  (* A box around the ball: the residual-absorption step needs bounded
+     coordinates (every LDA-FP relaxation has its weight box). *)
+  let lins = Socp.box_constraints [| -2.0; -2.0 |] [| 2.0; 2.0 |] in
+  let problem = Socp.problem ~p ~q ~lins ~socs:[ cone ] 2 in
+  let sol = Socp.solve problem ~start:[| 0.0; 0.0 |] in
+  let true_min = -5.0 in
+  match Socp.certify_lower_bound problem sol with
+  | Error f -> Alcotest.fail (Socp.describe_cert_failure f)
+  | Ok cert ->
+      checkb "dual value is a true lower bound" true
+        (cert.Socp.dual_value <= true_min +. 1e-9);
+      checkb "and a tight one" true (cert.Socp.dual_value >= true_min -. 1e-2);
+      checkf 1e-9 "slack is objective - dual_value"
+        (sol.Socp.objective -. cert.Socp.dual_value)
+        cert.Socp.slack
+
+let test_socp_certificate_survives_corrupt_primal () =
+  (* The regression the certificate layer exists for: a corrupted primal
+     solve.  The trusting formula [objective - 2 gap_bound] follows the
+     corruption upward and would let B&B prune the optimum; the
+     certificate either still reports a true lower bound or refuses
+     outright — it never follows the lie. *)
+  let c = [| 3.0; 0.0 |] in
+  let p = Mat.scale 2.0 (Mat.identity 2) in
+  let q = Vec.scale (-2.0) c in
+  let cone =
+    { Socp.l = Mat.identity 2; g = Vec.zeros 2; c = Vec.zeros 2; d = 1.0 }
+  in
+  let lins = Socp.box_constraints [| -2.0; -2.0 |] [| 2.0; 2.0 |] in
+  let problem = Socp.problem ~p ~q ~lins ~socs:[ cone ] 2 in
+  let sol = Socp.solve problem ~start:[| 0.0; 0.0 |] in
+  let true_min = -5.0 in
+  (* Corrupt the reported objective: the trusting bound overstates. *)
+  let lied = { sol with Socp.objective = sol.Socp.objective +. 10.0 } in
+  checkb "trusting bound follows the corruption" true
+    (lied.Socp.objective -. (2.0 *. lied.Socp.gap_bound) > true_min +. 1.0);
+  (match Socp.certify_lower_bound problem lied with
+  | Ok cert ->
+      checkb "certified bound ignores the lie" true
+        (cert.Socp.dual_value <= true_min +. 1e-9)
+  | Error (Socp.Cert_gap_excessive _) -> () (* refusing is equally sound *)
+  | Error f -> Alcotest.fail (Socp.describe_cert_failure f));
+  (* Corrupt the iterate itself: multipliers extracted from a garbage
+     point still get repaired onto the dual-feasible set, so any Ok
+     verdict is still a true bound (just a loose one). *)
+  let garbage = { sol with Socp.x = [| 7.0; -3.0 |] } in
+  match Socp.certify_lower_bound ~max_rel_slack:1e6 problem garbage with
+  | Ok cert ->
+      checkb "garbage-point certificate still valid" true
+        (cert.Socp.dual_value <= true_min +. 1e-9)
+  | Error (Socp.Cert_gap_excessive _) -> ()
+  | Error f -> Alcotest.fail (Socp.describe_cert_failure f)
+
+(* The certificate property: on random box QPs with a cone, the repaired
+   dual value never exceeds a high-accuracy reference solve of the same
+   problem (weak duality made checkable).  The reference objective
+   upper-bounds the true optimum, so [dual_value <= reference] is the
+   observable half of [dual_value <= true optimum]. *)
+let prop_cert_lower_bounds_reference =
+  QCheck.Test.make
+    ~name:"repaired dual certificate lower-bounds a reference solve"
+    ~count:40
+    QCheck.(pair (int_range 1 6) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let rng = Stats.Rng.create seed in
+      let base =
+        Mat.init n n (fun _ _ -> Stats.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      in
+      let p =
+        Mat.add_scaled_identity (0.5 *. float_of_int n)
+          (Mat.mul base (Mat.transpose base))
+      in
+      let q = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-3.0) ~hi:3.0) in
+      let lo = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:(-2.0) ~hi:(-0.1)) in
+      let hi = Array.init n (fun _ -> Stats.Rng.uniform rng ~lo:0.1 ~hi:2.0) in
+      let with_cone = Stats.Rng.uniform rng ~lo:0.0 ~hi:1.0 < 0.5 in
+      let socs =
+        if with_cone then
+          let radius = Stats.Rng.uniform rng ~lo:1.0 ~hi:4.0 in
+          [ { Socp.l = Mat.identity n; g = Vec.zeros n; c = Vec.zeros n;
+              d = radius } ]
+        else []
+      in
+      let pb = Socp.problem ~p ~q ~lins:(Socp.box_constraints lo hi) ~socs n in
+      match Socp.solve_auto pb ~start:(Vec.zeros n) with
+      | None -> false (* origin is always feasible here *)
+      | Some sol -> (
+          let reference =
+            Socp.solve
+              ~params:{ Socp.default_params with Socp.gap_tol = 1e-10 }
+              pb ~start:sol.Socp.x
+          in
+          match Socp.certify_lower_bound pb sol with
+          | Error f ->
+              QCheck.Test.fail_reportf "certificate failed: %s"
+                (Socp.describe_cert_failure f)
+          | Ok cert ->
+              if
+                cert.Socp.dual_value
+                > reference.Socp.objective
+                  +. (1e-9 *. (1.0 +. Float.abs reference.Socp.objective))
+              then
+                QCheck.Test.fail_reportf
+                  "dual value %.12g above reference optimum %.12g"
+                  cert.Socp.dual_value reference.Socp.objective
+              else true))
 
 let test_socp_rejects_infeasible_start () =
   let lins = Socp.box_constraints [| 0.0 |] [| 1.0 |] in
@@ -1073,6 +1251,7 @@ let qcheck_tests =
       prop_pqueue_sorted;
       prop_pqueue_filter_heap;
       prop_pqueue_steal_half;
+      prop_cert_lower_bounds_reference;
       prop_admm_agrees_with_barrier;
       prop_warm_start_agrees_with_cold;
       prop_pull_in_strictly_interior;
@@ -1090,12 +1269,15 @@ let () =
           Alcotest.test_case "split/intersect" `Quick
             test_interval_split_intersect;
           Alcotest.test_case "scale/shift" `Quick test_interval_scale_shift;
+          Alcotest.test_case "directed rounding" `Quick
+            test_interval_directed_rounding;
         ] );
       ( "pqueue",
         [
           Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
           Alcotest.test_case "filter" `Quick test_pqueue_filter;
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "drop worst" `Quick test_pqueue_drop_worst;
           Alcotest.test_case "filter releases dropped values" `Quick
             test_pqueue_filter_releases_dropped;
           Alcotest.test_case "steal half" `Quick test_pqueue_steal_half;
@@ -1128,6 +1310,10 @@ let () =
             test_socp_cone_projection;
           Alcotest.test_case "lower bound certificate" `Quick
             test_socp_lower_bound_certificate;
+          Alcotest.test_case "dual certificate (analytic)" `Quick
+            test_socp_certificate_analytic;
+          Alcotest.test_case "dual certificate survives corrupt primal"
+            `Quick test_socp_certificate_survives_corrupt_primal;
           Alcotest.test_case "rejects infeasible start" `Quick
             test_socp_rejects_infeasible_start;
           Alcotest.test_case "boundary start nudged" `Quick
