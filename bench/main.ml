@@ -10,9 +10,13 @@ open Report
 let usage =
   "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
   \                [--baselines] [--ecg] [--ablations] [--micro] [--parallel]\n\
-  \                [--scaling] [--faults] [--quick|--full] [--seed N]\n\
+  \                [--scaling] [--deep] [--quick-deep] [--faults]\n\
+  \                [--quick|--full] [--seed N]\n\
   \                [--trace FILE] [--metrics FILE]\n\
    With no experiment flag, everything runs.\n\
+   --deep runs the deep scaling benchmark: an exact run-to-completion\n\
+   search of >= 10^5 nodes at 1/2/4 domains (--quick-deep sizes it for\n\
+   CI, >= 10^4 nodes) reporting efficiency and seed-phase duration.\n\
    --trace records a Chrome trace-event timeline of the solver runs\n\
    (load in Perfetto); --metrics exports solver counters/histograms\n\
    (JSON when FILE ends in .json, Prometheus text otherwise)."
@@ -29,6 +33,8 @@ type options = {
   mutable micro : bool;
   mutable parallel : bool;
   mutable scaling : bool;
+  mutable deep : bool;
+  mutable quick_deep : bool;
   mutable faults : bool;
   mutable quick : bool;
   mutable seed : int option;
@@ -41,7 +47,8 @@ let parse_args () =
     {
       table1 = false; table2 = false; figure2 = false; figure4 = false;
       power = false; baselines = false; ecg = false; ablations = false;
-      micro = false; parallel = false; scaling = false; faults = false;
+      micro = false; parallel = false; scaling = false; deep = false;
+      quick_deep = false; faults = false;
       quick = true; seed = None; trace = None; metrics = None;
     }
   in
@@ -60,6 +67,12 @@ let parse_args () =
     | "--micro" :: rest -> any := true; o.micro <- true; go rest
     | "--parallel" :: rest -> any := true; o.parallel <- true; go rest
     | "--scaling" :: rest -> any := true; o.scaling <- true; go rest
+    | "--deep" :: rest -> any := true; o.deep <- true; go rest
+    | "--quick-deep" :: rest ->
+        any := true;
+        o.deep <- true;
+        o.quick_deep <- true;
+        go rest
     | "--faults" :: rest -> any := true; o.faults <- true; go rest
     | "--quick" :: rest -> o.quick <- true; go rest
     | "--full" :: rest -> o.quick <- false; go rest
@@ -480,7 +493,12 @@ let run_parallel_bnb ~quick ?seed () =
           (seq_t /. Float.max t 1e-9)
           (o.Lda_fp.cost /. seq_cost)
   in
-  let record label domains (outcome, t) =
+  (* [vs_seq] says whether the warm sequential run is a meaningful
+     scaling baseline for this record.  The cold d=1 ablation exists to
+     gate warm/cold agreement, not scaling: normalizing its time
+     against the {e warm} run produced a bogus "efficiency" (warm_t /
+     cold_t), so that record reports null instead. *)
+  let record ?(vs_seq = true) label domains (outcome, t) =
     match outcome with
     | None ->
         Json.Obj
@@ -513,8 +531,10 @@ let run_parallel_bnb ~quick ?seed () =
             ("seconds", Json.Float t);
             (* T1 / (d * Td): 1.0 = perfect linear scaling. *)
             ( "scaling_efficiency",
-              Json.Float (seq_t /. (float_of_int domains *. Float.max t 1e-9))
-            );
+              if vs_seq then
+                Json.Float
+                  (seq_t /. (float_of_int domains *. Float.max t 1e-9))
+              else Json.Null );
             ("cost", Json.Float o.Lda_fp.cost);
             ("nodes", Json.Int d.Lda_fp.nodes);
             ("warm_start_hits", Json.Int s.Optim.Bnb.warm_start_hits);
@@ -544,6 +564,16 @@ let run_parallel_bnb ~quick ?seed () =
             ("steals", Json.Int s.Optim.Bnb.steals);
             ("stolen_nodes", Json.Int s.Optim.Bnb.stolen_nodes);
             ("idle_wakeups", Json.Int s.Optim.Bnb.idle_wakeups);
+            ("seed_nodes", Json.Int s.Optim.Bnb.seed_nodes);
+            ("seed_seconds", Json.Float s.Optim.Bnb.seed_seconds);
+            ("targeted_wakeups", Json.Int s.Optim.Bnb.targeted_wakeups);
+            ("steals_best_victim", Json.Int s.Optim.Bnb.steals_best_victim);
+            ( "first_node_seconds",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun x -> Json.Float x)
+                      s.Optim.Bnb.domain_first_node_seconds)) );
             ("cert_verified", Json.Int s.Optim.Bnb.cert_verified);
             ("cert_repaired", Json.Int s.Optim.Bnb.cert_repaired);
             ("cert_fallbacks", Json.Int s.Optim.Bnb.cert_fallbacks);
@@ -554,7 +584,7 @@ let run_parallel_bnb ~quick ?seed () =
   (* Cold ablation at domains=1 — the warm/cold agreement gate CI checks. *)
   let cold, cold_t = solve ~warm_start:false 1 in
   report "cold d=1" (cold, cold_t);
-  let records = ref [ record "cold d=1" 1 (cold, cold_t);
+  let records = ref [ record ~vs_seq:false "cold d=1" 1 (cold, cold_t);
                       record "domains=1" 1 (seq, seq_t) ] in
   List.iter
     (fun domains ->
@@ -670,6 +700,13 @@ let run_parallel_bnb ~quick ?seed () =
    slower — time-slicing plus cross-domain GC barriers — and the
    efficiency field records exactly that instead of pretending
    otherwise). *)
+let stop_name = function
+  | Optim.Bnb.Proved_optimal -> "proved_optimal"
+  | Optim.Bnb.Gap_reached -> "gap_reached"
+  | Optim.Bnb.Node_budget -> "node_budget"
+  | Optim.Bnb.Time_budget -> "time_budget"
+  | Optim.Bnb.Interrupted -> "interrupted"
+
 let run_scaling_bnb ~quick ?seed () =
   let open Ldafp_core in
   let seed = Option.value seed ~default:42 in
@@ -712,13 +749,6 @@ let run_scaling_bnb ~quick ?seed () =
     match seq with
     | Some o -> o.Lda_fp.diagnostics.Lda_fp.nodes
     | None -> -1
-  in
-  let stop_name = function
-    | Optim.Bnb.Proved_optimal -> "proved_optimal"
-    | Optim.Bnb.Gap_reached -> "gap_reached"
-    | Optim.Bnb.Node_budget -> "node_budget"
-    | Optim.Bnb.Time_budget -> "time_budget"
-    | Optim.Bnb.Interrupted -> "interrupted"
   in
   let one domains (outcome, t) =
     match outcome with
@@ -764,6 +794,16 @@ let run_scaling_bnb ~quick ?seed () =
             ("steals", Json.Int s.Optim.Bnb.steals);
             ("stolen_nodes", Json.Int s.Optim.Bnb.stolen_nodes);
             ("idle_wakeups", Json.Int s.Optim.Bnb.idle_wakeups);
+            ("seed_nodes", Json.Int s.Optim.Bnb.seed_nodes);
+            ("seed_seconds", Json.Float s.Optim.Bnb.seed_seconds);
+            ("targeted_wakeups", Json.Int s.Optim.Bnb.targeted_wakeups);
+            ("steals_best_victim", Json.Int s.Optim.Bnb.steals_best_victim);
+            ( "first_node_seconds",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun x -> Json.Float x)
+                      s.Optim.Bnb.domain_first_node_seconds)) );
             ( "oracle_utilization",
               Json.List
                 (Array.to_list
@@ -788,6 +828,156 @@ let run_scaling_bnb ~quick ?seed () =
     [
       ("problem", Json.Str (Fixedpoint.Qformat.to_string fmt));
       ("cores_detected", Json.Int cores);
+      ("sequential_nodes", Json.Int seq_nodes);
+      ("runs", Json.List runs);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Deep scaling: exact run-to-completion search, >= 10^5 nodes (E11)   *)
+(* ------------------------------------------------------------------ *)
+
+(* The E10 search closes in ~10^4 nodes — deep enough to amortize domain
+   spawns but still dominated by the single-frontier warm-up before the
+   first steals.  This experiment is the scaling benchmark proper: an
+   exact run-to-drain search (rel_gap = abs_gap = 0: the frontier is
+   explored until it is empty, so the certified gap is exactly 0.0 and
+   the incumbent/gap comparison across domain counts is bitwise) sized
+   to >= 10^5 nodes (--quick-deep: >= 10^4, the CI size).  Alongside the
+   efficiency it reports what the seeding phase did (nodes, seconds) and
+   the hot-path scheduler counters (targeted wakeups, best-victim
+   steals, per-domain time to first expansion) so a scaling regression
+   can be attributed.  CI gates only correctness and seed-field
+   consistency — the timings depend on the runner's core count, which
+   is recorded as context in [cores_detected]. *)
+let run_scaling_deep ~quick_deep ?seed () =
+  let open Ldafp_core in
+  let seed = Option.value seed ~default:42 in
+  let target_nodes = if quick_deep then 10_000 else 100_000 in
+  print_newline ();
+  Printf.printf
+    "Deep scaling: exact run-to-drain search, >= 10^%d nodes (E11)\n"
+    (if quick_deep then 4 else 5);
+  print_endline "=============================================================";
+  let rng = Stats.Rng.create seed in
+  let ds =
+    Datasets.Synthetic.generate ~n_per_class:(if quick_deep then 200 else 300)
+      rng
+  in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:(if quick_deep then 5 else 7) in
+  let prep = Pipeline.prepare ~fmt ds in
+  let pb = Ldafp_problem.build ~fmt prep.Pipeline.scatter in
+  let solve domains =
+    let config =
+      {
+        Lda_fp.default_config with
+        bnb_params =
+          {
+            Optim.Bnb.default_params with
+            max_nodes = 5_000_000 (* runaway stop only *);
+            rel_gap = 0.0;
+            abs_gap = 0.0;
+            domains;
+          };
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Lda_fp.solve ~config pb in
+    count_nodes outcome;
+    (outcome, Unix.gettimeofday () -. t0)
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "synthetic %s problem, exact run-to-drain, %d core(s) detected\n%!"
+    (Fixedpoint.Qformat.to_string fmt)
+    cores;
+  let seq, seq_t = solve 1 in
+  let seq_cost = match seq with Some o -> o.Lda_fp.cost | None -> Float.nan in
+  let seq_gap =
+    match seq with
+    | Some o -> o.Lda_fp.diagnostics.Lda_fp.gap
+    | None -> Float.nan
+  in
+  let seq_nodes =
+    match seq with
+    | Some o -> o.Lda_fp.diagnostics.Lda_fp.nodes
+    | None -> -1
+  in
+  let one domains (outcome, t) =
+    match outcome with
+    | None ->
+        Printf.printf "  domains=%d  no feasible solution (%.2fs)\n%!" domains
+          t;
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("feasible", Json.Bool false);
+            ("cost_agrees", Json.Bool false);
+            ("gap_agrees", Json.Bool false);
+            ("seconds", Json.Float t);
+          ]
+    | Some o ->
+        let d = o.Lda_fp.diagnostics in
+        let s = d.Lda_fp.search in
+        let efficiency = seq_t /. (float_of_int domains *. Float.max t 1e-9) in
+        (* Run-to-drain: every domain count proves the same optimum with
+           the same (zero) certified gap, so exact float equality is the
+           right comparison on both. *)
+        let cost_agrees = o.Lda_fp.cost = seq_cost in
+        let gap_agrees = d.Lda_fp.gap = seq_gap in
+        Printf.printf
+          "  domains=%d  cost %.6g  nodes %6d  seed %5d/%.3fs  steals %4d  \
+           %7.2fs  efficiency %.2f  %s\n\
+           %!"
+          domains o.Lda_fp.cost d.Lda_fp.nodes s.Optim.Bnb.seed_nodes
+          s.Optim.Bnb.seed_seconds s.Optim.Bnb.steals t efficiency
+          (stop_name d.Lda_fp.stop_reason);
+        Json.Obj
+          [
+            ("domains", Json.Int domains);
+            ("feasible", Json.Bool true);
+            ("cost", Json.Float o.Lda_fp.cost);
+            ("cost_agrees", Json.Bool cost_agrees);
+            ("certified_gap", Json.Float d.Lda_fp.gap);
+            ("gap_agrees", Json.Bool gap_agrees);
+            ("certified_sound", Json.Bool s.Optim.Bnb.certified_sound);
+            ("cert_fallbacks", Json.Int s.Optim.Bnb.cert_fallbacks);
+            ("nodes", Json.Int d.Lda_fp.nodes);
+            ("stop_reason", Json.Str (stop_name d.Lda_fp.stop_reason));
+            ("seconds", Json.Float t);
+            ("scaling_efficiency", Json.Float efficiency);
+            ("seed_nodes", Json.Int s.Optim.Bnb.seed_nodes);
+            ("seed_seconds", Json.Float s.Optim.Bnb.seed_seconds);
+            ("steals", Json.Int s.Optim.Bnb.steals);
+            ("stolen_nodes", Json.Int s.Optim.Bnb.stolen_nodes);
+            ("idle_wakeups", Json.Int s.Optim.Bnb.idle_wakeups);
+            ("targeted_wakeups", Json.Int s.Optim.Bnb.targeted_wakeups);
+            ("steals_best_victim", Json.Int s.Optim.Bnb.steals_best_victim);
+            ( "first_node_seconds",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun x -> Json.Float x)
+                      s.Optim.Bnb.domain_first_node_seconds)) );
+          ]
+  in
+  let runs =
+    List.map
+      (fun domains ->
+        if domains = 1 then one 1 (seq, seq_t) else one domains (solve domains))
+      [ 1; 2; 4 ]
+  in
+  if seq_nodes >= 0 && seq_nodes < target_nodes then
+    Printf.printf
+      "  note: sequential search closed in %d nodes (< %d) — problem \
+       smaller than intended for deep scaling\n\
+       %!"
+      seq_nodes target_nodes;
+  Json.Obj
+    [
+      ("problem", Json.Str (Fixedpoint.Qformat.to_string fmt));
+      ("mode", Json.Str (if quick_deep then "quick-deep" else "deep"));
+      ("cores_detected", Json.Int cores);
+      ("target_nodes", Json.Int target_nodes);
       ("sequential_nodes", Json.Int seq_nodes);
       ("runs", Json.List runs);
     ]
@@ -894,6 +1084,7 @@ let () =
   let kernel_json = ref Json.Null in
   let parallel_json = ref Json.Null in
   let scaling_json = ref Json.Null in
+  let scaling_deep_json = ref Json.Null in
   if o.micro then begin
     let estimates = run_micro () in
     micro_json :=
@@ -907,6 +1098,8 @@ let () =
   end;
   if o.parallel then parallel_json := run_parallel_bnb ~quick ?seed ();
   if o.scaling then scaling_json := run_scaling_bnb ~quick ?seed ();
+  if o.deep then
+    scaling_deep_json := run_scaling_deep ~quick_deep:o.quick_deep ?seed ();
   if o.faults then run_fault_tolerance ~quick ?seed ();
   (* Observability export comes first: all solver domains are joined by
      now, so ring/shard state is quiescent and safe to read. *)
@@ -926,7 +1119,7 @@ let () =
       else Obs.Metrics.save_prometheus Obs.Metrics.default path;
       Printf.printf "wrote %s\n%!" path
   | None -> ());
-  if o.micro || o.parallel || o.scaling then begin
+  if o.micro || o.parallel || o.scaling || o.deep then begin
     let path = "BENCH_solver.json" in
     Json.save path
       (Json.Obj
@@ -938,6 +1131,7 @@ let () =
            ("bound_kernel", !kernel_json);
            ("parallel", !parallel_json);
            ("scaling", !scaling_json);
+           ("scaling_deep", !scaling_deep_json);
            (* Explicit per-solve node total — the denominator of the CI
               metrics gate (see obs_nodes above). *)
            ("obs", Json.Obj [ ("nodes_total", Json.Int !obs_nodes) ]);

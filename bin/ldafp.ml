@@ -340,12 +340,25 @@ let train_cmd =
                   "warning: resumed through a checkpoint written before \
                    the warm counters existed — warm counts and \
                    warm_hit_rate cover only part of this search@.";
-              if s.Optim.Bnb.domains_used > 1 then
+              if s.Optim.Bnb.domains_used > 1 then begin
                 Fmt.pr
-                  "scheduler: %d steal(s) moved %d node(s) (%d carrying \
-                   warm state), %d idle wakeup(s)@."
+                  "scheduler: seeded %d node(s) in %.3fs, then %d steal(s) \
+                   moved %d node(s) (%d carrying warm state), %d idle \
+                   wakeup(s)@."
+                  s.Optim.Bnb.seed_nodes s.Optim.Bnb.seed_seconds
                   s.Optim.Bnb.steals s.Optim.Bnb.stolen_nodes
                   s.Optim.Bnb.stolen_warm s.Optim.Bnb.idle_wakeups;
+                let join sep fmt_one a =
+                  String.concat sep
+                    (Array.to_list (Array.map fmt_one a))
+                in
+                Fmt.pr
+                  "scheduler: targeted wakeups per shard [%s], steals that \
+                   took the best-bound victim per thief [%s]@."
+                  (join "; " string_of_int s.Optim.Bnb.domain_targeted_wakeups)
+                  (join "; " string_of_int
+                     s.Optim.Bnb.domain_steals_best_victim)
+              end;
               if s.Optim.Bnb.oracle_failures > 0 then
                 Fmt.pr
                   "oracle faults: %d failure(s), %d retried, %d degraded \

@@ -16,11 +16,12 @@ type params = {
   log_every : int;
   domains : int;
   max_frontier : int;
+  seed_factor : int;
 }
 
 let default_params =
   { max_nodes = 100_000; rel_gap = 1e-6; abs_gap = 1e-12; time_limit = None;
-    log_every = 0; domains = 1; max_frontier = 0 }
+    log_every = 0; domains = 1; max_frontier = 0; seed_factor = 4 }
 
 type ('region, 'sol) faults = {
   policy : Fault.policy;
@@ -48,6 +49,13 @@ type stats = {
   idle_wakeups : int;
   steals : int;
   stolen_nodes : int;
+  seed_nodes : int;
+  seed_seconds : float;
+  targeted_wakeups : int;
+  steals_best_victim : int;
+  domain_targeted_wakeups : int array;
+  domain_steals_best_victim : int array;
+  domain_first_node_seconds : float array;
   oracle_failures : int;
   retries : int;
   degraded_bounds : int;
@@ -193,6 +201,11 @@ let m_frontier_shed =
   Obs.Metrics.counter Obs.Metrics.default
     ~help:"queued regions shed by the bounded-memory frontier cap"
     "ldafp_bnb_frontier_shed_total"
+
+let m_seed_seconds =
+  Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-6 ~hi:100.0
+    ~help:"wall time of the pre-worker frontier seeding phase"
+    "ldafp_bnb_seed_seconds"
 
 (* One line for [Obs.Progress]: the search-wide picture an operator
    needs to decide whether a long run is still converging. *)
@@ -435,7 +448,8 @@ let float_of_counters hi lo =
        (Int64.logand (Int64.of_int lo) 0xFFFFFFFFL))
 
 let counters_alist ~infeasible ~pruned ~stale ~updates ~children ~reset
-    ~shed ~shed_bound ~(fc : Fault.counters) ~(oc : oracle_counters) =
+    ~shed ~shed_bound ~seed_nodes ~seed_us ~(fc : Fault.counters)
+    ~(oc : oracle_counters) =
   let shed_hi, shed_lo = float_to_counters shed_bound in
   [
     (* Sticky: once a resume hit a pre-schema snapshot, every later
@@ -467,6 +481,11 @@ let counters_alist ~infeasible ~pruned ~stale ~updates ~children ~reset
     ("frontier_shed", shed);
     ("shed_bound_hi", shed_hi);
     ("shed_bound_lo", shed_lo);
+    (* Seed-phase totals, cumulative across a resume chain.  Time in
+       integer microseconds: the counter schema is int-only, and a
+       microsecond of seeding is far below measurement noise. *)
+    ("seed_nodes", seed_nodes);
+    ("seed_time_us", seed_us);
   ]
 
 (* The warm/miss counter keys whose absence marks a pre-oracle-counter
@@ -491,12 +510,20 @@ let warm_counter_keys =
 let cert_counter_keys =
   [ "cert_verified"; "cert_repaired"; "cert_fallbacks"; "certified_sound" ]
 
+(* The seed-phase accounting keys.  A snapshot missing them predates the
+   eager-seeding scheduler; the totals restart at zero, so resuming one
+   raises the sticky [counters_reset] marker like the other schema
+   upgrades (seeding itself is unaffected — only the cumulative
+   accounting is). *)
+let seed_counter_keys = [ "seed_nodes"; "seed_time_us" ]
+
 (* Returned per-run restore state: plain counters, pre-resume elapsed
-   time, sticky reset marker, and the shed-frontier residue
+   time, sticky reset marker, the shed-frontier residue
    [(shed_count, shed_bound)] the resumed run must keep folding into
-   its reported bound. *)
+   its reported bound, and the cumulative seed totals
+   [(seed_nodes, seed_us)]. *)
 let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
-  | Root _ -> (0, 0, 0, 0, 0, 0.0, false, (0, Float.infinity))
+  | Root _ -> (0, 0, 0, 0, 0, 0.0, false, (0, Float.infinity), (0, 0))
   | Restored (s : _ Checkpoint.state) ->
       let c = Checkpoint.counter s in
       Atomic.set fc.Fault.failures (c "oracle_failures");
@@ -526,6 +553,7 @@ let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
       let reset =
         (not (List.for_all (Checkpoint.has_counter s) warm_counter_keys))
         || (not cert_schema_ok)
+        || (not (List.for_all (Checkpoint.has_counter s) seed_counter_keys))
         || c "counters_reset" <> 0
       in
       let shed = c "frontier_shed" in
@@ -535,7 +563,7 @@ let restore_counters (fc : Fault.counters) (oc : oracle_counters) = function
       in
       ( c "infeasible_regions", c "bound_pruned", c "stale_pops",
         c "incumbent_updates", c "children_generated", s.Checkpoint.elapsed,
-        reset, (shed, shed_bound) )
+        reset, (shed, shed_bound), (c "seed_nodes", c "seed_time_us") )
 
 (* A failed snapshot must not kill a multi-hour search: log and carry on
    (the previous checkpoint, if any, is intact thanks to tmp + rename). *)
@@ -568,7 +596,7 @@ let run_seq : type region sol.
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
   let ( infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0,
-        (shed0, shed_bound0) ) =
+        (shed0, shed_bound0), (seed0_nodes, seed0_us) ) =
     restore_counters fc oc source
   in
   (* Bounded-memory frontier residue: nodes shed by the cap are gone,
@@ -586,6 +614,11 @@ let run_seq : type region sol.
     ref (match source with Root _ -> 0 | Restored s -> s.Checkpoint.nodes_explored)
   in
   let start_time = now () in
+  let run_t0_ns = Obs.Clock.now_ns () in
+  (* Time from run start to the first node expansion — the sequential
+     baseline for the per-shard startup-latency diagnostic; -1 when the
+     run never expanded a node. *)
+  let first_node_us = ref (-1) in
   let elapsed () = elapsed0 +. (now () -. start_time) in
   let stop = ref None in
   let infeasible_regions = ref infeasible0 in
@@ -656,7 +689,8 @@ let run_seq : type region sol.
         counters_alist ~infeasible:!infeasible_regions ~pruned:!bound_pruned
           ~stale:!stale_pops ~updates:!incumbent_updates
           ~children:!children_generated ~reset:reset0 ~shed:!frontier_shed
-          ~shed_bound:!shed_bound ~fc ~oc;
+          ~shed_bound:!shed_bound ~seed_nodes:seed0_nodes ~seed_us:seed0_us ~fc
+          ~oc;
       elapsed = elapsed ();
     }
   in
@@ -695,6 +729,8 @@ let run_seq : type region sol.
             incr stale_pops
           else begin
             incr nodes;
+            if !first_node_us < 0 then
+              first_node_us := (Obs.Clock.now_ns () - run_t0_ns) / 1000;
             if params.log_every > 0 && !nodes mod params.log_every = 0 then
               Log.debug (fun m ->
                   m "node %d: bound %.6g incumbent %.6g queue %d" !nodes lb
@@ -765,6 +801,19 @@ let run_seq : type region sol.
         idle_wakeups = 0;
         steals = 0;
         stolen_nodes = 0;
+        (* A sequential run never seeds, but the cumulative totals of a
+           resumed parallel prefix survive the chain. *)
+        seed_nodes = seed0_nodes;
+        seed_seconds = float_of_int seed0_us *. 1e-6;
+        targeted_wakeups = 0;
+        steals_best_victim = 0;
+        domain_targeted_wakeups = [| 0 |];
+        domain_steals_best_victim = [| 0 |];
+        domain_first_node_seconds =
+          [|
+            (if !first_node_us < 0 then -1.0
+             else float_of_int !first_node_us *. 1e-6);
+          |];
         oracle_failures = Atomic.get fc.Fault.failures;
         retries = Atomic.get fc.Fault.retries;
         degraded_bounds = Atomic.get fc.Fault.degraded;
@@ -843,7 +892,7 @@ let run_par : type region sol.
   let fc = Fault.fresh_counters () in
   let oc = match counters with Some c -> c | None -> oracle_counters () in
   let ( infeasible0, pruned0, stale0, updates0, children0, elapsed0, reset0,
-        (shed0, shed_bound0) ) =
+        (shed0, shed_bound0), (seed0_nodes, seed0_us) ) =
     restore_counters fc oc source
   in
   (* Shed-frontier residue, CAS-min so any worker can fold its shard's
@@ -876,8 +925,13 @@ let run_par : type region sol.
       (match source with Root _ -> 0 | Restored s -> s.Checkpoint.nodes_explored)
   in
   let start_time = now () in
+  let run_t0_ns = Obs.Clock.now_ns () in
   let elapsed () = elapsed0 +. (now () -. start_time) in
   let stop : stop_reason option Atomic.t = Atomic.make None in
+  (* Current-run seed accounting; the restored totals are added on the
+     way out (and into every checkpoint). *)
+  let seed_nodes_run = ref 0 in
+  let seed_us_run = ref 0 in
   (* Per-worker single-writer statistics; merged after the joins.
      Records (not an int array) so counters of one worker share no cache
      line with another's. *)
@@ -889,6 +943,9 @@ let run_par : type region sol.
       mutable updates : int;
       mutable children : int;
       mutable shed : int;
+      mutable first_node_us : int;
+          (* run start -> this worker's first node expansion; -1 while
+             none — the time-to-first-node startup diagnostic *)
       oracle_cell : int ref;
     }
   end in
@@ -901,8 +958,13 @@ let run_par : type region sol.
           updates = 0;
           children = 0;
           shed = 0;
+          first_node_us = -1;
           oracle_cell = ref 0;
         })
+  in
+  let note_first_node (w : W.t) =
+    if w.W.first_node_us < 0 then
+      w.W.first_node_us <- (Obs.Clock.now_ns () - run_t0_ns) / 1000
   in
   (* Reads of siblings' plain counter fields (periodic checkpoints, the
      final merge before the last join is not one — it runs after joins)
@@ -918,7 +980,9 @@ let run_par : type region sol.
       ~children:(children0 + sum (fun w -> w.W.children))
       ~reset:reset0
       ~shed:(shed0 + sum (fun w -> w.W.shed))
-      ~shed_bound:(Atomic.get shed_bound) ~fc ~oc
+      ~shed_bound:(Atomic.get shed_bound)
+      ~seed_nodes:(seed0_nodes + !seed_nodes_run)
+      ~seed_us:(seed0_us + !seed_us_run) ~fc ~oc
   in
   let consider_candidate (w : W.t) = function
     | Some (sol, cost) when cost < Atomic.get incumbent_cost ->
@@ -953,11 +1017,26 @@ let run_par : type region sol.
           Work_deque.push deque ~worker lower region
         else w.W.pruned <- w.W.pruned + 1
   in
+  (* Eager frontier seeding: before any worker starts, the calling
+     domain best-first expands a private local queue until it holds
+     enough nodes to give every shard a meaningful slice
+     ([seed_factor * workers]), then deals them round-robin by bound
+     rank.  Without this the search begins with a single root node and
+     the first milliseconds are pure startup serialization: one shard
+     works while the others park, wake, and thrash half-empty steals. *)
+  let seedq : region Pqueue.t = Pqueue.create () in
+  let seed_record_bounded (w : W.t) region = function
+    | None -> w.W.infeasible <- w.W.infeasible + 1
+    | Some { lower; candidate } ->
+        consider_candidate w candidate;
+        if lower < Atomic.get incumbent_cost then Pqueue.push seedq lower region
+        else w.W.pruned <- w.W.pruned + 1
+  in
   (match source with
   | Root root ->
-      (* The root is bounded on the calling domain before any worker
-         starts, exactly as in the sequential driver (callers may rely
-         on the root bound running first, e.g. to install a seeded
+      (* The root is bounded on the calling domain before anything else,
+         exactly as in the sequential driver (callers may rely on the
+         root bound running first, e.g. to install a seeded
          incumbent). *)
       let root_info =
         timed_guarded_bound ~cell:ws.(0).W.oracle_cell ~faults ~fc ~oc
@@ -965,13 +1044,14 @@ let run_par : type region sol.
       in
       (match root_info with
       | Dropped_bound -> ()
-      | Bounded info -> record_bounded ~worker:0 ws.(0) root info)
+      | Bounded info -> seed_record_bounded ws.(0) root info)
   | Restored s ->
-      (* Scatter the restored frontier round-robin so every worker
-         starts with local work instead of stealing from shard 0. *)
-      Array.iteri
-        (fun idx (lb, region) ->
-          Work_deque.push deque ~worker:(idx mod workers) lb region)
+      (* A restored frontier enters the seed queue too: if it is
+         already large enough the seed loop exits immediately and the
+         dealer scatters it by bound rank; if the snapshot was taken
+         early (even mid-seed) the loop grows it first. *)
+      Array.iter
+        (fun (lb, region) -> Pqueue.push seedq lb region)
         s.Checkpoint.frontier);
   (* Checkpoint snapshot ordering: frontier FIRST, then incumbent.  The
      frontier snapshot holds all shard locks, so it is internally
@@ -981,8 +1061,7 @@ let run_par : type region sol.
      dominator on resume.  The reverse order can lose the optimum:
      incumbent read, sibling improves it and prunes, frontier saved
      without the pruned region or the new incumbent. *)
-  let snapshot_state ck =
-    let frontier = Array.of_list (Work_deque.snapshot deque) in
+  let snapshot_state ~frontier ck =
     let inc =
       Mutex.lock inc_lock;
       let i = !incumbent in
@@ -1012,7 +1091,10 @@ let run_par : type region sol.
             (fun () ->
               if Atomic.get nodes - !last_saved_nodes >= ck.every_nodes then begin
                 last_saved_nodes := Atomic.get nodes;
-                try_save ck (snapshot_state ck)
+                try_save ck
+                  (snapshot_state
+                     ~frontier:(Array.of_list (Work_deque.snapshot deque))
+                     ck)
               end)
     | _ -> ()
   in
@@ -1046,6 +1128,7 @@ let run_par : type region sol.
       end
       else begin
         let n = 1 + Atomic.fetch_and_add nodes 1 in
+        note_first_node w;
         if params.log_every > 0 && n mod params.log_every = 0 then
           Log.debug (fun m ->
               m "node %d [w%d]: bound %.6g incumbent %.6g queued %d" n i lb
@@ -1141,7 +1224,7 @@ let run_par : type region sol.
         | None -> (
             (* Nothing local, nothing to steal: park until a sibling
                pushes, the search drains, or someone halts. *)
-            match Work_deque.park deque with
+            match Work_deque.park deque ~worker:i with
             | `Drained -> halt Proved_optimal
             | `Closed -> ()
             | `Work -> loop ())
@@ -1154,11 +1237,156 @@ let run_par : type region sol.
       Work_deque.close deque;
       raise e
   in
-  let spawned =
-    Array.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  (* ---- Seed phase (single-threaded, on the calling domain) ---- *)
+  (* Grow the seed queue best-first until it can feed every shard.
+     The loop honours every stop condition (without closing the deque —
+     [seed_halt] only records the reason), observes the same per-node
+     metrics as the workers (the CI schema gate counts one node-seconds
+     observation per explored node), polices the frontier cap, and
+     checkpoints on cadence from the local queue — a snapshot taken
+     mid-seed is indistinguishable from any other frontier snapshot. *)
+  let seed_target = max 1 (params.seed_factor * workers) in
+  (* Cap expansions so a tree that prunes as fast as it branches (or
+     never branches) cannot pin the whole search in the serial phase. *)
+  let seed_cap = max 64 (8 * seed_target) in
+  let seed_halt reason =
+    ignore (Atomic.compare_and_set stop None (Some reason))
   in
-  worker 0 ();
-  Array.iter Domain.join spawned;
+  let seed_gap_ok () =
+    let inc = Atomic.get incumbent_cost in
+    inc < Float.infinity
+    &&
+    let bound = Float.min (Pqueue.min_key seedq) (Atomic.get shed_bound) in
+    let gap = inc -. bound in
+    gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs inc
+  in
+  let seed_frontier () =
+    Array.of_list (Pqueue.fold (fun acc k v -> (k, v) :: acc) [] seedq)
+  in
+  let seed_periodic_save () =
+    match checkpointing with
+    | Some ck
+      when ck.every_nodes > 0
+           && Atomic.get nodes - !last_saved_nodes >= ck.every_nodes ->
+        last_saved_nodes := Atomic.get nodes;
+        try_save ck (snapshot_state ~frontier:(seed_frontier ()) ck)
+    | _ -> ()
+  in
+  let seed_shed () =
+    if params.max_frontier > 0 && Pqueue.length seedq > params.max_frontier
+    then begin
+      let dropped, min_key =
+        Pqueue.drop_worst seedq ~keep:params.max_frontier
+      in
+      if dropped > 0 then begin
+        ws.(0).W.shed <- ws.(0).W.shed + dropped;
+        fold_shed_bound min_key;
+        if Obs.Metrics.enabled () then Obs.Metrics.add m_frontier_shed dropped;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~cat:"bnb" "bnb.frontier_shed"
+            ~args:
+              [
+                ("dropped", Obs.Trace.Int dropped);
+                ("shed_bound", Obs.Trace.Float (Atomic.get shed_bound));
+              ]
+      end
+    end
+  in
+  let seed_t0_ns = Obs.Clock.now_ns () in
+  let w0 = ws.(0) in
+  let rec seed_loop expansions =
+    if
+      Atomic.get stop <> None
+      || Pqueue.is_empty seedq
+      || Pqueue.length seedq >= seed_target
+      || expansions >= seed_cap
+    then ()
+    else if seed_gap_ok () then seed_halt Gap_reached
+    else if Atomic.get nodes >= params.max_nodes then seed_halt Node_budget
+    else if
+      match params.time_limit with
+      | Some limit -> elapsed () > limit
+      | None -> false
+    then seed_halt Time_budget
+    else if interrupted () then seed_halt Interrupted
+    else begin
+      match Pqueue.pop seedq with
+      | None -> ()
+      | Some (lb, region) ->
+          if lb >= Atomic.get incumbent_cost then begin
+            (* Stale entry dominated by a newer incumbent. *)
+            w0.W.stale <- w0.W.stale + 1;
+            seed_loop expansions
+          end
+          else begin
+            let n = 1 + Atomic.fetch_and_add nodes 1 in
+            note_first_node w0;
+            incr seed_nodes_run;
+            if params.log_every > 0 && n mod params.log_every = 0 then
+              Log.debug (fun m ->
+                  m "node %d [seed]: bound %.6g incumbent %.6g queued %d" n lb
+                    (Atomic.get incumbent_cost) (Pqueue.length seedq));
+            let t_node = Obs.Clock.now_ns () in
+            let budget = ref faults.policy.Fault.retry_budget in
+            let children = guarded_branch ~faults ~fc ~budget oracle region in
+            w0.W.children <- w0.W.children + List.length children;
+            List.iter
+              (fun child ->
+                match
+                  timed_guarded_bound ~cell:w0.W.oracle_cell ~faults ~fc ~oc
+                    ~budget oracle child
+                with
+                | Dropped_bound -> ()
+                | Bounded info -> seed_record_bounded w0 child info)
+              children;
+            seed_shed ();
+            let node_ns = Obs.Clock.now_ns () - t_node in
+            if Obs.Trace.enabled () then
+              Obs.Trace.complete ~cat:"bnb" "bnb.node" ~t0_ns:t_node
+                ~dur_ns:node_ns
+                ~args:
+                  [ ("node", Obs.Trace.Int n); ("lb", Obs.Trace.Float lb) ];
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.observe m_node_seconds (float_of_int node_ns *. 1e-9);
+            seed_us_run := (Obs.Clock.now_ns () - seed_t0_ns) / 1000;
+            seed_periodic_save ();
+            seed_loop (expansions + 1)
+          end
+    end
+  in
+  seed_loop 0;
+  (* Deal by bound rank, round-robin: consecutive ranks land on
+     different shards, so every worker starts with a comparably
+     promising slice of the frontier instead of queueing up to steal
+     from shard 0.  Pre-start pushes from the setup thread are within
+     the Work_deque ownership contract. *)
+  Pqueue.drain seedq (fun rank lb region ->
+      Work_deque.push deque ~worker:(rank mod workers) lb region);
+  let seed_dur_ns = Obs.Clock.now_ns () - seed_t0_ns in
+  seed_us_run := seed_dur_ns / 1000;
+  if Obs.Trace.enabled () then
+    Obs.Trace.complete ~cat:"bnb" "bnb.seed" ~t0_ns:seed_t0_ns
+      ~dur_ns:seed_dur_ns
+      ~args:
+        [
+          ("seed_nodes", Obs.Trace.Int !seed_nodes_run);
+          ("frontier", Obs.Trace.Int (Work_deque.live deque));
+        ];
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe m_seed_seconds (float_of_int seed_dur_ns *. 1e-9);
+  (* A stop raised mid-seed (or a search the seed loop already
+     exhausted) skips the workers entirely; the dealt deque is still
+     the authoritative frontier for the save-on-stop snapshot and the
+     final bound. *)
+  if Atomic.get stop <> None || Work_deque.drained deque then
+    Work_deque.close deque
+  else begin
+    let spawned =
+      Array.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join spawned
+  end;
   let stop_reason =
     match Atomic.get stop with Some r -> r | None -> Proved_optimal
   in
@@ -1167,9 +1395,16 @@ let run_par : type region sol.
       (* All workers have joined: nothing is in flight, the shard queues
          are the complete frontier, and the merge is single-threaded and
          exact. *)
-      try_save ck (snapshot_state ck)
+      try_save ck
+        (snapshot_state
+           ~frontier:(Array.of_list (Work_deque.snapshot deque))
+           ck)
   | _ -> ());
-  (* After the joins all mirrors are quiescent and exact. *)
+  (* After the joins the deque is quiescent, but the batched mirrors may
+     still be up to one publish epoch stale low: flush them so the
+     reported bound/gap is the true frontier minimum, not a
+     conservative under-estimate. *)
+  Work_deque.sync_mirrors deque;
   let bound =
     let fb = Work_deque.frontier_bound deque in
     let b =
@@ -1201,6 +1436,20 @@ let run_par : type region sol.
         idle_wakeups = Work_deque.idle_wakeups deque;
         steals = Work_deque.steals deque;
         stolen_nodes = Work_deque.stolen_nodes deque;
+        seed_nodes = seed0_nodes + !seed_nodes_run;
+        seed_seconds = float_of_int (seed0_us + !seed_us_run) *. 1e-6;
+        targeted_wakeups =
+          Array.fold_left ( + ) 0 (Work_deque.targeted_wakeups deque);
+        steals_best_victim =
+          Array.fold_left ( + ) 0 (Work_deque.steals_best_victim deque);
+        domain_targeted_wakeups = Work_deque.targeted_wakeups deque;
+        domain_steals_best_victim = Work_deque.steals_best_victim deque;
+        domain_first_node_seconds =
+          Array.map
+            (fun w ->
+              if w.W.first_node_us < 0 then -1.0
+              else float_of_int w.W.first_node_us *. 1e-6)
+            ws;
         oracle_failures = Atomic.get fc.Fault.failures;
         retries = Atomic.get fc.Fault.retries;
         degraded_bounds = Atomic.get fc.Fault.degraded;

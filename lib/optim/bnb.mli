@@ -85,11 +85,24 @@ type params = {
           merely fail to converge below the shed residue.  [0] (default)
           = unlimited.  Shed counts surface in
           {!stats.frontier_shed}. *)
+  seed_factor : int;
+      (** eager frontier seeding (only with [domains > 1]): before the
+          worker domains start, the calling domain best-first expands
+          the root (or a restored frontier) until it holds at least
+          [seed_factor * domains] regions, then deals them round-robin
+          by bound rank across the shards — so every worker starts
+          with local work instead of parking while shard 0 grows the
+          tree alone.  Seeding honours every stop condition, the
+          certified-pruning contract and the frontier cap, and its
+          expansions count against [max_nodes] like any other node.
+          [0] disables the expansion (the frontier is still dealt by
+          rank).  Default 4. *)
 }
 
 val default_params : params
 (** [max_nodes = 100_000], [rel_gap = 1e-6], [abs_gap = 1e-12],
-    no time limit, no logging, [domains = 1], unlimited frontier. *)
+    no time limit, no logging, [domains = 1], unlimited frontier,
+    [seed_factor = 4]. *)
 
 type ('region, 'sol) faults = {
   policy : Fault.policy;
@@ -132,6 +145,37 @@ type stats = {
           sequential driver *)
   stolen_nodes : int;
       (** total queued regions moved by steals *)
+  seed_nodes : int;
+      (** nodes expanded by the eager seeding phase (see
+          {!params.seed_factor}) before the worker domains started;
+          cumulative across a resume chain and persisted through
+          checkpoints; 0 for a purely sequential chain *)
+  seed_seconds : float;
+      (** wall-clock duration of the seeding phase (expansion + dealing),
+          cumulative across a resume chain and persisted through
+          checkpoints (microsecond resolution) *)
+  targeted_wakeups : int;
+      (** single-worker wakeup signals sent by pushes to parked workers —
+          each one would have been a whole-herd broadcast under the old
+          protocol; 0 for the sequential driver *)
+  steals_best_victim : int;
+      (** successful steals that landed on the thief's first-choice
+          victim — the shard advertising the globally minimal mirrored
+          bound; low against [steals] means the batched mirrors are too
+          stale to guide victim selection *)
+  domain_targeted_wakeups : int array;
+      (** current-run per-worker breakdown of [targeted_wakeups],
+          indexed by the woken worker (length [domains_used]); not
+          persisted across checkpoints *)
+  domain_steals_best_victim : int array;
+      (** current-run per-thief breakdown of [steals_best_victim]
+          (length [domains_used]); not persisted across checkpoints *)
+  domain_first_node_seconds : float array;
+      (** current-run time from search start until each worker expanded
+          its first node (length [domains_used]; [-1.0] for a worker
+          that never expanded one) — the time-to-first-node startup
+          diagnostic the seeding phase exists to shrink.  Not persisted
+          across checkpoints. *)
   oracle_failures : int;
       (** failing oracle invocations (exceptions and non-finite bounds),
           including failing retry attempts *)
@@ -230,10 +274,13 @@ type stats = {
           same clock. *)
 }
 (** Search statistics — the observability the ablation benches report.
-    All fields except [domain_oracle_seconds] and the scheduler
-    diagnostics ([idle_wakeups], [steals], [stolen_nodes]) survive a
-    checkpoint/resume cycle; snapshots taken before the warm-start or
-    warm-miss fields existed restore them as 0. *)
+    All fields except the per-domain arrays ([domain_oracle_seconds],
+    [domain_targeted_wakeups], [domain_steals_best_victim],
+    [domain_first_node_seconds]) and the scheduler diagnostics
+    ([idle_wakeups], [steals], [stolen_nodes], [targeted_wakeups],
+    [steals_best_victim]) survive a checkpoint/resume cycle; snapshots
+    taken before the warm-start, warm-miss or seed fields existed
+    restore them as 0. *)
 
 type oracle_counters
 (** Warm-start accounting shared between the driver and the bound
@@ -299,6 +346,13 @@ val cert_counter_keys : string list
     so resuming through one raises the sticky [counters_reset] marker
     {e and} clears [certified_sound] for the rest of the chain. *)
 
+val seed_counter_keys : string list
+(** The checkpoint counter keys the seed-phase accounting lives under
+    ([seed_nodes], [seed_time_us]).  A snapshot lacking them predates
+    the eager-seeding scheduler; resuming through one raises the sticky
+    [counters_reset] marker (the cumulative seed totals restart at
+    zero — seeding itself still works on the restored frontier). *)
+
 type 'sol result = {
   best : ('sol * float) option;  (** incumbent and its cost *)
   bound : float;  (** greatest certified global lower bound *)
@@ -337,7 +391,9 @@ val minimize :
   'region ->
   'sol result
 (** Explore from the root region, on [params.domains] domains.  The
-    root is always bounded on the calling domain before workers start.
+    root is always bounded on the calling domain before workers start;
+    with [domains > 1] the calling domain then runs the eager seeding
+    phase ({!params.seed_factor}) before spawning workers.
     Termination semantics (gap, node budget, wall-clock limit) are
     identical across domain counts; in parallel the gap test uses the
     minimum bound over queued {e and} in-flight regions across all

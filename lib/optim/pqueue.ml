@@ -132,6 +132,22 @@ let drop_worst t ~keep =
     (dropped, min_dropped)
   end
 
+(* Drain the heap in ascending key order, handing each entry its rank.
+   The seed-phase dealer uses the rank to place nodes round-robin
+   across shards, so consecutive bound ranks land on different workers
+   and every shard starts with a comparably promising slice of the
+   frontier.  O(n log n) pops; runs once per search, before workers
+   start. *)
+let drain t f =
+  let rec go rank =
+    match pop t with
+    | None -> ()
+    | Some (key, value) ->
+        f rank key value;
+        go (rank + 1)
+  in
+  go 0
+
 let fold f acc t =
   let acc = ref acc in
   for i = 0 to t.size - 1 do

@@ -35,6 +35,12 @@ val drop_worst : 'a t -> keep:int -> int * float
     bound even though the nodes are gone.  O(n log n); called only on
     overflow. *)
 
+val drain : 'a t -> (int -> float -> 'a -> unit) -> unit
+(** [drain t f] pops every entry in ascending key order, calling
+    [f rank key value] with [rank] counting up from 0; the heap is
+    empty afterwards.  Used by the seed-phase dealer to place the
+    seeded frontier round-robin by bound rank across shards. *)
+
 val fold : ('acc -> float -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val min_key : 'a t -> float
 (** [infinity] when empty. *)

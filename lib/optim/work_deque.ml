@@ -13,14 +13,36 @@
    the park lock *after* releasing the shard lock, see below).
 
    Mirrors: each shard keeps its minimum live key and queue length in
-   [Atomic.t] mirrors refreshed on every mutation under the shard lock.
-   Readers (the gap test, victim selection, the park re-check) read the
-   mirrors without locks.  A mirror can be stale, but staleness is
-   one-sided where it matters: the steal protocol refreshes the thief's
-   mirror (which can only lower the global minimum) before the victim's
-   (which may raise it), so the frontier bound computed from mirrors
-   never overshoots the true minimum over live work — stale-low is
-   conservative, stale-high would be unsound. *)
+   [Atomic.t] mirrors.  Readers (the gap test, victim selection, the
+   park re-check) read the mirrors without locks.  Publication is
+   batched: a full (exact) publish happens only every [publish_epoch]
+   mutations, on steal boundaries, and on quiescence-relevant
+   transitions — not on every push/pop — so the hot path pays at most
+   one cheap conditional atomic store per operation instead of two
+   unconditional ones.  Batching is safe because staleness is one-sided
+   where it matters:
+
+   - the bound mirror may only ever be stale LOW.  A push whose key
+     undercuts the mirror lowers it immediately (stale-high would let
+     the gap test overshoot the true minimum — unsound); pops and
+     releases raise the true minimum and are allowed to leave the
+     mirror behind (stale-low merely delays a Gap_reached by at most
+     one epoch — conservative).  The steal protocol additionally
+     publishes the thief's mirror (which can only lower the global
+     minimum) before the victim's (which may raise it), so the
+     mirror-derived frontier bound never overshoots mid-transfer.
+   - the length mirror may only read zero when the queue is truly
+     empty.  A push onto a shard whose length mirror reads zero
+     publishes the length immediately (a parker or thief must be able
+     to see the work — liveness); pops leave it stale HIGH, which
+     costs at most one wasted steal attempt that then publishes the
+     exact value under the victim's lock. *)
+
+(* Exact mirror publications are amortized over this many shard
+   mutations.  Small enough that a stale-low bound delays the gap test
+   by a handful of nodes at worst; large enough that the per-node
+   mirror cost disappears from profiles. *)
+let publish_epoch = 32
 
 (* Scheduler metrics, registered eagerly at module init; recording is
    guarded by [Obs.Metrics.enabled] at every site (see Obs).  Glossary:
@@ -37,8 +59,13 @@ let m_steal_miss_total =
 
 let m_park_total =
   Obs.Metrics.counter Obs.Metrics.default
-    ~help:"times a worker parked on the idle condvar"
+    ~help:"times a worker parked on its idle condvar"
     "ldafp_sched_park_total"
+
+let m_targeted_wakeup_total =
+  Obs.Metrics.counter Obs.Metrics.default
+    ~help:"pushes that woke exactly one parked worker (targeted signal)"
+    "ldafp_sched_targeted_wakeup_total"
 
 let m_steal_seconds =
   Obs.Metrics.histogram Obs.Metrics.default ~lo:1e-8 ~hi:1.0
@@ -58,9 +85,14 @@ type 'a shard = {
          item itself is kept (not just the key) so checkpoints can
          snapshot the full live frontier. *)
   bound_mirror : float Atomic.t;
-      (* min(queue min key, busy key); +infinity when the shard holds no
-         live work. *)
-  len_mirror : int Atomic.t;  (* queue length, for victim selection *)
+      (* min(queue min key, busy key) at the last publish; never above
+         the true value (see the staleness argument above);
+         +infinity when the shard holds no live work. *)
+  len_mirror : int Atomic.t;
+      (* queue length at the last publish, for victim selection and the
+         park re-check; reads zero only when the queue is truly empty *)
+  mutable dirty : int;
+      (* mutations since the last exact publish, under the shard lock *)
 }
 
 type 'a t = {
@@ -73,10 +105,23 @@ type 'a t = {
   closed : bool Atomic.t;
   idlers : int Atomic.t;  (* workers inside [park], under park_lock *)
   park_lock : Mutex.t;
-  park_cond : Condition.t;
+  park_conds : Condition.t array;
+      (* One condvar per worker: a pusher wakes exactly the worker it
+         pops off [idler_stack], never the whole herd. *)
+  mutable idler_stack : int list;
+      (* Parked worker ids, most recently parked first, under
+         [park_lock].  LIFO so the wakened worker has the warmest
+         cache. *)
   idle_wakeups : int Atomic.t;
+  targeted_wakeups : int Atomic.t array;
+      (* targeted_wakeups.(w): times worker [w] was woken by a targeted
+         signal (indexed by the woken worker, not the signaller) *)
   steals : int Atomic.t;
   stolen : int Atomic.t;
+  steals_best : int Atomic.t array;
+      (* steals_best.(thief): successful steals whose victim held the
+         globally minimal mirrored bound at selection time — the
+         victim-quality counter *)
   carries_warm : ('a -> bool) option;
       (* Caller's predicate for "this item migrates with usable warm-
          start state"; counted per stolen item so the migration claim is
@@ -95,41 +140,61 @@ let create ?carries_warm ~workers () =
             busy = None;
             bound_mirror = Atomic.make Float.infinity;
             len_mirror = Atomic.make 0;
+            dirty = 0;
           });
     live = Atomic.make 0;
     closed = Atomic.make false;
     idlers = Atomic.make 0;
     park_lock = Mutex.create ();
-    park_cond = Condition.create ();
+    park_conds = Array.init workers (fun _ -> Condition.create ());
+    idler_stack = [];
     idle_wakeups = Atomic.make 0;
+    targeted_wakeups = Array.init workers (fun _ -> Atomic.make 0);
     steals = Atomic.make 0;
     stolen = Atomic.make 0;
+    steals_best = Array.init workers (fun _ -> Atomic.make 0);
     carries_warm;
     stolen_warm = Atomic.make 0;
   }
 
 let workers t = Array.length t.shards
 
-(* Must hold [s.lock]. *)
-let refresh_mirrors s =
+(* Exact mirror publication.  Must hold [s.lock]. *)
+let publish_mirrors s =
   let b =
     match s.busy with
     | Some (k, _) -> Float.min k (Pqueue.min_key s.queue)
     | None -> Pqueue.min_key s.queue
   in
   Atomic.set s.bound_mirror b;
-  Atomic.set s.len_mirror (Pqueue.length s.queue)
+  Atomic.set s.len_mirror (Pqueue.length s.queue);
+  s.dirty <- 0
 
-(* Wake one parked worker iff anyone is parked.  [idlers] is only
-   incremented under the park lock, and a parker re-checks the length
-   mirrors after incrementing it (before waiting), so this read-then-
-   signal cannot lose a wakeup: either the pusher sees idlers > 0 and
-   signals, or the parker's re-check sees the pusher's len_mirror update
-   (both are SC atomics) and never waits. *)
+(* Count one mutation against the publish epoch.  Must hold [s.lock]. *)
+let note_mutation s =
+  s.dirty <- s.dirty + 1;
+  if s.dirty >= publish_epoch then publish_mirrors s
+
+(* Wake exactly one parked worker iff anyone is parked.  [idlers] is
+   only incremented under the park lock, and a parker re-checks the
+   length mirrors after incrementing it (before waiting), so this
+   read-then-signal cannot lose a wakeup: either the pusher sees
+   idlers > 0 and signals, or the parker's re-check sees the pusher's
+   len_mirror update (both are SC atomics) and never waits.  The signal
+   is targeted: the pusher pops one worker id off the idler stack and
+   signals only that worker's condvar, so a push never stampedes the
+   whole parked herd into a steal race it mostly loses. *)
 let signal_work t =
   if Atomic.get t.idlers > 0 then begin
     Mutex.lock t.park_lock;
-    Condition.signal t.park_cond;
+    (match t.idler_stack with
+    | [] -> ()
+    | w :: rest ->
+        t.idler_stack <- rest;
+        Atomic.incr t.targeted_wakeups.(w);
+        if Obs.Metrics.enabled () then
+          Obs.Metrics.incr m_targeted_wakeup_total;
+        Condition.signal t.park_conds.(w));
     Mutex.unlock t.park_lock
   end
 
@@ -138,7 +203,15 @@ let push t ~worker key value =
   Mutex.lock s.lock;
   Pqueue.push s.queue key value;
   Atomic.incr t.live;
-  refresh_mirrors s;
+  (* Soundness: a key below the published bound must be visible to the
+     gap test immediately — the mirror may be stale low, never high. *)
+  if key < Atomic.get s.bound_mirror then Atomic.set s.bound_mirror key;
+  (* Liveness: work arriving on a shard whose length mirror reads zero
+     must become visible to thieves and the park re-check now, or a
+     targeted wakeup could be lost. *)
+  if Atomic.get s.len_mirror = 0 then
+    Atomic.set s.len_mirror (Pqueue.length s.queue);
+  note_mutation s;
   Mutex.unlock s.lock;
   if Obs.Metrics.enabled () then
     Obs.Metrics.observe m_queue_depth (float_of_int (Atomic.get s.len_mirror));
@@ -149,11 +222,17 @@ let take t ~worker =
   Mutex.lock s.lock;
   let r =
     match Pqueue.pop s.queue with
-    | None -> None
+    | None ->
+        (* The owner found its shard dry: publish exactly so its own
+           stale-high length mirror cannot keep [park] spinning on a
+           shard only this worker could have drained. *)
+        publish_mirrors s;
+        None
     | Some (key, value) ->
-        (* Queue -> busy slot: the item stays live, [t.live] unchanged. *)
+        (* Queue -> busy slot: the item stays live, [t.live] unchanged,
+           and the bound mirror still covers the key via [busy]. *)
         s.busy <- Some (key, value);
-        refresh_mirrors s;
+        note_mutation s;
         Some (key, value)
   in
   Mutex.unlock s.lock;
@@ -164,7 +243,9 @@ let release t ~worker =
   Mutex.lock s.lock;
   s.busy <- None;
   Atomic.decr t.live;
-  refresh_mirrors s;
+  (* Releasing can only raise the true minimum: leaving the bound
+     mirror stale low is conservative and costs nothing sound. *)
+  note_mutation s;
   Mutex.unlock s.lock
 (* No signal here: the releasing worker is awake and will either find
    work (its children were pushed before this release, each signalling
@@ -180,18 +261,39 @@ let unlock_pair t ia ib =
   Mutex.unlock t.shards.(ia).lock;
   Mutex.unlock t.shards.(ib).lock
 
+(* Victim selection is by mirrored bound quality, not scan order: among
+   the shards whose length mirror shows queued work, steal from the one
+   advertising the most promising (lowest) bound — that is where the
+   best-first frontier actually lives.  A miss (stale length mirror)
+   publishes the victim's true state under its lock and falls back to
+   the next-best candidate, so a stale mirror costs one extra scan, not
+   a lost steal. *)
 let try_steal t ~thief =
   let n = Array.length t.shards in
   let mine = t.shards.(thief) in
   (* Unconditional clock read: ~20 ns against a lock handoff; keeping
      the scan free of enabled-checks keeps the steal latency honest. *)
   let t0 = Obs.Clock.now_ns () in
-  let rec scan k =
-    if k >= n - 1 then None
-    else begin
-      let v = (thief + 1 + k) mod n in
-      if Atomic.get t.shards.(v).len_mirror = 0 then scan (k + 1)
-      else begin
+  let tried = Array.make n false in
+  tried.(thief) <- true;
+  let pick () =
+    let best = ref (-1) and best_b = ref Float.infinity in
+    for v = 0 to n - 1 do
+      if (not tried.(v)) && Atomic.get t.shards.(v).len_mirror > 0 then begin
+        let b = Atomic.get t.shards.(v).bound_mirror in
+        if !best < 0 || b < !best_b then begin
+          best := v;
+          best_b := b
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  in
+  let rec attempt ~first =
+    match pick () with
+    | None -> None
+    | Some v ->
+        tried.(v) <- true;
         let victim = t.shards.(v) in
         lock_pair t thief v;
         let moved = Pqueue.steal_half victim.queue mine.queue in
@@ -200,6 +302,10 @@ let try_steal t ~thief =
           else begin
             Atomic.incr t.steals;
             ignore (Atomic.fetch_and_add t.stolen moved);
+            (* The first candidate is the argmin of the mirrored bounds,
+               i.e. the best victim the thief could have chosen given
+               what the mirrors advertised. *)
+            if first then Atomic.incr t.steals_best.(thief);
             (* The thief only steals when its own shard is dry, so right
                now [mine.queue] holds exactly the transferred items:
                count how many migrate with warm-start state attached. *)
@@ -222,15 +328,17 @@ let try_steal t ~thief =
             | None -> assert false (* moved > 0 entries just arrived *)
           end
         in
-        (* Refresh the thief's mirror (can only lower the global min
+        (* Publish the thief's mirror (can only lower the global min
            seen by readers) before the victim's (which raises it): at
            every instant the mirror-derived frontier bound stays <= the
-           true minimum over live work. *)
-        refresh_mirrors mine;
-        refresh_mirrors victim;
+           true minimum over live work.  Steal boundaries are also
+           where batched staleness is flushed — both shards leave this
+           section exact. *)
+        publish_mirrors mine;
+        publish_mirrors victim;
         unlock_pair t thief v;
-        match taken with
-        | None -> scan (k + 1)
+        (match taken with
+        | None -> attempt ~first:false
         | Some _ as some ->
             let dns = Obs.Clock.now_ns () - t0 in
             if Obs.Metrics.enabled () then begin
@@ -245,12 +353,11 @@ let try_steal t ~thief =
                     ("thief", Obs.Trace.Int thief);
                     ("victim", Obs.Trace.Int v);
                     ("moved", Obs.Trace.Int moved);
+                    ("best_victim", Obs.Trace.Int (if first then 1 else 0));
                   ];
-            some
-      end
-    end
+            some)
   in
-  let r = scan 0 in
+  let r = attempt ~first:true in
   (match r with
   | None ->
       if Obs.Metrics.enabled () then Obs.Metrics.incr m_steal_miss_total;
@@ -268,7 +375,7 @@ let prune t pred =
       Pqueue.filter_in_place s.queue pred;
       let dropped = before - Pqueue.length s.queue in
       if dropped > 0 then ignore (Atomic.fetch_and_add t.live (-dropped));
-      refresh_mirrors s;
+      publish_mirrors s;
       Mutex.unlock s.lock)
     t.shards
 
@@ -283,7 +390,7 @@ let shed t ~worker ~keep =
   Mutex.lock s.lock;
   let dropped, min_key = Pqueue.drop_worst s.queue ~keep in
   if dropped > 0 then ignore (Atomic.fetch_and_add t.live (-dropped));
-  refresh_mirrors s;
+  publish_mirrors s;
   Mutex.unlock s.lock;
   if dropped > 0 then Some (dropped, min_key) else None
 
@@ -307,6 +414,19 @@ let snapshot t =
   Array.iter (fun s -> Mutex.unlock s.lock) t.shards;
   acc
 
+(* Flush every shard's batched staleness: after this (and with no
+   concurrent mutators) the mirrors are exact, not merely
+   conservative.  The driver calls it once after the worker joins so
+   the final reported bound/gap is the true frontier minimum instead
+   of an up-to-one-epoch-stale value. *)
+let sync_mirrors t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      publish_mirrors s;
+      Mutex.unlock s.lock)
+    t.shards
+
 let frontier_bound t =
   Array.fold_left
     (fun acc s -> Float.min acc (Atomic.get s.bound_mirror))
@@ -321,12 +441,14 @@ let queue_length t =
 let close t =
   Atomic.set t.closed true;
   Mutex.lock t.park_lock;
-  Condition.broadcast t.park_cond;
+  (* Shutdown is the one broadcast left: every parked worker must see
+     [closed], whichever condvar it waits on. *)
+  Array.iter Condition.signal t.park_conds;
   Mutex.unlock t.park_lock
 
 let is_closed t = Atomic.get t.closed
 
-let park t =
+let park t ~worker =
   Mutex.lock t.park_lock;
   Atomic.incr t.idlers;
   let rec wait_loop () =
@@ -334,15 +456,26 @@ let park t =
     else if Atomic.get t.live = 0 then `Drained
     else if
       (* Re-check under park_lock with idlers already published: any
-         push after this scan sees idlers > 0 and signals. *)
+         push after this scan sees idlers > 0 and signals.  The length
+         mirror reads zero only when the queue is truly empty (see
+         [push]), so a parker can never sleep through live work. *)
       Array.exists (fun s -> Atomic.get s.len_mirror > 0) t.shards
     then `Work
     else begin
       Atomic.incr t.idle_wakeups;
       if Obs.Metrics.enabled () then Obs.Metrics.incr m_park_total;
-      if Obs.Trace.enabled () then Obs.Trace.instant ~cat:"sched" "sched.park";
-      Condition.wait t.park_cond t.park_lock;
-      if Obs.Trace.enabled () then Obs.Trace.instant ~cat:"sched" "sched.wake";
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"sched" "sched.park"
+          ~args:[ ("worker", Obs.Trace.Int worker) ];
+      t.idler_stack <- worker :: t.idler_stack;
+      Condition.wait t.park_conds.(worker) t.park_lock;
+      (* A close broadcast or a spurious wake can return with our stack
+         entry still present; drop it so a later targeted signal is
+         not spent on a worker that is already awake. *)
+      t.idler_stack <- List.filter (fun w -> w <> worker) t.idler_stack;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"sched" "sched.wake"
+          ~args:[ ("worker", Obs.Trace.Int worker) ];
       wait_loop ()
     end
   in
@@ -354,6 +487,8 @@ let park t =
   outcome
 
 let idle_wakeups t = Atomic.get t.idle_wakeups
+let targeted_wakeups t = Array.map Atomic.get t.targeted_wakeups
 let steals t = Atomic.get t.steals
 let stolen_nodes t = Atomic.get t.stolen
+let steals_best_victim t = Array.map Atomic.get t.steals_best
 let stolen_warm t = Atomic.get t.stolen_warm

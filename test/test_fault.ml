@@ -1306,6 +1306,89 @@ let prop_parallel_resume_matches_sequential =
               | Some (_, cf), Some (_, cr) -> Float.abs (cf -. cr) <= 1e-12
               | _ -> QCheck.Test.fail_report "missing incumbent")))
 
+(* Eager frontier seeding must be invisible to the search's conclusion:
+   whatever the seed factor, the seeded parallel run lands on the
+   sequential incumbent with the same certified gap — under injected
+   bound faults, and through a kill that lands inside the seed phase
+   itself (a large [seed_factor] keeps the whole budgeted prefix inside
+   the seed loop, so a small [max_nodes] trips there; the snapshot taken
+   from the half-dealt frontier must resume to the same answer).
+   Injection and kill/resume stay separate dimensions for the same
+   reason as in [prop_ldafp_warm_cold_agree]: injection seeds are
+   per-run. *)
+let prop_seeded_parallel_agrees_with_sequential =
+  QCheck.Test.make
+    ~name:"seeded parallel search matches sequential incumbent and gap"
+    ~count:(qcheck_count 15)
+    (QCheck.make
+       ~print:(fun (rate, seed, domains, target, seed_factor, resume) ->
+         Printf.sprintf
+           "rate=%.3f seed=%d domains=%d target=%.2f seed_factor=%d resume=%b"
+           rate seed domains target seed_factor resume)
+       QCheck.Gen.(
+         map3
+           (fun (rate, seed) (domains, target) (seed_factor, resume) ->
+             (rate, seed, domains, target, seed_factor, resume))
+           fault_rate_gen
+           (pair (oneofl [ 2; 4 ]) (float_range (-20.0) 20.0))
+           (pair (oneofl [ 2; 8; 32 ]) bool)))
+    (fun (rate, seed, domains, target, seed_factor, resume) ->
+      let clean = integer_quadratic_oracle target in
+      let root = (-100, 100) in
+      let exact = { Bnb.default_params with rel_gap = 0.0; abs_gap = 0.0 } in
+      let seq = Bnb.minimize ~params:exact clean root in
+      let par_params = { exact with Bnb.domains; seed_factor } in
+      let run () =
+        if resume then begin
+          let path = temp_checkpoint () in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              Sys.remove path;
+              let kill_after = 1 + (seed mod 4) in
+              let killed =
+                Bnb.minimize
+                  ~params:{ par_params with Bnb.max_nodes = kill_after }
+                  ~checkpointing:
+                    (Bnb.checkpointing ~fingerprint:"seed-resume" path)
+                  clean root
+              in
+              if killed.Bnb.stop_reason = Bnb.Node_budget then begin
+                let state : ((int * int), int) Checkpoint.state =
+                  Checkpoint.load ~expect_fingerprint:"seed-resume" ~path ()
+                in
+                Bnb.resume ~params:par_params clean state
+              end
+              else killed)
+        end
+        else
+          let cfg =
+            Fault_inject.config ~seed ~bound_exn_prob:(rate /. 2.0)
+              ~bound_nan_prob:(rate /. 2.0) ()
+          in
+          let oracle, _injected = Fault_inject.wrap cfg clean in
+          Bnb.minimize ~params:par_params ~faults:(recovering_faults clean)
+            oracle root
+      in
+      match run_with_timeout ~seconds:60.0 run with
+      | None -> QCheck.Test.fail_report "seeded parallel search hung"
+      | Some par -> (
+          match (seq.Bnb.best, par.Bnb.best) with
+          | Some (_, cs), Some (_, cp) ->
+              if Float.abs (cs -. cp) > 1e-12 then
+                QCheck.Test.fail_reportf
+                  "sequential incumbent %.17g <> seeded %.17g" cs cp
+              else begin
+                let gap r best_cost = best_cost -. r.Bnb.bound in
+                let gs = gap seq cs and gp = gap par cp in
+                if Float.abs (gs -. gp) > 1e-9 *. (1.0 +. Float.abs gs) then
+                  QCheck.Test.fail_reportf
+                    "certified gaps diverge: sequential %.17g seeded %.17g" gs
+                    gp
+                else true
+              end
+          | _ -> QCheck.Test.fail_report "missing incumbent"))
+
 let qcheck_tests =
   List.map
     (QCheck_alcotest.to_alcotest ~long:false)
@@ -1315,6 +1398,7 @@ let qcheck_tests =
       prop_resume_reaches_same_incumbent;
       prop_stealing_agrees_with_sequential;
       prop_parallel_resume_matches_sequential;
+      prop_seeded_parallel_agrees_with_sequential;
       prop_ldafp_warm_cold_agree;
     ]
 

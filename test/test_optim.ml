@@ -780,6 +780,20 @@ let test_bnb_domains_one_identity () =
   checki "one domain reported" 1 a.Bnb.stats.Bnb.domains_used;
   checkf 1e-12 "same bound" a.Bnb.bound b.Bnb.bound
 
+let test_pqueue_drain () =
+  let q = Pqueue.create () in
+  List.iter
+    (fun k -> Pqueue.push q k (int_of_float k))
+    [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let seen = ref [] in
+  Pqueue.drain q (fun rank k v -> seen := (rank, k, v) :: !seen);
+  Alcotest.(check (list (triple int (float 0.0) int)))
+    "ascending key order with dense ranks"
+    [ (0, 1.0, 1); (1, 2.0, 2); (2, 3.0, 3); (3, 4.0, 4); (4, 5.0, 5) ]
+    (List.rev !seen);
+  checkb "empty after drain" true (Pqueue.is_empty q);
+  Pqueue.drain q (fun _ _ _ -> Alcotest.fail "drain of empty heap called f")
+
 (* ------------------------------------------------------------------ *)
 (* Work_deque                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -809,7 +823,12 @@ let test_work_deque_basic () =
     (Work_deque.frontier_bound d);
   Work_deque.release d ~worker:0;
   checki "release retires one node" 1 (Work_deque.live d);
-  checkf 1e-12 "bound advances on release" 3.0 (Work_deque.frontier_bound d);
+  (* Mirror publication is batched: after a release the bound mirror may
+     lag (stale low — conservative), and [sync_mirrors] makes it exact. *)
+  checkb "stale mirror stays conservative" true
+    (Work_deque.frontier_bound d <= 3.0);
+  Work_deque.sync_mirrors d;
+  checkf 1e-12 "bound exact after sync" 3.0 (Work_deque.frontier_bound d);
   checkb "invalid worker count rejected" true
     (match Work_deque.create ~workers:0 () with
     | exception Invalid_argument _ -> true
@@ -844,6 +863,74 @@ let test_work_deque_steal_ordering () =
   checkb "exhausted after the drain" true (Work_deque.drained d);
   checkb "nothing left to steal" true (Work_deque.try_steal d ~thief:1 = None)
 
+let test_work_deque_mirror_conservative () =
+  (* Batched mirror publication must never report a frontier bound
+     tighter (greater) than the true minimum over live work: drive an
+     adversarial push/take/steal/release mix against a shadow model of
+     the live key multiset and check the one-sided staleness invariant
+     after every operation, then exactness after [sync_mirrors] at
+     quiescence. *)
+  let d = Work_deque.create ~workers:2 () in
+  let busy = [| None; None |] in
+  let live = ref [] in
+  let remove_one k l =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | x :: tl -> if x = k then List.rev_append acc tl else go (x :: acc) tl
+    in
+    go [] l
+  in
+  let true_min () = List.fold_left Float.min Float.infinity !live in
+  (* Deterministic LCG so a failure reproduces. *)
+  let state = ref 12345 in
+  let rand () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int (!state mod 1000) /. 10.0
+  in
+  for i = 0 to 499 do
+    let w = i land 1 in
+    (match i mod 5 with
+    | 0 | 1 ->
+        let k = rand () in
+        Work_deque.push d ~worker:w k ();
+        live := k :: !live
+    | 2 -> (
+        if busy.(w) = None then
+          match Work_deque.take d ~worker:w with
+          | Some (k, ()) -> busy.(w) <- Some k
+          | None -> ())
+    | 3 -> (
+        if busy.(w) = None then
+          match Work_deque.try_steal d ~thief:w with
+          | Some (k, ()) -> busy.(w) <- Some k
+          | None -> ())
+    | _ -> (
+        match busy.(w) with
+        | Some k ->
+            Work_deque.release d ~worker:w;
+            live := remove_one k !live;
+            busy.(w) <- None
+        | None -> ()));
+    if not (Work_deque.frontier_bound d <= true_min ()) then
+      Alcotest.failf "mirror overshot at step %d: bound %g > true min %g" i
+        (Work_deque.frontier_bound d)
+        (true_min ())
+  done;
+  Array.iteri
+    (fun w b ->
+      match b with
+      | Some k ->
+          Work_deque.release d ~worker:w;
+          live := remove_one k !live;
+          busy.(w) <- None
+      | None -> ())
+    busy;
+  Work_deque.sync_mirrors d;
+  checkf 1e-12 "exact after sync at quiescence" (true_min ())
+    (Work_deque.frontier_bound d);
+  checki "shadow and deque agree on live count" (List.length !live)
+    (Work_deque.live d)
+
 let test_work_deque_last_node_stolen () =
   (* The termination race the live count exists for: worker 1 steals
      worker 0's only node, so every shard heap is empty while the search
@@ -870,9 +957,9 @@ let test_work_deque_last_node_stolen () =
   Work_deque.release d ~worker:1;
   checkb "drained once the leaf retires" true (Work_deque.drained d);
   checkb "park reports the drain instead of blocking" true
-    (Work_deque.park d = `Drained);
+    (Work_deque.park d ~worker:0 = `Drained);
   Work_deque.close d;
-  checkb "park after close" true (Work_deque.park d = `Closed);
+  checkb "park after close" true (Work_deque.park d ~worker:0 = `Closed);
   checkb "closed flag" true (Work_deque.is_closed d)
 
 (* Watchdog: run the search on a helper domain and poll, so a
@@ -936,6 +1023,49 @@ let test_bnb_chain_termination () =
           checki "deepest node wins" depth d;
           checkf 1e-12 "its cost" 1.0 c
       | None -> Alcotest.fail "no incumbent")
+
+let test_bnb_seed_checkpoint_resume () =
+  (* A checkpoint written during the seed phase (cadence 1, node budget
+     small enough to trip before seeding finishes growing the frontier)
+     must resume to the same optimum as an uninterrupted run. *)
+  let target = 7.3 in
+  let path = Filename.temp_file "ldafp_seed" ".ck" in
+  let exact = { Bnb.default_params with rel_gap = 0.0; abs_gap = 0.0 } in
+  let full =
+    Bnb.minimize ~params:exact (integer_quadratic_oracle target) (-100, 100)
+  in
+  let params = { exact with Bnb.domains = 4; seed_factor = 8; max_nodes = 2 } in
+  let ck = Bnb.checkpointing ~every_nodes:1 ~fingerprint:"seed-ck" path in
+  let sliced =
+    Bnb.minimize ~params ~checkpointing:ck (integer_quadratic_oracle target)
+      (-100, 100)
+  in
+  checkb "budget tripped inside the seed phase" true
+    (sliced.Bnb.stop_reason = Bnb.Node_budget
+    && sliced.Bnb.stats.Bnb.seed_nodes >= 1
+    && sliced.Bnb.stats.Bnb.seed_nodes = sliced.Bnb.nodes_explored);
+  let state =
+    (Checkpoint.load ~expect_fingerprint:"seed-ck" ~path ()
+      : (int * int, int) Checkpoint.state)
+  in
+  let resumed =
+    Bnb.resume
+      ~params:{ params with Bnb.max_nodes = exact.Bnb.max_nodes }
+      ~checkpointing:ck
+      (integer_quadratic_oracle target)
+      state
+  in
+  Sys.remove path;
+  checkb "resumed run completes" true
+    (match resumed.Bnb.stop_reason with
+    | Bnb.Proved_optimal | Bnb.Gap_reached -> true
+    | _ -> false);
+  (match (full.Bnb.best, resumed.Bnb.best) with
+  | Some (_, cf), Some (_, cr) ->
+      checkf 0.0 "resumed run reaches the uninterrupted optimum" cf cr
+  | _ -> Alcotest.fail "expected incumbents on both runs");
+  checkb "seed accounting is cumulative across the chain" true
+    (resumed.Bnb.stats.Bnb.seed_nodes >= sliced.Bnb.stats.Bnb.seed_nodes)
 
 let prop_bnb_parallel_incumbent =
   QCheck.Test.make ~name:"parallel B&B matches sequential incumbent"
@@ -1283,12 +1413,15 @@ let () =
           Alcotest.test_case "steal half" `Quick test_pqueue_steal_half;
           Alcotest.test_case "steal half edge cases" `Quick
             test_pqueue_steal_half_edges;
+          Alcotest.test_case "drain by rank" `Quick test_pqueue_drain;
         ] );
       ( "work_deque",
         [
           Alcotest.test_case "push/take/release" `Quick test_work_deque_basic;
           Alcotest.test_case "steal-half ordering" `Quick
             test_work_deque_steal_ordering;
+          Alcotest.test_case "batched mirrors stay conservative" `Quick
+            test_work_deque_mirror_conservative;
           Alcotest.test_case "last node stolen mid-drain" `Quick
             test_work_deque_last_node_stolen;
         ] );
@@ -1365,6 +1498,8 @@ let () =
             test_bnb_domains_one_identity;
           Alcotest.test_case "single-chain termination on 4 domains" `Quick
             test_bnb_chain_termination;
+          Alcotest.test_case "checkpoint mid-seed resumes" `Quick
+            test_bnb_seed_checkpoint_resume;
         ] );
       ("properties", qcheck_tests);
     ]
