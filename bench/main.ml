@@ -10,13 +10,16 @@ open Report
 let usage =
   "usage: main.exe [--table1] [--table2] [--figure2] [--figure4] [--power]\n\
   \                [--baselines] [--ecg] [--ablations] [--micro] [--parallel]\n\
-  \                [--scaling] [--deep] [--quick-deep] [--faults]\n\
+  \                [--scaling] [--deep] [--quick-deep] [--faults] [--infer]\n\
   \                [--quick|--full] [--seed N]\n\
   \                [--trace FILE] [--metrics FILE]\n\
    With no experiment flag, everything runs.\n\
    --deep runs the deep scaling benchmark: an exact run-to-completion\n\
    search of >= 10^5 nodes at 1/2/4 domains (--quick-deep sizes it for\n\
    CI, >= 10^4 nodes) reporting efficiency and seed-phase duration.\n\
+   --infer benchmarks the batched fixed-point inference engine\n\
+   (lib/infer): scalar vs batched vs multi-domain sharded preds/sec\n\
+   plus a >= 10^5-input batched-vs-scalar bit-exactness sweep.\n\
    --trace records a Chrome trace-event timeline of the solver runs\n\
    (load in Perfetto); --metrics exports solver counters/histograms\n\
    (JSON when FILE ends in .json, Prometheus text otherwise)."
@@ -36,6 +39,7 @@ type options = {
   mutable deep : bool;
   mutable quick_deep : bool;
   mutable faults : bool;
+  mutable infer : bool;
   mutable quick : bool;
   mutable seed : int option;
   mutable trace : string option;
@@ -48,7 +52,7 @@ let parse_args () =
       table1 = false; table2 = false; figure2 = false; figure4 = false;
       power = false; baselines = false; ecg = false; ablations = false;
       micro = false; parallel = false; scaling = false; deep = false;
-      quick_deep = false; faults = false;
+      quick_deep = false; faults = false; infer = false;
       quick = true; seed = None; trace = None; metrics = None;
     }
   in
@@ -74,6 +78,7 @@ let parse_args () =
         o.quick_deep <- true;
         go rest
     | "--faults" :: rest -> any := true; o.faults <- true; go rest
+    | "--infer" :: rest -> any := true; o.infer <- true; go rest
     | "--quick" :: rest -> o.quick <- true; go rest
     | "--full" :: rest -> o.quick <- false; go rest
     | "--seed" :: n :: rest -> o.seed <- Some (int_of_string n); go rest
@@ -95,7 +100,8 @@ let parse_args () =
     o.ecg <- true;
     o.micro <- true;
     o.parallel <- true;
-    o.scaling <- true
+    o.scaling <- true;
+    o.infer <- true
   end;
   o
 
@@ -1037,6 +1043,183 @@ let run_fault_tolerance ~quick ?seed () =
             s.Optim.Bnb.degraded_bounds s.Optim.Bnb.dropped_regions)
     [ (0.0, 1); (0.05, 1); (0.20, 1); (0.0, 4); (0.05, 4); (0.20, 4) ]
 
+(* ------------------------------------------------------------------ *)
+(* Batched fixed-point inference engine (lib/infer)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput of the batched C-kernel datapath vs the scalar
+   [Fixed_classifier] reference, plus a >= 10^5-input bit-exactness
+   sweep (the CI gate checks [batch_vs_scalar_agreement] and
+   [agreement_inputs], never the timings).  Both timed paths run on
+   pre-quantised inputs: the comparison is steady-state MAC + threshold
+   throughput, not the (allocating) front-end conversion. *)
+let run_infer ~quick ?seed () =
+  let seed = Option.value seed ~default:42 in
+  print_newline ();
+  print_endline "Batched fixed-point inference (E10)";
+  print_endline "===================================";
+  let rng = Stats.Rng.create seed in
+  let ds =
+    Datasets.Synthetic.generate ~n_per_class:(if quick then 300 else 1000) rng
+  in
+  let fmt = Fixedpoint.Qformat.make ~k:2 ~f:6 in
+  let clf = Ldafp_core.Pipeline.train_conventional ~fmt ds in
+  let m = Ldafp_core.Fixed_classifier.n_features clf in
+  let batch_cap = 256 in
+  let engine = Infer.Engine.of_fixed ~capacity:batch_cap clf in
+  let batch = Infer.Engine.make_batch engine in
+  let out = Bytes.create batch_cap in
+  let cols = Array.init batch_cap (fun _ -> Array.make m 0.0) in
+  let fresh_cols () =
+    Array.iter
+      (fun col ->
+        Array.iteri
+          (fun j _ ->
+            col.(j) <-
+              (* Mostly in-range magnitudes, with a heavy tail that
+                 saturates the front end — the regime where batched and
+                 scalar rounding could plausibly diverge. *)
+              (match Stats.Rng.int rng 10 with
+              | 0 -> Stats.Rng.uniform rng ~lo:(-64.0) ~hi:64.0
+              | 1 -> Stats.Rng.uniform rng ~lo:(-8.0) ~hi:8.0
+              | _ -> Stats.Rng.uniform rng ~lo:(-2.5) ~hi:2.5))
+          col)
+      cols
+  in
+  (* Bit-exactness sweep: >= 100_000 randomised raw inputs, batched
+     verdict vs scalar [predict] on the identical floats. *)
+  let rounds = (100_000 + batch_cap - 1) / batch_cap in
+  let agreement_inputs = rounds * batch_cap in
+  let mismatches = ref 0 in
+  for _ = 1 to rounds do
+    fresh_cols ();
+    ignore (Infer.Engine.load_rows engine batch cols : int);
+    Infer.Engine.predict_into engine batch out;
+    Array.iteri
+      (fun c col ->
+        let scalar = Ldafp_core.Fixed_classifier.predict clf col in
+        let batched = Bytes.get out c = '\001' in
+        if scalar <> batched then incr mismatches)
+      cols
+  done;
+  Printf.printf
+    "bit-exactness: %d randomised inputs, %d mismatch(es) (%s %s model, %d \
+     features)\n%!"
+    agreement_inputs !mismatches
+    (Fixedpoint.Qformat.to_string fmt)
+    "conventional" m;
+  (* Throughput.  Each timed closure serves [batch_cap] predictions per
+     call so the clock reads amortise identically across paths. *)
+  let min_s = if quick then 0.2 else 1.0 in
+  let throughput f =
+    f ();
+    let t0 = Unix.gettimeofday () in
+    let stop = t0 +. min_s in
+    let iters = ref 0 in
+    while Unix.gettimeofday () < stop do
+      f ();
+      incr iters
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (!iters * batch_cap) /. dt
+  in
+  let quantized =
+    Array.map (fun col -> Ldafp_core.Fixed_classifier.quantize_input clf col) cols
+  in
+  let sink = ref 0 in
+  let scalar_pps =
+    throughput (fun () ->
+        Array.iter
+          (fun qx ->
+            if Ldafp_core.Fixed_classifier.predict_quantized clf qx then
+              incr sink)
+          quantized)
+  in
+  let batched_pps =
+    throughput (fun () -> Infer.Engine.predict_into engine batch out)
+  in
+  (* Sharded: independent engines chewing the same batch shape on 2 and
+     4 domains — aggregate preds/sec over the joint wall time. *)
+  let shard domains =
+    let t0 = Unix.gettimeofday () in
+    let workers =
+      List.init domains (fun _ ->
+          Domain.spawn (fun () ->
+              let e = Infer.Engine.of_fixed ~capacity:batch_cap clf in
+              let b = Infer.Engine.make_batch e in
+              let o = Bytes.create batch_cap in
+              ignore (Infer.Engine.load_rows e b cols : int);
+              Infer.Engine.predict_into e b o;
+              let stop = Unix.gettimeofday () +. min_s in
+              let iters = ref 0 in
+              while Unix.gettimeofday () < stop do
+                Infer.Engine.predict_into e b o;
+                incr iters
+              done;
+              !iters * batch_cap))
+    in
+    let total = List.fold_left (fun acc w -> acc + Domain.join w) 0 workers in
+    float_of_int total /. (Unix.gettimeofday () -. t0)
+  in
+  let sharded = List.map (fun d -> (d, shard d)) [ 2; 4 ] in
+  (* Staged datapath: standardise + square projection in front of the
+     classifier, all stages in the engine's own format. *)
+  let means = Array.make m 0.0 in
+  Array.iter (fun col -> Array.iteri (fun j v -> means.(j) <- means.(j) +. v) col) cols;
+  Array.iteri (fun j s -> means.(j) <- s /. float_of_int batch_cap) means;
+  let identity =
+    Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0))
+  in
+  let pipeline =
+    Infer.Pipeline.create ~capacity:batch_cap
+      ~stages:
+        [
+          Infer.Pipeline.standardize ~in_fmt:fmt ~scale_fmt:fmt ~out_fmt:fmt
+            ~means ~inv_stds:(Array.make m 1.0);
+          Infer.Pipeline.project ~in_fmt:fmt ~mat_fmt:fmt ~out_fmt:fmt
+            ~matrix:identity;
+        ]
+      (Infer.Engine.Uniform clf)
+  in
+  let pbatch = Infer.Pipeline.make_batch pipeline in
+  Array.iteri (fun c col -> Infer.Batch.load_floats pbatch ~col:c col) cols;
+  Infer.Batch.set_length pbatch batch_cap;
+  let pipeline_pps =
+    throughput (fun () -> Infer.Pipeline.run pipeline pbatch out)
+  in
+  Printf.printf "  %-28s %12.3g preds/sec\n" "scalar (predict_quantized)"
+    scalar_pps;
+  Printf.printf "  %-28s %12.3g preds/sec  (%.2fx scalar)\n" "batched (C MAC)"
+    batched_pps (batched_pps /. scalar_pps);
+  List.iter
+    (fun (d, pps) ->
+      Printf.printf "  %-28s %12.3g preds/sec\n"
+        (Printf.sprintf "sharded x%d domains" d)
+        pps)
+    sharded;
+  Printf.printf "  %-28s %12.3g preds/sec\n%!" "3-stage pipeline" pipeline_pps;
+  Json.Obj
+    [
+      ("problem", Json.Str "synthetic");
+      ("format", Json.Str (Fixedpoint.Qformat.to_string fmt));
+      ("features", Json.Int m);
+      ("batch", Json.Int batch_cap);
+      ("agreement_inputs", Json.Int agreement_inputs);
+      ("mismatches", Json.Int !mismatches);
+      ("batch_vs_scalar_agreement", Json.Bool (!mismatches = 0));
+      ("scalar_preds_per_sec", Json.Float scalar_pps);
+      ("batched_preds_per_sec", Json.Float batched_pps);
+      ("speedup", Json.Float (batched_pps /. scalar_pps));
+      ( "sharded",
+        Json.List
+          (List.map
+             (fun (d, pps) ->
+               Json.Obj
+                 [ ("domains", Json.Int d); ("preds_per_sec", Json.Float pps) ])
+             sharded) );
+      ("pipeline_preds_per_sec", Json.Float pipeline_pps);
+    ]
+
 let () =
   let o = parse_args () in
   let seed = o.seed in
@@ -1085,6 +1268,7 @@ let () =
   let parallel_json = ref Json.Null in
   let scaling_json = ref Json.Null in
   let scaling_deep_json = ref Json.Null in
+  let infer_json = ref Json.Null in
   if o.micro then begin
     let estimates = run_micro () in
     micro_json :=
@@ -1101,6 +1285,7 @@ let () =
   if o.deep then
     scaling_deep_json := run_scaling_deep ~quick_deep:o.quick_deep ?seed ();
   if o.faults then run_fault_tolerance ~quick ?seed ();
+  if o.infer then infer_json := run_infer ~quick ?seed ();
   (* Observability export comes first: all solver domains are joined by
      now, so ring/shard state is quiescent and safe to read. *)
   (match (o.trace, collector) with
@@ -1119,7 +1304,7 @@ let () =
       else Obs.Metrics.save_prometheus Obs.Metrics.default path;
       Printf.printf "wrote %s\n%!" path
   | None -> ());
-  if o.micro || o.parallel || o.scaling || o.deep then begin
+  if o.micro || o.parallel || o.scaling || o.deep || o.infer then begin
     let path = "BENCH_solver.json" in
     Json.save path
       (Json.Obj
@@ -1132,6 +1317,7 @@ let () =
            ("parallel", !parallel_json);
            ("scaling", !scaling_json);
            ("scaling_deep", !scaling_deep_json);
+           ("infer", !infer_json);
            (* Explicit per-solve node total — the denominator of the CI
               metrics gate (see obs_nodes above). *)
            ("obs", Json.Obj [ ("nodes_total", Json.Int !obs_nodes) ]);

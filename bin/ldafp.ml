@@ -531,9 +531,25 @@ let rtl_cmd =
       & opt (some file) None
       & info [ "data" ] ~docv:"CSV" ~doc:"Vectors for the testbench.")
   in
-  let run verbose model out testbench data =
+  let c_header =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "c-header" ] ~docv:"FILE"
+          ~doc:
+            "Also emit a self-contained C model header \
+             ($(b,lda_model_fixed.h) style): the same baked tables as the \
+             Verilog plus $(b,static inline) predict functions \
+             reproducing the datapath bit-for-bit.")
+  in
+  let run verbose model out testbench data c_header =
     setup_logs verbose;
     let clf = Model_io.load model in
+    Option.iter
+      (fun path ->
+        Model_io.save_c_header path clf;
+        Fmt.pr "wrote %s@." path)
+      c_header;
     let spec =
       {
         Hw.Verilog_gen.module_name = "ldafp_classifier";
@@ -573,7 +589,122 @@ let rtl_cmd =
   in
   Cmd.v
     (Cmd.info "rtl" ~doc:"Emit synthesizable Verilog for a trained model.")
-    Term.(const run $ verbose_arg $ model_arg $ out $ testbench $ data_opt)
+    Term.(
+      const run $ verbose_arg $ model_arg $ out $ testbench $ data_opt
+      $ c_header)
+
+(* ---------------- classify ---------------- *)
+
+let classify_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write one prediction per input row ($(b,A)/$(b,B), input \
+             order) to $(docv).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Rows streamed through the engine per batched MAC call.")
+  in
+  let run verbose model data batch out =
+    setup_logs verbose;
+    if batch < 1 then begin
+      Fmt.epr "--batch must be >= 1@.";
+      exit 2
+    end;
+    let clf = Model_io.load model in
+    let engine = Infer.Engine.of_fixed ~capacity:batch clf in
+    let m = Fixed_classifier.n_features clf in
+    let b = Infer.Engine.make_batch engine in
+    let preds = Bytes.create batch in
+    let truths = Array.make batch false in
+    let confusion = ref Stats.Confusion.empty in
+    let pending = ref 0 in
+    let ic = open_in data in
+    let oc = Option.map open_out out in
+    let flush () =
+      let n = !pending in
+      if n > 0 then begin
+        Infer.Batch.set_length b n;
+        Infer.Engine.predict_into engine b preds;
+        for i = 0 to n - 1 do
+          let p = Bytes.get preds i = '\001' in
+          confusion := Stats.Confusion.add !confusion ~truth:truths.(i)
+              ~predicted:p;
+          Option.iter
+            (fun oc -> output_string oc (if p then "A\n" else "B\n"))
+            oc
+        done;
+        pending := 0
+      end
+    in
+    let classify () =
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           match Datasets.Dataset_io.parse_row !lineno line with
+           | None -> ()
+           | Some (label, feats) ->
+               if Array.length feats <> m then
+                 raise
+                   (Datasets.Dataset_io.Parse_error
+                      {
+                        line = !lineno;
+                        message =
+                          Printf.sprintf
+                            "expected %d features (model %s), found %d" m
+                            model (Array.length feats);
+                      });
+               Infer.Engine.load engine b ~col:!pending feats;
+               truths.(!pending) <- label;
+               incr pending;
+               if !pending = batch then flush ()
+         done
+       with End_of_file -> ());
+      flush ()
+    in
+    let finish () =
+      close_in_noerr ic;
+      Option.iter close_out_noerr oc
+    in
+    (match classify () with
+    | () -> finish ()
+    | exception Datasets.Dataset_io.Parse_error { line; message } ->
+        finish ();
+        Fmt.epr "%s:%d: %s@." data line message;
+        exit 1);
+    let c = !confusion in
+    if Stats.Confusion.total c = 0 then begin
+      Fmt.epr "%s: no data rows@." data;
+      exit 1
+    end;
+    Fmt.pr "classified %d row(s) with the %a model: %d predicted A, %d \
+            predicted B@."
+      (Stats.Confusion.total c) Fixedpoint.Qformat.pp
+      (Fixed_classifier.format clf)
+      (c.Stats.Confusion.tp + c.Stats.Confusion.fp)
+      (c.Stats.Confusion.tn + c.Stats.Confusion.fn);
+    Fmt.pr
+      "against the labels: error rate %.2f%% (sensitivity %.2f%%, \
+       specificity %.2f%%)@."
+      (100.0 *. Stats.Confusion.error_rate c)
+      (100.0 *. Stats.Confusion.sensitivity c)
+      (100.0 *. Stats.Confusion.specificity c)
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Stream a CSV through a trained model at full batch speed and \
+          report predictions plus a confusion summary.")
+    Term.(const run $ verbose_arg $ model_arg $ data_arg $ batch $ out)
 
 (* ---------------- analyze ---------------- *)
 
@@ -653,6 +784,6 @@ let () =
        (Cmd.group
           (Cmd.info "ldafp" ~version:"1.0.0" ~doc)
           [
-            generate_cmd; train_cmd; eval_cmd; sweep_cmd; rtl_cmd;
-            analyze_cmd; info_cmd;
+            generate_cmd; train_cmd; eval_cmd; classify_cmd; sweep_cmd;
+            rtl_cmd; analyze_cmd; info_cmd;
           ]))

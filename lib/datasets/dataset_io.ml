@@ -31,6 +31,8 @@ let parse_line lineno line =
         Some (parse_label lineno label, Array.of_list values)
       end
 
+let parse_row = parse_line
+
 let of_lines ~name lines =
   (* Each parsed row keeps its 1-based line number in the original input:
      headers and blank lines are skipped, so the index into the filtered

@@ -14,6 +14,14 @@ val load : string -> Dataset.t
 
 val save : string -> Dataset.t -> unit
 
+val parse_row : int -> string -> (bool * float array) option
+(** [parse_row lineno line] parses one CSV line carrying its 1-based
+    line number in the original input; [None] for blank lines and the
+    optional header.  Streaming consumers ([ldafp classify]) use this
+    to keep the same error contract as {!load} without materialising
+    the whole file.
+    @raise Parse_error with [lineno] on a malformed row. *)
+
 val of_lines : name:string -> string list -> Dataset.t
 (** Parse from in-memory lines (used by tests). *)
 

@@ -1,0 +1,45 @@
+(** A format-tagged batch of quantised feature vectors.
+
+    Storage is a Bigarray of untagged native ints, laid out
+    feature-major — dims [(features, capacity)] in C layout — so the C
+    MAC kernels stream each feature row contiguously across the batch.
+    Column [c] holds the [c]-th input vector's raw codes; every code
+    lies in the raw range of the batch's {!Fixedpoint.Qformat.t} (the
+    writers wrap or saturate on the way in, like {!Fixedpoint.Fx}).
+
+    A batch is a reusable buffer: [capacity] columns are allocated once,
+    [length] says how many are live.  Refilling a warm batch allocates
+    nothing. *)
+
+type ba1 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type ba2 = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array2.t
+
+type t
+
+val create : fmt:Fixedpoint.Qformat.t -> features:int -> capacity:int -> t
+(** Zero-filled, [length = 0].
+    @raise Invalid_argument if [features < 1] or [capacity < 1]. *)
+
+val format : t -> Fixedpoint.Qformat.t
+val n_features : t -> int
+val capacity : t -> int
+
+val length : t -> int
+val set_length : t -> int -> unit
+(** @raise Invalid_argument unless [0 <= n <= capacity]. *)
+
+val data : t -> ba2
+(** The raw storage (kernels and tests). *)
+
+val set_raw : t -> feature:int -> col:int -> int -> unit
+(** Store a raw code, wrapped into the batch format
+    ({!Fixedpoint.Fx.create} semantics). *)
+
+val get_raw : t -> feature:int -> col:int -> int
+
+val load_floats : t -> col:int -> float array -> unit
+(** Quantise one real-valued vector into column [col]: round to nearest
+    (ties to even) and {e saturate} into the batch format — the same
+    front-end conversion as
+    [Fx_vector.of_floats ~ov:Saturate].  Does not touch [length].
+    @raise Invalid_argument on dimension mismatch. *)

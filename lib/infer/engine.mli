@@ -1,0 +1,78 @@
+(** Batched, allocation-free inference over trained classifiers.
+
+    An engine bakes a {!Ldafp_core.Fixed_classifier} or
+    {!Ldafp_core.Hetero_classifier} into Bigarray tables (weight codes,
+    per-feature product shifts, threshold code, scaling exponents) plus
+    one scratch projection row, and serves predictions over {!Batch}es
+    through the C MAC kernels.  The batched path is bit-for-bit
+    identical to the scalar [predict]: same front-end quantisation, same
+    wrapping multiply-accumulate, same threshold comparison.
+
+    The steady state allocates nothing: {!project_into} and
+    {!predict_into} on a warm batch perform zero minor-heap allocations
+    (unit-tested), so a long-lived server loop never pressures the GC.
+
+    Observability (both zero-cost when {!Obs.Metrics.enabled} is off):
+    - [ldafp_infer_predictions_total] — predictions served;
+    - [ldafp_infer_batch_seconds] — wall time of one batched call;
+    - an [infer.batch] trace span per call when tracing is on. *)
+
+type model =
+  | Uniform of Ldafp_core.Fixed_classifier.t
+  | Hetero of Ldafp_core.Hetero_classifier.t
+
+type t
+
+val create : ?capacity:int -> model -> t
+(** Bake the model's tables.  [capacity] (default [1024]) bounds the
+    batch size served per call.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val of_fixed : ?capacity:int -> Ldafp_core.Fixed_classifier.t -> t
+val of_hetero : ?capacity:int -> Ldafp_core.Hetero_classifier.t -> t
+
+val n_features : t -> int
+val capacity : t -> int
+
+val format : t -> Fixedpoint.Qformat.t
+(** Accumulator / feature format (the uniform format, or the hetero
+    model's [acc_fmt]). *)
+
+val polarity : t -> bool
+val threshold_raw : t -> int
+
+val make_batch : t -> Batch.t
+(** A fresh batch in the engine's input format and capacity. *)
+
+val load : t -> Batch.t -> col:int -> float array -> unit
+(** Front-end conversion of one raw (unscaled) feature vector: apply
+    the model's power-of-two scaling, round to nearest (ties to even),
+    saturate into the engine format — exactly
+    [Fixed_classifier.quantize_input].  Does not touch the batch
+    length.  Loading allocates (it is the cold edge of the datapath);
+    the predict path does not. *)
+
+val load_rows : t -> Batch.t -> ?start:int -> ?n:int -> float array array -> int
+(** Load rows [start .. start+n-1] (clamped to what fits the batch
+    capacity and the array), set the batch length, return the count
+    loaded. *)
+
+val project_into : t -> Batch.t -> unit
+(** Run the MAC kernel over the live columns; results are readable via
+    {!projection_raw}.  Allocation-free.
+    @raise Invalid_argument on format or shape mismatch. *)
+
+val projection_raw : t -> int -> int
+(** Raw accumulator output of column [i] from the last
+    {!project_into}. *)
+
+val margin : t -> int -> float
+(** Signed decision margin of column [i] from the last {!project_into},
+    matching [Fixed_classifier.margin]. *)
+
+val predict_into : t -> Batch.t -> Bytes.t -> unit
+(** Project and threshold the live columns, writing ['\001'] (class A)
+    or ['\000'] into [out.[0 .. length-1]].  Allocation-free on the
+    steady state.
+    @raise Invalid_argument if [out] is shorter than the batch
+    length. *)
