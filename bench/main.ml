@@ -13,6 +13,7 @@ let usage =
   \                [--scaling] [--deep] [--quick-deep] [--faults] [--infer]\n\
   \                [--quick|--full] [--seed N]\n\
   \                [--trace FILE] [--metrics FILE]\n\
+  \                [--telemetry-addr HOST:PORT] [--ledger FILE]\n\
    With no experiment flag, everything runs.\n\
    --deep runs the deep scaling benchmark: an exact run-to-completion\n\
    search of >= 10^5 nodes at 1/2/4 domains (--quick-deep sizes it for\n\
@@ -22,7 +23,11 @@ let usage =
    plus a >= 10^5-input batched-vs-scalar bit-exactness sweep.\n\
    --trace records a Chrome trace-event timeline of the solver runs\n\
    (load in Perfetto); --metrics exports solver counters/histograms\n\
-   (JSON when FILE ends in .json, Prometheus text otherwise)."
+   (JSON when FILE ends in .json, Prometheus text otherwise).\n\
+   --telemetry-addr serves GET /metrics, /metrics.json and /healthz\n\
+   over HTTP while the bench runs (port 0 = ephemeral, printed at\n\
+   startup); --ledger appends one ldafp-run/1 record with the full\n\
+   BENCH_solver.json tree to the JSONL run ledger (see `ldafp runs`)."
 
 type options = {
   mutable table1 : bool;
@@ -44,6 +49,8 @@ type options = {
   mutable seed : int option;
   mutable trace : string option;
   mutable metrics : string option;
+  mutable telemetry_addr : string option;
+  mutable ledger : string option;
 }
 
 let parse_args () =
@@ -54,6 +61,7 @@ let parse_args () =
       micro = false; parallel = false; scaling = false; deep = false;
       quick_deep = false; faults = false; infer = false;
       quick = true; seed = None; trace = None; metrics = None;
+      telemetry_addr = None; ledger = None;
     }
   in
   let any = ref false in
@@ -84,6 +92,10 @@ let parse_args () =
     | "--seed" :: n :: rest -> o.seed <- Some (int_of_string n); go rest
     | "--trace" :: path :: rest -> o.trace <- Some path; go rest
     | "--metrics" :: path :: rest -> o.metrics <- Some path; go rest
+    | "--telemetry-addr" :: addr :: rest ->
+        o.telemetry_addr <- Some addr;
+        go rest
+    | "--ledger" :: path :: rest -> o.ledger <- Some path; go rest
     | "--help" :: _ | "-h" :: _ -> print_endline usage; exit 0
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n%s\n" arg usage;
@@ -130,6 +142,34 @@ let count_nodes outcome =
       obs_nodes :=
         !obs_nodes + o.Ldafp_core.Lda_fp.diagnostics.Ldafp_core.Lda_fp.nodes
   | None -> ()
+
+(* Every experiment record carries the environment needed to interpret
+   its numbers later: the detected core count (the ROADMAP single-core
+   caveat, machine-checkable at last) and a wall/CPU-clock sanity
+   triple — cpu_wall_ratio ~ 1 on one busy core, ~ d when d domains
+   genuinely ran in parallel, >> 1 when the container time-sliced.
+   Keys an experiment already reports (e.g. the scaling runs' own
+   [cores_detected]) are left untouched. *)
+let with_env f =
+  let wall0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let j = f () in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let cpu = Sys.time () -. cpu0 in
+  match j with
+  | Json.Obj kvs ->
+      let extra =
+        [
+          ("cores_detected", Json.Int (Domain.recommended_domain_count ()));
+          ("wall_seconds_total", Json.Float wall);
+          ("cpu_seconds_total", Json.Float cpu);
+          ( "cpu_wall_ratio",
+            Json.Float (if wall > 0.0 then cpu /. wall else Float.nan) );
+        ]
+      in
+      Json.Obj
+        (kvs @ List.filter (fun (k, _) -> not (List.mem_assoc k kvs)) extra)
+  | other -> other
 
 let median xs =
   let a = Array.copy xs in
@@ -706,12 +746,7 @@ let run_parallel_bnb ~quick ?seed () =
    slower — time-slicing plus cross-domain GC barriers — and the
    efficiency field records exactly that instead of pretending
    otherwise). *)
-let stop_name = function
-  | Optim.Bnb.Proved_optimal -> "proved_optimal"
-  | Optim.Bnb.Gap_reached -> "gap_reached"
-  | Optim.Bnb.Node_budget -> "node_budget"
-  | Optim.Bnb.Time_budget -> "time_budget"
-  | Optim.Bnb.Interrupted -> "interrupted"
+let stop_name = Optim.Bnb.stop_reason_name
 
 let run_scaling_bnb ~quick ?seed () =
   let open Ldafp_core in
@@ -1235,6 +1270,22 @@ let () =
       o.trace
   in
   if o.metrics <> None then Obs.Metrics.set_enabled true;
+  let telemetry =
+    Option.bind o.telemetry_addr (fun addr ->
+        match Obs.Telemetry.start ~addr () with
+        | Ok srv ->
+            Obs.Metrics.set_enabled true;
+            Printf.printf
+              "telemetry: serving /metrics, /metrics.json and /healthz on \
+               %s\n\
+               %!"
+              (Obs.Telemetry.addr srv);
+            Some srv
+        | Error msg ->
+            Printf.eprintf "warning: %s — continuing without telemetry\n%!"
+              msg;
+            None)
+  in
   if o.table1 then begin
     let t0 = Sys.time () in
     let rows = Experiments.table1 ~quick ?seed () in
@@ -1270,22 +1321,36 @@ let () =
   let scaling_deep_json = ref Json.Null in
   let infer_json = ref Json.Null in
   if o.micro then begin
-    let estimates = run_micro () in
     micro_json :=
-      Json.List
-        (List.map
-           (fun (name, ns) ->
-             Json.Obj
-               [ ("name", Json.Str name); ("ns_per_run", Json.Float ns) ])
-           estimates);
-    kernel_json := run_bound_kernel ~quick ?seed ()
+      with_env (fun () ->
+          let estimates = run_micro () in
+          Json.Obj
+            [
+              ( "estimates",
+                Json.List
+                  (List.map
+                     (fun (name, ns) ->
+                       Json.Obj
+                         [
+                           ("name", Json.Str name);
+                           ("ns_per_run", Json.Float ns);
+                         ])
+                     estimates) );
+            ]);
+    kernel_json := with_env (fun () -> run_bound_kernel ~quick ?seed ())
   end;
-  if o.parallel then parallel_json := run_parallel_bnb ~quick ?seed ();
-  if o.scaling then scaling_json := run_scaling_bnb ~quick ?seed ();
+  if o.parallel then
+    parallel_json := with_env (fun () -> run_parallel_bnb ~quick ?seed ());
+  if o.scaling then
+    scaling_json := with_env (fun () -> run_scaling_bnb ~quick ?seed ());
   if o.deep then
-    scaling_deep_json := run_scaling_deep ~quick_deep:o.quick_deep ?seed ();
+    scaling_deep_json :=
+      with_env (fun () -> run_scaling_deep ~quick_deep:o.quick_deep ?seed ());
   if o.faults then run_fault_tolerance ~quick ?seed ();
-  if o.infer then infer_json := run_infer ~quick ?seed ();
+  if o.infer then infer_json := with_env (fun () -> run_infer ~quick ?seed ());
+  (* The scrape endpoint outlives the experiments only until here: stop
+     (and join) it before the exports so they read quiescent state. *)
+  Option.iter Obs.Telemetry.stop telemetry;
   (* Observability export comes first: all solver domains are joined by
      now, so ring/shard state is quiescent and safe to read. *)
   (match (o.trace, collector) with
@@ -1304,23 +1369,34 @@ let () =
       else Obs.Metrics.save_prometheus Obs.Metrics.default path;
       Printf.printf "wrote %s\n%!" path
   | None -> ());
+  let bench_json =
+    Json.Obj
+      [
+        ("schema", Json.Str "ldafp-bench-solver/1");
+        ("mode", Json.Str (if quick then "quick" else "full"));
+        ("seed", Json.Int (Option.value seed ~default:42));
+        ("micro", !micro_json);
+        ("bound_kernel", !kernel_json);
+        ("parallel", !parallel_json);
+        ("scaling", !scaling_json);
+        ("scaling_deep", !scaling_deep_json);
+        ("infer", !infer_json);
+        (* Explicit per-solve node total — the denominator of the CI
+           metrics gate (see obs_nodes above). *)
+        ("obs", Json.Obj [ ("nodes_total", Json.Int !obs_nodes) ]);
+      ]
+  in
   if o.micro || o.parallel || o.scaling || o.deep || o.infer then begin
     let path = "BENCH_solver.json" in
-    Json.save path
-      (Json.Obj
-         [
-           ("schema", Json.Str "ldafp-bench-solver/1");
-           ("mode", Json.Str (if quick then "quick" else "full"));
-           ("seed", Json.Int (Option.value seed ~default:42));
-           ("micro", !micro_json);
-           ("bound_kernel", !kernel_json);
-           ("parallel", !parallel_json);
-           ("scaling", !scaling_json);
-           ("scaling_deep", !scaling_deep_json);
-           ("infer", !infer_json);
-           (* Explicit per-solve node total — the denominator of the CI
-              metrics gate (see obs_nodes above). *)
-           ("obs", Json.Obj [ ("nodes_total", Json.Int !obs_nodes) ]);
-         ]);
+    Json.save path bench_json;
     Printf.printf "\nwrote %s\n%!" path
-  end
+  end;
+  match o.ledger with
+  | None -> ()
+  | Some path -> (
+      match
+        Obs.Run_ledger.append ~path
+          (Obs.Run_ledger.record ~kind:"bench" [ ("bench", bench_json) ])
+      with
+      | Ok () -> Printf.printf "appended bench record to %s\n%!" path
+      | Error msg -> Printf.eprintf "warning: %s\n%!" msg)

@@ -80,6 +80,50 @@ let no_certify_arg =
            prune the optimum.  Escape hatch for benchmarking the \
            certificate overhead; never use it for results you keep.")
 
+let telemetry_addr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-addr" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve live telemetry over HTTP while the command runs: \
+           $(b,GET /metrics) (Prometheus text exposition), \
+           $(b,/metrics.json) and $(b,/healthz) (search phase, nodes, \
+           incumbent, certified gap).  $(docv) may be $(b,:PORT) for \
+           all interfaces; port 0 binds an ephemeral port (printed at \
+           startup).")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one $(b,ldafp-run/1) JSON record (config, \
+           environment, search statistics, metrics snapshot) to the \
+           JSONL run ledger at $(docv) — atomically, so a crash never \
+           corrupts prior records.  Inspect with $(b,ldafp runs).")
+
+(* Start the telemetry endpoint, or explain why not and carry on: a bad
+   --telemetry-addr must not kill a training run before it starts. *)
+let start_telemetry addr =
+  Option.bind addr (fun addr ->
+      match Obs.Telemetry.start ~addr () with
+      | Ok srv ->
+          Obs.Metrics.set_enabled true;
+          Fmt.pr "telemetry: serving /metrics, /metrics.json and /healthz \
+                  on %s@."
+            (Obs.Telemetry.addr srv);
+          Some srv
+      | Error msg ->
+          Fmt.epr "warning: %s — continuing without telemetry@." msg;
+          None)
+
+let append_ledger ~kind ~path sections =
+  match Obs.Run_ledger.append ~path (Obs.Run_ledger.record ~kind sections) with
+  | Ok () -> Fmt.pr "appended %s record to %s@." kind path
+  | Error msg -> Fmt.epr "warning: %s@." msg
+
 let config_of_nodes ?(domains = 1) ?(warm_start = true) ?(certify = true)
     ?checkpoint ?progress nodes =
   {
@@ -232,7 +276,8 @@ let train_cmd =
              rate, steals and oracle utilisation.")
   in
   let run verbose data wl k method_ nodes domains no_warm_start no_certify rho
-      checkpoint checkpoint_every resume trace metrics progress out =
+      checkpoint checkpoint_every resume trace metrics progress telemetry_addr
+      ledger out =
     setup_logs verbose;
     if no_certify then
       Fmt.epr
@@ -260,6 +305,7 @@ let train_cmd =
         trace
     in
     if metrics <> None then Obs.Metrics.set_enabled true;
+    let telemetry = start_telemetry telemetry_addr in
     let progress = if progress then Some (Obs.Progress.create ()) else None in
     (* Export sinks once the search is done (worker domains joined, so
        reading ring/shard state without synchronisation is sound). *)
@@ -281,6 +327,9 @@ let train_cmd =
           Fmt.pr "wrote metrics to %s@." path
       | None -> ()
     in
+    (* Captured for the run-ledger record, which is written after the
+       final prints (and after the telemetry server is stopped). *)
+    let ledger_search = ref None in
     let clf =
       match method_ with
       | `Lda -> Some (Pipeline.train_conventional ~fmt ds)
@@ -302,6 +351,7 @@ let train_cmd =
           Option.map
             (fun r ->
               let d = r.Pipeline.outcome.Lda_fp.diagnostics in
+              ledger_search := Some (r.Pipeline.outcome.Lda_fp.cost, d);
               Fmt.pr
                 "LDA-FP: cost %.6g, %d nodes, gap %.3g, %.2fs on %d \
                  domain(s) (%s)@."
@@ -400,19 +450,82 @@ let train_cmd =
             outcome
     in
     export_observability ();
+    Option.iter Obs.Telemetry.stop telemetry;
     match clf with
     | None ->
         Fmt.epr "no feasible fixed-point classifier found@.";
         exit 1
     | Some clf ->
         Model_io.save out clf;
+        let train_error = Eval.error_fixed clf ds in
         Fmt.pr "trained %a classifier on %a; training error %.2f%%; saved \
                 to %s@."
           Fixedpoint.Qformat.pp
           (Fixed_classifier.format clf)
           Datasets.Dataset.pp_summary ds
-          (100.0 *. Eval.error_fixed clf ds)
-          out
+          (100.0 *. train_error)
+          out;
+        Option.iter
+          (fun path ->
+            let open Obs.Json in
+            let config =
+              Obj
+                [
+                  ("data", Str data);
+                  ("out", Str out);
+                  ("wl", Int wl);
+                  ("k", Int k);
+                  ( "method",
+                    Str (match method_ with `Ldafp -> "ldafp" | `Lda -> "lda")
+                  );
+                  ("nodes", Int nodes);
+                  ("domains", Int domains);
+                  ("warm_start", Bool (not no_warm_start));
+                  ("certify", Bool (not no_certify));
+                  ("rho", Float rho);
+                ]
+            in
+            let search =
+              match !ledger_search with
+              | None -> []
+              | Some (cost, d) ->
+                  let s = d.Lda_fp.search in
+                  let hits = s.Optim.Bnb.warm_start_hits in
+                  let misses =
+                    s.Optim.Bnb.warm_miss_no_parent
+                    + s.Optim.Bnb.warm_miss_not_interior
+                    + s.Optim.Bnb.warm_miss_fault_cleared
+                  in
+                  let result =
+                    [
+                      ("cost", Float cost);
+                      ("nodes", Int d.Lda_fp.nodes);
+                      ("gap", Float d.Lda_fp.gap);
+                      ("train_seconds", Float d.Lda_fp.train_seconds);
+                      ( "stop_reason",
+                        Str (Optim.Bnb.stop_reason_name d.Lda_fp.stop_reason)
+                      );
+                      ("training_error", Float train_error);
+                    ]
+                    @
+                    if hits + misses > 0 then
+                      [
+                        ( "warm_hit_rate",
+                          Float
+                            (float_of_int hits
+                            /. float_of_int (hits + misses)) );
+                      ]
+                    else []
+                  in
+                  [
+                    ("result", Obj result);
+                    ("stats", Optim.Bnb.stats_to_json s);
+                  ]
+            in
+            append_ledger ~kind:"train" ~path
+              ([ ("config", config) ] @ search
+              @ [ ("metrics", Obs.Metrics.to_json Obs.Metrics.default) ]))
+          ledger
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Train a fixed-point classifier.")
@@ -420,7 +533,8 @@ let train_cmd =
       const run $ verbose_arg $ data_arg $ wl_arg $ k_arg $ method_
       $ nodes_arg $ domains_arg $ no_warm_start_arg $ no_certify_arg
       $ rho_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-      $ trace_arg $ metrics_arg $ progress_arg $ out)
+      $ trace_arg $ metrics_arg $ progress_arg $ telemetry_addr_arg
+      $ ledger_arg $ out)
 
 (* ---------------- eval ---------------- *)
 
@@ -612,7 +726,7 @@ let classify_cmd =
       & info [ "batch" ] ~docv:"N"
           ~doc:"Rows streamed through the engine per batched MAC call.")
   in
-  let run verbose model data batch out =
+  let run verbose model data batch ledger out =
     setup_logs verbose;
     if batch < 1 then begin
       Fmt.epr "--batch must be >= 1@.";
@@ -697,14 +811,38 @@ let classify_cmd =
        specificity %.2f%%)@."
       (100.0 *. Stats.Confusion.error_rate c)
       (100.0 *. Stats.Confusion.sensitivity c)
-      (100.0 *. Stats.Confusion.specificity c)
+      (100.0 *. Stats.Confusion.specificity c);
+    Option.iter
+      (fun path ->
+        let open Obs.Json in
+        append_ledger ~kind:"classify" ~path
+          [
+            ( "config",
+              Obj
+                [
+                  ("model", Str model);
+                  ("data", Str data);
+                  ("batch", Int batch);
+                ] );
+            ( "result",
+              Obj
+                [
+                  ("rows", Int (Stats.Confusion.total c));
+                  ("error_rate", Float (Stats.Confusion.error_rate c));
+                  ("sensitivity", Float (Stats.Confusion.sensitivity c));
+                  ("specificity", Float (Stats.Confusion.specificity c));
+                ] );
+          ])
+      ledger
   in
   Cmd.v
     (Cmd.info "classify"
        ~doc:
          "Stream a CSV through a trained model at full batch speed and \
           report predictions plus a confusion summary.")
-    Term.(const run $ verbose_arg $ model_arg $ data_arg $ batch $ out)
+    Term.(
+      const run $ verbose_arg $ model_arg $ data_arg $ batch $ ledger_arg
+      $ out)
 
 (* ---------------- analyze ---------------- *)
 
@@ -777,6 +915,188 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Summarise a dataset.")
     Term.(const run $ verbose_arg $ data_arg)
 
+(* ---------------- runs ---------------- *)
+
+let ledger_file_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "ledger" ] ~docv:"FILE" ~doc:"Run-ledger JSONL file.")
+
+(* Exit 2 on unreadable ledgers (usage/IO), so CI can tell "regression"
+   (1) from "the artifact is missing" (2). *)
+let load_ledger path =
+  match Obs.Run_ledger.load ~path with
+  | Error msg ->
+      Fmt.epr "%s@." msg;
+      exit 2
+  | Ok (records, malformed) ->
+      if malformed > 0 then
+        Fmt.epr "warning: %s: skipped %d malformed line(s)@." path malformed;
+      records
+
+let nth_record records i =
+  let n = List.length records in
+  if i < 1 || i > n then begin
+    Fmt.epr "record %d out of range (ledger holds %d record(s))@." i n;
+    exit 2
+  end;
+  List.nth records (i - 1)
+
+let record_field key record =
+  match Obs.Json.member key record with
+  | Some (Obs.Json.Str s) -> s
+  | Some j -> Obs.Json.to_string j
+  | None -> "?"
+
+let runs_list_cmd =
+  let json =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ] ~doc:"Print the records as a JSON array.")
+  in
+  let run verbose ledger json =
+    setup_logs verbose;
+    let records = load_ledger ledger in
+    if json then print_endline (Obs.Json.to_string (Obs.Json.List records))
+    else
+      List.iteri
+        (fun i r ->
+          let cores =
+            match Obs.Json.member "environment" r with
+            | Some env -> record_field "cores_detected" env
+            | None -> "?"
+          in
+          Fmt.pr "#%-3d %s  %-8s cores=%s@." (i + 1)
+            (record_field "timestamp_utc" r)
+            (record_field "kind" r) cores)
+        records
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the records of a run ledger.")
+    Term.(const run $ verbose_arg $ ledger_file_arg $ json)
+
+let runs_show_cmd =
+  let index =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"N"
+          ~doc:"1-based record to show (default: the last).")
+  in
+  let run verbose ledger index =
+    setup_logs verbose;
+    let records = load_ledger ledger in
+    if records = [] then begin
+      Fmt.epr "%s: empty ledger@." ledger;
+      exit 2
+    end;
+    let i = Option.value index ~default:(List.length records) in
+    print_endline (Obs.Json.to_string (nth_record records i))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print one ledger record as JSON.")
+    Term.(const run $ verbose_arg $ ledger_file_arg $ index)
+
+let runs_diff_cmd =
+  let baseline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "baseline" ] ~docv:"N"
+          ~doc:"1-based baseline record (default: second to last).")
+  in
+  let candidate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "candidate" ] ~docv:"N"
+          ~doc:"1-based candidate record (default: the last).")
+  in
+  let rel_tol =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "rel-tol" ] ~docv:"FRAC"
+          ~doc:
+            "Noise band for the advisory timing comparisons \
+             (preds/sec, ns_per_run).  Timing findings never affect \
+             the exit code unless $(b,--fail-on-timing).")
+  in
+  let warm_drop =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "warm-drop" ] ~docv:"FRAC"
+          ~doc:
+            "Absolute warm_hit_rate drop flagged as a correctness \
+             regression.")
+  in
+  let fail_on_timing =
+    Arg.(
+      value
+      & flag
+      & info [ "fail-on-timing" ]
+          ~doc:
+            "Also exit non-zero on timing findings (local tuning only \
+             — CI gates correctness, never timing).")
+  in
+  let run verbose ledger baseline candidate rel_tol warm_drop fail_on_timing =
+    setup_logs verbose;
+    let records = load_ledger ledger in
+    let n = List.length records in
+    if n < 2 && (baseline = None || candidate = None) then begin
+      Fmt.epr
+        "%s: need at least two records to diff (ledger holds %d)@." ledger n;
+      exit 2
+    end;
+    let bi = Option.value baseline ~default:(n - 1) in
+    let ci = Option.value candidate ~default:n in
+    let b = nth_record records bi and c = nth_record records ci in
+    let findings =
+      Obs.Run_ledger.diff ~rel_tol ~warm_drop ~baseline:b ~candidate:c ()
+    in
+    (* Machine-readable JSON on stdout (what CI parses); the human
+       summary goes to stderr. *)
+    print_endline
+      (Obs.Json.to_string (Obs.Run_ledger.findings_json findings));
+    List.iter
+      (fun f ->
+        Fmt.epr "%s: %s: %s@."
+          (Obs.Run_ledger.severity_name f.Obs.Run_ledger.severity)
+          f.Obs.Run_ledger.path f.Obs.Run_ledger.message)
+      findings;
+    let correctness =
+      List.exists
+        (fun f -> f.Obs.Run_ledger.severity = Obs.Run_ledger.Correctness)
+        findings
+    in
+    if correctness then begin
+      Fmt.epr "regression: certified invariants changed (#%d vs #%d)@." bi ci;
+      exit 1
+    end;
+    if fail_on_timing && findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two ledger records and flag regressions: certified \
+          invariants (certified_sound, cert_fallbacks, warm_hit_rate) \
+          exit non-zero; throughput deltas beyond the noise band are \
+          advisory.")
+    Term.(
+      const run $ verbose_arg $ ledger_file_arg $ baseline $ candidate
+      $ rel_tol $ warm_drop $ fail_on_timing)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:
+         "Inspect and regression-diff the durable run ledger written by \
+          $(b,--ledger).")
+    [ runs_list_cmd; runs_show_cmd; runs_diff_cmd ]
+
 let () =
   let doc = "LDA-FP: train fixed-point classifiers for on-chip low power" in
   exit
@@ -785,5 +1105,5 @@ let () =
           (Cmd.info "ldafp" ~version:"1.0.0" ~doc)
           [
             generate_cmd; train_cmd; eval_cmd; classify_cmd; sweep_cmd;
-            rtl_cmd; analyze_cmd; info_cmd;
+            rtl_cmd; analyze_cmd; info_cmd; runs_cmd;
           ]))

@@ -39,6 +39,13 @@ type stop_reason =
   | Time_budget
   | Interrupted
 
+let stop_reason_name = function
+  | Proved_optimal -> "proved_optimal"
+  | Gap_reached -> "gap_reached"
+  | Node_budget -> "node_budget"
+  | Time_budget -> "time_budget"
+  | Interrupted -> "interrupted"
+
 type stats = {
   infeasible_regions : int;
   bound_pruned : int;
@@ -80,6 +87,61 @@ type stats = {
   domain_oracle_seconds : float array;
   wall_seconds : float;
 }
+
+(* Every stats field, flat, in declaration order — the shape the bench
+   records and the run ledger persist.  Keep in lockstep with [stats]:
+   a new field that never reaches the ledger cannot be regression-
+   diffed. *)
+let stats_to_json (s : stats) =
+  let open Obs.Json in
+  let ints = List.map (fun v -> Int v) in
+  let floats = List.map (fun v -> Float v) in
+  Obj
+    [
+      ("infeasible_regions", Int s.infeasible_regions);
+      ("bound_pruned", Int s.bound_pruned);
+      ("stale_pops", Int s.stale_pops);
+      ("incumbent_updates", Int s.incumbent_updates);
+      ("children_generated", Int s.children_generated);
+      ("domains_used", Int s.domains_used);
+      ("idle_wakeups", Int s.idle_wakeups);
+      ("steals", Int s.steals);
+      ("stolen_nodes", Int s.stolen_nodes);
+      ("seed_nodes", Int s.seed_nodes);
+      ("seed_seconds", Float s.seed_seconds);
+      ("targeted_wakeups", Int s.targeted_wakeups);
+      ("steals_best_victim", Int s.steals_best_victim);
+      ( "domain_targeted_wakeups",
+        List (ints (Array.to_list s.domain_targeted_wakeups)) );
+      ( "domain_steals_best_victim",
+        List (ints (Array.to_list s.domain_steals_best_victim)) );
+      ( "domain_first_node_seconds",
+        List (floats (Array.to_list s.domain_first_node_seconds)) );
+      ("oracle_failures", Int s.oracle_failures);
+      ("retries", Int s.retries);
+      ("degraded_bounds", Int s.degraded_bounds);
+      ("dropped_regions", Int s.dropped_regions);
+      ("warm_start_hits", Int s.warm_start_hits);
+      ("phase1_skipped", Int s.phase1_skipped);
+      ("warm_pull_ins", Int s.warm_pull_ins);
+      ("warm_newton_corrections", Int s.warm_newton_corrections);
+      ("warm_miss_no_parent", Int s.warm_miss_no_parent);
+      ("warm_miss_not_interior", Int s.warm_miss_not_interior);
+      ("warm_miss_fault_cleared", Int s.warm_miss_fault_cleared);
+      ("stolen_warm", Int s.stolen_warm);
+      ("counters_reset", Bool s.counters_reset);
+      ("cert_verified", Int s.cert_verified);
+      ("cert_repaired", Int s.cert_repaired);
+      ("cert_fallbacks", Int s.cert_fallbacks);
+      ("certified_sound", Bool s.certified_sound);
+      ("frontier_shed", Int s.frontier_shed);
+      ("retry_budget_exhausted", Int s.retry_budget_exhausted);
+      ("retry_backoff_seconds", Float s.retry_backoff_seconds);
+      ("oracle_seconds", Float s.oracle_seconds);
+      ( "domain_oracle_seconds",
+        List (floats (Array.to_list s.domain_oracle_seconds)) );
+      ("wall_seconds", Float s.wall_seconds);
+    ]
 
 type oracle_counters = {
   warm_hits : int Atomic.t;
@@ -635,6 +697,7 @@ let run_seq : type region sol.
         incumbent_cost := cost;
         incr incumbent_updates;
         if Obs.Metrics.enabled () then Obs.Metrics.incr m_incumbents;
+        if Obs.Telemetry.enabled () then Obs.Telemetry.set_incumbent cost;
         if Obs.Trace.enabled () then
           Obs.Trace.instant ~cat:"bnb" "bnb.incumbent"
             ~args:[ ("cost", Obs.Trace.Float cost) ];
@@ -710,6 +773,7 @@ let run_seq : type region sol.
     gap <= params.abs_gap || gap <= params.rel_gap *. Float.abs !incumbent_cost
   in
   let interrupted () = match interrupt with Some f -> f () | None -> false in
+  if Obs.Telemetry.enabled () then Obs.Telemetry.set_phase "searching";
   while !stop = None do
     if Pqueue.is_empty queue then stop := Some Proved_optimal
     else if gap_ok () then stop := Some Gap_reached
@@ -755,6 +819,12 @@ let run_seq : type region sol.
                   [ ("node", Obs.Trace.Int !nodes); ("lb", Obs.Trace.Float lb) ];
             if Obs.Metrics.enabled () then
               Obs.Metrics.observe m_node_seconds (float_of_int node_ns *. 1e-9);
+            if Obs.Telemetry.enabled () then begin
+              Obs.Telemetry.set_nodes !nodes;
+              Obs.Telemetry.set_gap
+                (!incumbent_cost
+                -. Float.min (Pqueue.min_key queue) !shed_bound)
+            end;
             (match progress with
             | Some p when Obs.Progress.due p ->
                 Obs.Progress.emit p
@@ -768,6 +838,10 @@ let run_seq : type region sol.
     end
   done;
   let stop_reason = match !stop with Some r -> r | None -> Proved_optimal in
+  if Obs.Telemetry.enabled () then begin
+    Obs.Telemetry.set_nodes !nodes;
+    Obs.Telemetry.set_phase ("done:" ^ stop_reason_name stop_reason)
+  end;
   (match checkpointing with
   | Some ck when ck.save_on_stop && stop_wants_save stop_reason ->
       try_save ck (snapshot_state ck)
@@ -995,6 +1069,7 @@ let run_par : type region sol.
             Atomic.set incumbent_cost cost;
             w.W.updates <- w.W.updates + 1;
             if Obs.Metrics.enabled () then Obs.Metrics.incr m_incumbents;
+            if Obs.Telemetry.enabled () then Obs.Telemetry.set_incumbent cost;
             if Obs.Trace.enabled () then
               Obs.Trace.instant ~cat:"bnb" "bnb.incumbent"
                 ~args:[ ("cost", Obs.Trace.Float cost) ]
@@ -1186,6 +1261,13 @@ let run_par : type region sol.
             ~args:[ ("node", Obs.Trace.Int n); ("lb", Obs.Trace.Float lb) ];
         if Obs.Metrics.enabled () then
           Obs.Metrics.observe m_node_seconds (float_of_int node_ns *. 1e-9);
+        if Obs.Telemetry.enabled () then begin
+          Obs.Telemetry.set_nodes (Atomic.get nodes);
+          Obs.Telemetry.set_gap
+            (Atomic.get incumbent_cost
+            -. Float.min (Work_deque.frontier_bound deque)
+                 (Atomic.get shed_bound))
+        end;
         (match progress with
         | Some p when Obs.Progress.due p ->
             Obs.Progress.emit p
@@ -1293,6 +1375,7 @@ let run_par : type region sol.
     end
   in
   let seed_t0_ns = Obs.Clock.now_ns () in
+  if Obs.Telemetry.enabled () then Obs.Telemetry.set_phase "seeding";
   let w0 = ws.(0) in
   let rec seed_loop expansions =
     if
@@ -1381,6 +1464,7 @@ let run_par : type region sol.
   if Atomic.get stop <> None || Work_deque.drained deque then
     Work_deque.close deque
   else begin
+    if Obs.Telemetry.enabled () then Obs.Telemetry.set_phase "searching";
     let spawned =
       Array.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
     in
@@ -1390,6 +1474,10 @@ let run_par : type region sol.
   let stop_reason =
     match Atomic.get stop with Some r -> r | None -> Proved_optimal
   in
+  if Obs.Telemetry.enabled () then begin
+    Obs.Telemetry.set_nodes (Atomic.get nodes);
+    Obs.Telemetry.set_phase ("done:" ^ stop_reason_name stop_reason)
+  end;
   (match checkpointing with
   | Some ck when ck.save_on_stop && stop_wants_save stop_reason ->
       (* All workers have joined: nothing is in flight, the shard queues

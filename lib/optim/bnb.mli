@@ -130,6 +130,11 @@ type stop_reason =
   | Time_budget
   | Interrupted  (** the [?interrupt] poll returned [true] *)
 
+val stop_reason_name : stop_reason -> string
+(** Stable snake-case name (["proved_optimal"], ["gap_reached"], ...)
+    used by the bench records, the run ledger and the [/healthz]
+    telemetry phase. *)
+
 type stats = {
   infeasible_regions : int;  (** regions the bound oracle proved empty *)
   bound_pruned : int;  (** regions rejected because their bound met the incumbent *)
@@ -281,6 +286,13 @@ type stats = {
     [steals_best_victim]) survive a checkpoint/resume cycle; snapshots
     taken before the warm-start, warm-miss or seed fields existed
     restore them as 0. *)
+
+val stats_to_json : stats -> Obs.Json.t
+(** Every {!stats} field as a flat JSON object (per-domain arrays as
+    JSON arrays), in declaration order — the shape persisted into
+    bench experiment records and {!Obs.Run_ledger} records, and the
+    leaf names [ldafp runs diff] keys its regression heuristics on
+    ([certified_sound], [cert_fallbacks], ...). *)
 
 type oracle_counters
 (** Warm-start accounting shared between the driver and the bound

@@ -77,6 +77,13 @@ let m_queue_depth =
     ~help:"owner-shard queue length sampled after each push"
     "ldafp_sched_queue_depth"
 
+let m_frontier_size =
+  Obs.Metrics.gauge Obs.Metrics.default
+    ~help:
+      "queued regions across all shards, republished on every exact \
+       mirror publication (epoch-batched; approximate between epochs)"
+    "ldafp_bnb_frontier_size"
+
 type 'a shard = {
   lock : Mutex.t;
   queue : 'a Pqueue.t;
@@ -159,8 +166,11 @@ let create ?carries_warm ~workers () =
 
 let workers t = Array.length t.shards
 
-(* Exact mirror publication.  Must hold [s.lock]. *)
-let publish_mirrors s =
+(* Exact mirror publication.  Must hold [s.lock].  The frontier-size
+   gauge rides the same epoch batching: summing the length mirrors is
+   [workers] atomic loads, paid only on exact publishes — never on the
+   per-push/pop hot path — and nothing at all when metrics are off. *)
+let publish_mirrors t s =
   let b =
     match s.busy with
     | Some (k, _) -> Float.min k (Pqueue.min_key s.queue)
@@ -168,12 +178,20 @@ let publish_mirrors s =
   in
   Atomic.set s.bound_mirror b;
   Atomic.set s.len_mirror (Pqueue.length s.queue);
-  s.dirty <- 0
+  s.dirty <- 0;
+  if Obs.Metrics.enabled () then begin
+    let total =
+      Array.fold_left
+        (fun acc sh -> acc + Atomic.get sh.len_mirror)
+        0 t.shards
+    in
+    Obs.Metrics.set m_frontier_size (float_of_int total)
+  end
 
 (* Count one mutation against the publish epoch.  Must hold [s.lock]. *)
-let note_mutation s =
+let note_mutation t s =
   s.dirty <- s.dirty + 1;
-  if s.dirty >= publish_epoch then publish_mirrors s
+  if s.dirty >= publish_epoch then publish_mirrors t s
 
 (* Wake exactly one parked worker iff anyone is parked.  [idlers] is
    only incremented under the park lock, and a parker re-checks the
@@ -211,7 +229,7 @@ let push t ~worker key value =
      targeted wakeup could be lost. *)
   if Atomic.get s.len_mirror = 0 then
     Atomic.set s.len_mirror (Pqueue.length s.queue);
-  note_mutation s;
+  note_mutation t s;
   Mutex.unlock s.lock;
   if Obs.Metrics.enabled () then
     Obs.Metrics.observe m_queue_depth (float_of_int (Atomic.get s.len_mirror));
@@ -226,13 +244,13 @@ let take t ~worker =
         (* The owner found its shard dry: publish exactly so its own
            stale-high length mirror cannot keep [park] spinning on a
            shard only this worker could have drained. *)
-        publish_mirrors s;
+        publish_mirrors t s;
         None
     | Some (key, value) ->
         (* Queue -> busy slot: the item stays live, [t.live] unchanged,
            and the bound mirror still covers the key via [busy]. *)
         s.busy <- Some (key, value);
-        note_mutation s;
+        note_mutation t s;
         Some (key, value)
   in
   Mutex.unlock s.lock;
@@ -245,7 +263,7 @@ let release t ~worker =
   Atomic.decr t.live;
   (* Releasing can only raise the true minimum: leaving the bound
      mirror stale low is conservative and costs nothing sound. *)
-  note_mutation s;
+  note_mutation t s;
   Mutex.unlock s.lock
 (* No signal here: the releasing worker is awake and will either find
    work (its children were pushed before this release, each signalling
@@ -334,8 +352,8 @@ let try_steal t ~thief =
            true minimum over live work.  Steal boundaries are also
            where batched staleness is flushed — both shards leave this
            section exact. *)
-        publish_mirrors mine;
-        publish_mirrors victim;
+        publish_mirrors t mine;
+        publish_mirrors t victim;
         unlock_pair t thief v;
         (match taken with
         | None -> attempt ~first:false
@@ -375,7 +393,7 @@ let prune t pred =
       Pqueue.filter_in_place s.queue pred;
       let dropped = before - Pqueue.length s.queue in
       if dropped > 0 then ignore (Atomic.fetch_and_add t.live (-dropped));
-      publish_mirrors s;
+      publish_mirrors t s;
       Mutex.unlock s.lock)
     t.shards
 
@@ -390,7 +408,7 @@ let shed t ~worker ~keep =
   Mutex.lock s.lock;
   let dropped, min_key = Pqueue.drop_worst s.queue ~keep in
   if dropped > 0 then ignore (Atomic.fetch_and_add t.live (-dropped));
-  publish_mirrors s;
+  publish_mirrors t s;
   Mutex.unlock s.lock;
   if dropped > 0 then Some (dropped, min_key) else None
 
@@ -423,7 +441,7 @@ let sync_mirrors t =
   Array.iter
     (fun s ->
       Mutex.lock s.lock;
-      publish_mirrors s;
+      publish_mirrors t s;
       Mutex.unlock s.lock)
     t.shards
 

@@ -1,0 +1,521 @@
+(* Live telemetry endpoint and durable run ledger: HTTP routing
+   (socket-free via [handle_request]), a real server scraped over raw
+   Unix sockets while a 2-domain solve mutates every gauge, health
+   setters, stop idempotence, the zero-allocation disabled path, ledger
+   append/load round-trips, crash-truncated tails, and the regression
+   diff on hand-crafted record pairs. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let json_str = function
+  | Obs.Json.Str s -> s
+  | j -> Alcotest.failf "expected string, got %s" (Obs.Json.to_string j)
+
+let member_exn name j =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing member %S in %s" name (Obs.Json.to_string j)
+
+let parse_exn s =
+  match Obs.Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "JSON parse failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Routing (no socket)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let split_response r =
+  match
+    let rec find i =
+      if i + 3 >= String.length r then None
+      else if String.sub r i 4 = "\r\n\r\n" then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | Some i ->
+      (String.sub r 0 i, String.sub r (i + 4) (String.length r - i - 4))
+  | None -> Alcotest.failf "no header/body separator in %S" r
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+let test_routes () =
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled false)
+    (fun () ->
+      let g = Obs.Metrics.gauge reg ~help:"test gauge" "ldafp_test_gauge" in
+      Obs.Metrics.set g 7.0;
+      let hdr, body =
+        split_response (Obs.Telemetry.handle_request reg "GET /metrics HTTP/1.0")
+      in
+      checkb "metrics is 200" true (contains ~sub:"HTTP/1.0 200" hdr);
+      checkb "metrics content-type" true
+        (contains ~sub:"text/plain; version=0.0.4" hdr);
+      checkb "metrics body has gauge" true (contains ~sub:"ldafp_test_gauge 7" body);
+      let hdr, body =
+        split_response
+          (Obs.Telemetry.handle_request reg "GET /metrics.json HTTP/1.0")
+      in
+      checkb "metrics.json is 200" true (contains ~sub:"200 OK" hdr);
+      let j = parse_exn body in
+      Alcotest.(check string)
+        "metrics.json schema" "ldafp-metrics/1"
+        (json_str (member_exn "schema" j));
+      (* Query strings are stripped before routing. *)
+      let hdr, body =
+        split_response
+          (Obs.Telemetry.handle_request reg "GET /healthz?verbose=1 HTTP/1.0")
+      in
+      checkb "healthz is 200" true (contains ~sub:"200 OK" hdr);
+      let h = parse_exn body in
+      Alcotest.(check string) "healthz status" "ok" (json_str (member_exn "status" h));
+      checkb "healthz has phase" true (Obs.Json.member "phase" h <> None);
+      checkb "healthz has nodes_expanded" true
+        (Obs.Json.member "nodes_expanded" h <> None);
+      checkb "healthz has uptime" true
+        (Obs.Json.member "uptime_seconds" h <> None);
+      let hdr, _ =
+        split_response (Obs.Telemetry.handle_request reg "GET /nope HTTP/1.0")
+      in
+      checkb "unknown path is 404" true (contains ~sub:"404" hdr);
+      let hdr, _ =
+        split_response (Obs.Telemetry.handle_request reg "POST /metrics HTTP/1.0")
+      in
+      checkb "non-GET is 405" true (contains ~sub:"405" hdr))
+
+let test_health_setters () =
+  Obs.Telemetry.set_phase "searching";
+  Obs.Telemetry.set_nodes 42;
+  Obs.Telemetry.set_incumbent 1.5;
+  Obs.Telemetry.set_gap 0.25;
+  let h = Obs.Telemetry.health_json () in
+  Alcotest.(check string) "phase" "searching" (json_str (member_exn "phase" h));
+  (match member_exn "nodes_expanded" h with
+  | Obs.Json.Int 42 -> ()
+  | j -> Alcotest.failf "nodes_expanded = %s" (Obs.Json.to_string j));
+  (match member_exn "incumbent" h with
+  | Obs.Json.Float f -> checkb "incumbent" true (abs_float (f -. 1.5) < 1e-12)
+  | j -> Alcotest.failf "incumbent = %s" (Obs.Json.to_string j));
+  (* A non-finite gap must render as null in the serialised body. *)
+  Obs.Telemetry.set_gap Float.infinity;
+  let s = Obs.Json.to_string (Obs.Telemetry.health_json ()) in
+  checkb "non-finite gap renders null" true
+    (contains ~sub:"\"certified_gap\":null" s);
+  Obs.Telemetry.set_phase "idle";
+  Obs.Telemetry.set_nodes 0;
+  Obs.Telemetry.set_incumbent Float.infinity
+
+(* ------------------------------------------------------------------ *)
+(* Live server over real sockets                                       *)
+(* ------------------------------------------------------------------ *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      let b = Bytes.of_string req in
+      ignore (Unix.write fd b 0 (Bytes.length b));
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create 4096 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 | (exception Unix.Unix_error _) -> ()
+        | n ->
+            Buffer.add_subbytes acc buf 0 n;
+            drain ()
+      in
+      drain ();
+      Buffer.contents acc)
+
+let with_server f =
+  match Obs.Telemetry.start ~addr:"127.0.0.1:0" () with
+  | Error e -> Alcotest.failf "start failed: %s" e
+  | Ok srv ->
+      Fun.protect ~finally:(fun () -> Obs.Telemetry.stop srv) (fun () -> f srv)
+
+let test_live_server () =
+  with_server (fun srv ->
+      checkb "enabled while running" true (Obs.Telemetry.enabled ());
+      checkb "ephemeral port read back" true (Obs.Telemetry.port srv > 0);
+      checkb "addr carries port" true
+        (contains
+           ~sub:(string_of_int (Obs.Telemetry.port srv))
+           (Obs.Telemetry.addr srv));
+      let r = http_get (Obs.Telemetry.port srv) "/healthz" in
+      let hdr, body = split_response r in
+      checkb "live healthz 200" true (contains ~sub:"HTTP/1.0 200" hdr);
+      let h = parse_exn body in
+      Alcotest.(check string) "live status ok" "ok"
+        (json_str (member_exn "status" h));
+      let r = http_get (Obs.Telemetry.port srv) "/metrics" in
+      let hdr, body = split_response r in
+      checkb "live metrics 200" true (contains ~sub:"200 OK" hdr);
+      checkb "live metrics has build_info" true
+        (contains ~sub:"ldafp_build_info" body))
+
+let test_stop_idempotent () =
+  match Obs.Telemetry.start ~addr:"127.0.0.1:0" () with
+  | Error e -> Alcotest.failf "start failed: %s" e
+  | Ok srv ->
+      Obs.Telemetry.stop srv;
+      checkb "disabled after stop" false (Obs.Telemetry.enabled ());
+      (* Second stop must be a no-op, not a crash or double-join. *)
+      Obs.Telemetry.stop srv;
+      checkb "still disabled" false (Obs.Telemetry.enabled ())
+
+let test_bad_addr () =
+  (match Obs.Telemetry.start ~addr:"not-a-port" () with
+  | Error _ -> ()
+  | Ok srv ->
+      Obs.Telemetry.stop srv;
+      Alcotest.fail "bad addr accepted");
+  match Obs.Telemetry.start ~addr:"127.0.0.1:70000" () with
+  | Error _ -> ()
+  | Ok srv ->
+      Obs.Telemetry.stop srv;
+      Alcotest.fail "out-of-range port accepted"
+
+(* Scrape the endpoint from a second domain while a real 2-domain
+   search mutates counters, gauges and the health snapshot underneath
+   it.  Every response must be well-formed even mid-mutation. *)
+
+let small_scatter () =
+  let a =
+    [| [| 0.5; 0.1 |]; [| 0.7; -0.1 |]; [| 0.6; 0.2 |]; [| 0.4; -0.2 |] |]
+  in
+  let b =
+    [| [| -0.5; 0.15 |]; [| -0.7; -0.15 |]; [| -0.6; 0.1 |]; [| -0.4; -0.1 |] |]
+  in
+  Stats.Scatter.of_data a b
+
+let test_concurrent_scrapes () =
+  let open Ldafp_core in
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled false)
+    (fun () ->
+      with_server (fun srv ->
+          let port = Obs.Telemetry.port srv in
+          let solving = Atomic.make true in
+          let scrapes = Atomic.make 0 in
+          let failures = Atomic.make 0 in
+          let scraper =
+            Domain.spawn (fun () ->
+                while Atomic.get solving do
+                  List.iter
+                    (fun path ->
+                      match split_response (http_get port path) with
+                      | hdr, body ->
+                          Atomic.incr scrapes;
+                          if not (contains ~sub:"200 OK" hdr) then
+                            Atomic.incr failures;
+                          if path = "/healthz" then (
+                            match Obs.Json.parse body with
+                            | Ok _ -> ()
+                            | Error _ -> Atomic.incr failures)
+                      | exception _ -> Atomic.incr failures)
+                    [ "/healthz"; "/metrics"; "/metrics.json" ]
+                done)
+          in
+          let fmt = Fixedpoint.Qformat.make ~k:2 ~f:3 in
+          let pb = Ldafp_problem.build ~fmt (small_scatter ()) in
+          let config =
+            {
+              Lda_fp.quick_config with
+              bnb_params =
+                {
+                  Optim.Bnb.default_params with
+                  max_nodes = 4000;
+                  rel_gap = 0.0;
+                  abs_gap = 0.0;
+                  domains = 2;
+                };
+            }
+          in
+          (match Lda_fp.solve ~config pb with
+          | Some _ -> ()
+          | None -> Alcotest.fail "solve found no solution");
+          (* One more scrape after the search so at least one response
+             is guaranteed even if the solve finished instantly. *)
+          Atomic.set solving false;
+          Domain.join scraper;
+          let r = http_get port "/healthz" in
+          let _, body = split_response r in
+          let h = parse_exn body in
+          let phase = json_str (member_exn "phase" h) in
+          checkb "phase reached done:*" true
+            (String.length phase >= 5 && String.sub phase 0 5 = "done:");
+          (match member_exn "nodes_expanded" h with
+          | Obs.Json.Int n -> checkb "nodes were published" true (n > 0)
+          | j -> Alcotest.failf "nodes_expanded = %s" (Obs.Json.to_string j));
+          checki "no malformed scrape" 0 (Atomic.get failures);
+          checkb "scraped at least once" true (Atomic.get scrapes >= 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path allocates nothing                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_setters_no_alloc () =
+  checkb "telemetry off" false (Obs.Telemetry.enabled ());
+  let guarded i =
+    if Obs.Telemetry.enabled () then begin
+      Obs.Telemetry.set_nodes i;
+      Obs.Telemetry.set_incumbent (float_of_int i);
+      Obs.Telemetry.set_gap 0.5;
+      Obs.Telemetry.set_phase "searching"
+    end
+  in
+  guarded 0;
+  let before = Gc.minor_words () in
+  for i = 1 to 1000 do
+    guarded i
+  done;
+  let delta = Gc.minor_words () -. before in
+  checkb
+    (Printf.sprintf "disabled setters allocate nothing (delta=%.0f)" delta)
+    true (delta < 256.0)
+
+(* ------------------------------------------------------------------ *)
+(* Run ledger: append / load                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_ledger f =
+  let path = Filename.temp_file "ldafp-test-ledger" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () -> f path)
+
+let load_exn path =
+  match Obs.Run_ledger.load ~path with
+  | Ok (records, malformed) -> (records, malformed)
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_ledger_round_trip () =
+  with_temp_ledger (fun path ->
+      let r1 =
+        Obs.Run_ledger.record ~kind:"train" ~argv:[ "ldafp"; "train" ]
+          [ ("result", Obs.Json.Obj [ ("cost", Obs.Json.Float 0.5) ]) ]
+      in
+      let r2 =
+        Obs.Run_ledger.record ~kind:"bench" ~argv:[ "bench" ]
+          [ ("bench", Obs.Json.Obj [ ("ok", Obs.Json.Bool true) ]) ]
+      in
+      (match Obs.Run_ledger.append ~path r1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append 1: %s" e);
+      (match Obs.Run_ledger.append ~path r2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append 2: %s" e);
+      let records, malformed = load_exn path in
+      checki "two records" 2 (List.length records);
+      checki "no malformed lines" 0 malformed;
+      let first = List.nth records 0 in
+      Alcotest.(check string)
+        "schema stamped" Obs.Run_ledger.schema
+        (json_str (member_exn "schema" first));
+      Alcotest.(check string) "kind kept" "train" (json_str (member_exn "kind" first));
+      let env = member_exn "environment" first in
+      (match member_exn "cores_detected" env with
+      | Obs.Json.Int n -> checkb "cores >= 1" true (n >= 1)
+      | j -> Alcotest.failf "cores_detected = %s" (Obs.Json.to_string j));
+      checkb "timestamp present" true
+        (Obs.Json.member "timestamp_utc" first <> None);
+      let second = List.nth records 1 in
+      Alcotest.(check string) "order preserved" "bench"
+        (json_str (member_exn "kind" second)))
+
+let test_ledger_torn_tail () =
+  with_temp_ledger (fun path ->
+      let rec_n i =
+        Obs.Run_ledger.record ~kind:"train" ~argv:[ "t" ]
+          [ ("result", Obs.Json.Obj [ ("n", Obs.Json.Int i) ]) ]
+      in
+      (match Obs.Run_ledger.append ~path (rec_n 1) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append: %s" e);
+      (match Obs.Run_ledger.append ~path (rec_n 2) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append: %s" e);
+      (* Simulate a crash mid-write by some non-atomic writer: a torn,
+         unterminated half-record at the tail. *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "{\"schema\": \"ldafp-run/1\", \"kind\": \"tr";
+      close_out oc;
+      let records, malformed = load_exn path in
+      checki "prior records stay readable" 2 (List.length records);
+      checki "torn tail counted" 1 malformed;
+      (* A subsequent append must not fuse the new record into the torn
+         line: the repaired ledger gains exactly one parseable record. *)
+      (match Obs.Run_ledger.append ~path (rec_n 3) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append onto torn file: %s" e);
+      let records, malformed = load_exn path in
+      checki "new record readable after torn tail" 3 (List.length records);
+      checki "torn line still isolated" 1 malformed)
+
+let test_ledger_missing_file () =
+  (* A ledger that does not exist yet is an empty ledger, not an error:
+     the first CLI run of a fresh checkout appends to a missing file. *)
+  match Obs.Run_ledger.load ~path:"/nonexistent/ldafp-nope.jsonl" with
+  | Ok (records, malformed) ->
+      checki "missing file is empty" 0 (List.length records);
+      checki "and clean" 0 malformed
+  | Error e -> Alcotest.failf "missing file errored: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Regression diff                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_record leaves = Obs.Json.Obj [ ("stats", Obs.Json.Obj leaves) ]
+
+let base_leaves =
+  [
+    ("certified_sound", Obs.Json.Bool true);
+    ("cert_fallbacks", Obs.Json.Int 0);
+    ("warm_hit_rate", Obs.Json.Float 0.9);
+    ("ns_per_run", Obs.Json.Float 100.0);
+    ("batch_preds_per_sec", Obs.Json.Float 1000.0);
+  ]
+
+let with_leaf name v =
+  List.map (fun (k, x) -> if k = name then (k, v) else (k, x)) base_leaves
+
+let diff_records ?rel_tol ?warm_drop cand_leaves =
+  Obs.Run_ledger.diff ?rel_tol ?warm_drop ~baseline:(mk_record base_leaves)
+    ~candidate:(mk_record cand_leaves) ()
+
+let severities fs =
+  List.map (fun f -> Obs.Run_ledger.severity_name f.Obs.Run_ledger.severity) fs
+
+let test_diff_certified_sound () =
+  let fs = diff_records (with_leaf "certified_sound" (Obs.Json.Bool false)) in
+  checki "one finding" 1 (List.length fs);
+  let f = List.hd fs in
+  Alcotest.(check string) "severity" "correctness"
+    (Obs.Run_ledger.severity_name f.Obs.Run_ledger.severity);
+  Alcotest.(check string) "path" "stats.certified_sound" f.Obs.Run_ledger.path
+
+let test_diff_cert_fallbacks () =
+  let fs = diff_records (with_leaf "cert_fallbacks" (Obs.Json.Int 3)) in
+  checki "one finding" 1 (List.length fs);
+  Alcotest.(check (list string)) "severity" [ "correctness" ] (severities fs)
+
+let test_diff_warm_hit_rate () =
+  let fs = diff_records (with_leaf "warm_hit_rate" (Obs.Json.Float 0.5)) in
+  Alcotest.(check (list string)) "big drop flags" [ "correctness" ] (severities fs);
+  let fs = diff_records (with_leaf "warm_hit_rate" (Obs.Json.Float 0.85)) in
+  checki "small drop within warm_drop is clean" 0 (List.length fs);
+  let fs =
+    diff_records ~warm_drop:0.01 (with_leaf "warm_hit_rate" (Obs.Json.Float 0.85))
+  in
+  Alcotest.(check (list string))
+    "tightened warm_drop flags" [ "correctness" ] (severities fs)
+
+let test_diff_timing_advisory () =
+  let fs = diff_records (with_leaf "batch_preds_per_sec" (Obs.Json.Float 400.0)) in
+  Alcotest.(check (list string)) "throughput drop is timing" [ "timing" ]
+    (severities fs);
+  let fs = diff_records (with_leaf "ns_per_run" (Obs.Json.Float 200.0)) in
+  Alcotest.(check (list string)) "latency rise is timing" [ "timing" ]
+    (severities fs);
+  (* Within the default 25% noise band: clean. *)
+  let fs = diff_records (with_leaf "batch_preds_per_sec" (Obs.Json.Float 900.0)) in
+  checki "within band is clean" 0 (List.length fs);
+  let fs = diff_records (with_leaf "ns_per_run" (Obs.Json.Float 110.0)) in
+  checki "within band latency is clean" 0 (List.length fs);
+  (* Faster is never a regression. *)
+  let fs = diff_records (with_leaf "batch_preds_per_sec" (Obs.Json.Float 5000.0)) in
+  checki "speedup is clean" 0 (List.length fs)
+
+let test_diff_ordering_and_json () =
+  let cand =
+    List.map
+      (fun (k, v) ->
+        match k with
+        | "certified_sound" -> (k, Obs.Json.Bool false)
+        | "ns_per_run" -> (k, Obs.Json.Float 300.0)
+        | _ -> (k, v))
+      base_leaves
+  in
+  let fs = diff_records cand in
+  Alcotest.(check (list string))
+    "correctness ordered first" [ "correctness"; "timing" ] (severities fs);
+  let j = Obs.Run_ledger.findings_json fs in
+  Alcotest.(check string) "diff schema" "ldafp-diff/1"
+    (json_str (member_exn "schema" j));
+  (match member_exn "correctness_regressions" j with
+  | Obs.Json.Int 1 -> ()
+  | x -> Alcotest.failf "correctness_regressions = %s" (Obs.Json.to_string x));
+  (match member_exn "timing_regressions" j with
+  | Obs.Json.Int 1 -> ()
+  | x -> Alcotest.failf "timing_regressions = %s" (Obs.Json.to_string x));
+  match member_exn "findings" j with
+  | Obs.Json.List l -> checki "findings listed" 2 (List.length l)
+  | x -> Alcotest.failf "findings = %s" (Obs.Json.to_string x)
+
+let test_diff_missing_leaf_ignored () =
+  (* Schemas may grow: a leaf present on only one side is not a
+     regression. *)
+  let cand = List.filter (fun (k, _) -> k <> "warm_hit_rate") base_leaves in
+  checki "dropped leaf ignored" 0 (List.length (diff_records cand));
+  let cand = ("new_counter", Obs.Json.Int 5) :: base_leaves in
+  checki "added leaf ignored" 0 (List.length (diff_records cand))
+
+let test_diff_self_clean () =
+  checki "identical records have no findings" 0
+    (List.length (diff_records base_leaves))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "routes" `Quick test_routes;
+          Alcotest.test_case "health setters" `Quick test_health_setters;
+          Alcotest.test_case "live server" `Quick test_live_server;
+          Alcotest.test_case "stop idempotent" `Quick test_stop_idempotent;
+          Alcotest.test_case "bad addr rejected" `Quick test_bad_addr;
+          Alcotest.test_case "concurrent scrapes during solve" `Quick
+            test_concurrent_scrapes;
+          Alcotest.test_case "disabled setters allocate nothing" `Quick
+            test_disabled_setters_no_alloc;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append/load round-trip" `Quick
+            test_ledger_round_trip;
+          Alcotest.test_case "torn tail stays readable" `Quick
+            test_ledger_torn_tail;
+          Alcotest.test_case "missing file errors" `Quick
+            test_ledger_missing_file;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "certified_sound flip" `Quick
+            test_diff_certified_sound;
+          Alcotest.test_case "cert_fallbacks increase" `Quick
+            test_diff_cert_fallbacks;
+          Alcotest.test_case "warm_hit_rate drop" `Quick test_diff_warm_hit_rate;
+          Alcotest.test_case "timing advisory" `Quick test_diff_timing_advisory;
+          Alcotest.test_case "ordering and findings_json" `Quick
+            test_diff_ordering_and_json;
+          Alcotest.test_case "missing leaf ignored" `Quick
+            test_diff_missing_leaf_ignored;
+          Alcotest.test_case "self diff clean" `Quick test_diff_self_clean;
+        ] );
+    ]
